@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 11 reproduction: distribution of outstanding accesses for swim
+ * under burst scheduling with thresholds {WP = TH0, TH8 .. TH56,
+ * RP = TH64} (the write queue holds 64 entries, so Burst_RP and Burst_WP
+ * are the two endpoints of the threshold spectrum — Section 5.4).
+ *
+ * Paper expectations: as the threshold rises the peak of the outstanding
+ * write distribution moves right (more postponed writes); the write
+ * buffer saturation rate stays below 7% for thresholds < 48, reaches 14%
+ * at 56 and jumps to 70% at 64 (RP).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace bsim;
+
+int
+main()
+{
+    bench::banner("Figure 11: outstanding accesses vs threshold (swim)",
+                  "Fig. 11(a)/(b) + Section 5.4 saturation-vs-threshold");
+
+    const std::vector<std::size_t> thresholds = {0,  8,  16, 24, 32,
+                                                 40, 48, 52, 56, 64};
+
+    std::vector<sim::RunResult> results;
+    for (std::size_t th : thresholds) {
+        sim::ExperimentConfig cfg;
+        cfg.workload = "swim";
+        cfg.mechanism = ctrl::Mechanism::BurstTH;
+        cfg.threshold = th;
+        std::fprintf(stderr, "  threshold %zu...\n", th);
+        results.push_back(sim::runExperiment(cfg));
+    }
+
+    auto label = [&](std::size_t th) -> std::string {
+        if (th == 0)
+            return "WP(TH0)";
+        if (th == 64)
+            return "RP(TH64)";
+        return "TH" + std::to_string(th);
+    };
+
+    {
+        Table t("(a) outstanding reads: % of time (bucketed)");
+        std::vector<std::string> hdr = {"threshold"};
+        for (int b = 0; b < 36; b += 5)
+            hdr.push_back(std::to_string(b) + "-" + std::to_string(b + 4));
+        hdr.push_back("mean");
+        t.header(hdr);
+        for (std::size_t i = 0; i < thresholds.size(); ++i) {
+            const auto &h = results[i].ctrl.outstandingReads;
+            std::vector<std::string> row = {label(thresholds[i])};
+            for (int b = 0; b < 36; b += 5) {
+                double frac = 0;
+                for (int k = b; k < b + 5; ++k)
+                    frac += h.fraction(std::size_t(k));
+                row.push_back(Table::pct(frac));
+            }
+            row.push_back(Table::num(h.mean(), 1));
+            t.row(row);
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+    {
+        Table t("(b) outstanding writes: % of time (bucketed)");
+        std::vector<std::string> hdr = {"threshold"};
+        for (int b = 0; b < 70; b += 10)
+            hdr.push_back(std::to_string(b) + "-" + std::to_string(b + 9));
+        hdr.push_back("mean");
+        hdr.push_back("sat%");
+        t.header(hdr);
+        for (std::size_t i = 0; i < thresholds.size(); ++i) {
+            const auto &h = results[i].ctrl.outstandingWrites;
+            std::vector<std::string> row = {label(thresholds[i])};
+            for (int b = 0; b < 70; b += 10) {
+                double frac = 0;
+                for (int k = b; k < b + 10; ++k)
+                    frac += h.fraction(std::size_t(k));
+                row.push_back(Table::pct(frac));
+            }
+            row.push_back(Table::num(h.mean(), 1));
+            row.push_back(
+                Table::pct(results[i].ctrl.writeSaturationRate()));
+            t.row(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\npaper shape: write-distribution peak moves right with "
+                 "the threshold;\nsaturation < 7% below TH48, ~14% at "
+                 "TH56, ~70% at TH64 (RP).\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 12 reproduction: execution time, read latency and write latency
+ * of burst scheduling under a static-threshold sweep, averaged over the
+ * 16 modelled benchmarks and normalized to plain Burst.
+ *
+ * Paper expectations: read latency falls with the threshold up to ~40
+ * then rises again (write-queue saturation stalls the pipeline); write
+ * latency rises monotonically; execution time is minimized around
+ * threshold 52 of 64.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace bsim;
+
+int
+main()
+{
+    bench::banner("Figure 12: threshold sweep",
+                  "Fig. 12(a)/(b)/(c) + Section 5.4");
+
+    const std::vector<std::size_t> thresholds = {0,  8,  16, 24, 32, 40,
+                                                 48, 52, 56, 60, 64};
+    const auto workloads = trace::specProfileNames();
+
+    // Baseline: plain Burst (no preemption, no piggybacking).
+    std::vector<double> burst_exec;
+    for (const auto &w : workloads) {
+        sim::ExperimentConfig cfg;
+        cfg.workload = w;
+        cfg.mechanism = ctrl::Mechanism::Burst;
+        burst_exec.push_back(
+            double(sim::runExperiment(cfg).execCpuCycles));
+    }
+    std::fprintf(stderr, "  burst baseline done\n");
+
+    Table t("burst scheduling with threshold (normalized to Burst):");
+    t.header({"threshold", "exec time", "read lat", "write lat", "WQ sat"});
+
+    double best_exec = 1e300;
+    std::size_t best_th = 0;
+    for (std::size_t th : thresholds) {
+        double exec_sum = 0, rd_sum = 0, wr_sum = 0, sat_sum = 0;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = workloads[w];
+            cfg.mechanism = ctrl::Mechanism::BurstTH;
+            cfg.threshold = th;
+            const auto r = sim::runExperiment(cfg);
+            exec_sum += double(r.execCpuCycles) / burst_exec[w];
+            rd_sum += r.ctrl.readLatency.mean();
+            wr_sum += r.ctrl.writeLatency.mean();
+            sat_sum += r.ctrl.writeSaturationRate();
+        }
+        const double n = double(workloads.size());
+        const double exec = exec_sum / n;
+        std::string name = th == 0    ? "WP(TH0)"
+                           : th == 64 ? "RP(TH64)"
+                                      : "TH" + std::to_string(th);
+        t.row({name, Table::num(exec, 4), Table::num(rd_sum / n, 1),
+               Table::num(wr_sum / n, 1), Table::pct(sat_sum / n)});
+        if (exec < best_exec) {
+            best_exec = exec;
+            best_th = th;
+        }
+        std::fprintf(stderr, "  threshold %zu done\n", th);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nbest threshold: " << best_th
+              << " (paper: 52 yields the lowest execution time)\n\ncsv:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's hot paths:
+ * address decoding, bank state checks, scheduler tick cost per mechanism
+ * and end-to-end simulated cycles per second. These are engineering
+ * benchmarks for the simulator itself, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ctrl/controller.hh"
+#include "dram/memory_system.hh"
+#include "sim/experiment.hh"
+#include "trace/spec_profiles.hh"
+#include "trace/trace_gen.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    dram::DramConfig cfg;
+    cfg.addressMap = static_cast<dram::AddressMapKind>(state.range(0));
+    dram::AddressMap map(cfg);
+    Addr a = 0x12345640;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(map.decode(a));
+        a += 4096 + 64;
+    }
+}
+BENCHMARK(BM_AddressDecode)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_BankTimingCheck(benchmark::State &state)
+{
+    dram::DramConfig cfg;
+    dram::MemorySystem mem(cfg);
+    dram::Command cmd{dram::CmdType::Activate, {0, 0, 0, 5, 0}, 1};
+    Tick now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.canIssue(cmd, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_BankTimingCheck);
+
+void
+BM_ControllerTick(benchmark::State &state)
+{
+    const auto mech = static_cast<ctrl::Mechanism>(state.range(0));
+    dram::DramConfig dcfg;
+    dram::MemorySystem mem(dcfg);
+    ctrl::ControllerConfig ccfg;
+    ccfg.mechanism = mech;
+    ctrl::MemoryController controller(mem, ccfg);
+
+    trace::WorkloadProfile prof = trace::profileByName("swim");
+    trace::SyntheticGenerator gen(prof, 1ULL << 40, 7);
+
+    Tick now = 0;
+    trace::TraceInstr in;
+    for (auto _ : state) {
+        // Keep roughly 64 accesses in flight.
+        while (controller.readsOutstanding() +
+                       controller.writesOutstanding() <
+                   64 &&
+               controller.canAccept()) {
+            do {
+                gen.next(in);
+            } while (in.op == trace::TraceInstr::Op::Compute);
+            controller.submit(in.op == trace::TraceInstr::Op::Store
+                                  ? AccessType::Write
+                                  : AccessType::Read,
+                              in.addr, now);
+        }
+        controller.tick(now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerTick)
+    ->Arg(int(ctrl::Mechanism::BkInOrder))
+    ->Arg(int(ctrl::Mechanism::RowHit))
+    ->Arg(int(ctrl::Mechanism::Intel))
+    ->Arg(int(ctrl::Mechanism::BurstTH));
+
+void
+BM_EndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::ExperimentConfig cfg;
+        cfg.workload = "gzip";
+        cfg.mechanism = ctrl::Mechanism::BurstTH;
+        cfg.instructions = 20'000;
+        const auto r = sim::runExperiment(cfg);
+        benchmark::DoNotOptimize(r.execCpuCycles);
+        state.counters["mem_cycles/s"] = benchmark::Counter(
+            double(r.memCycles), benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_EndToEnd)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Section 6 technology-trend study: as SDRAM bus frequency scales much
+ * faster than the core timing parameters (DDR PC-2100 at 2-2-2 cycles /
+ * 133 MHz -> DDR2 PC2-6400 at 5-5-5 cycles / 400 MHz, a 200% bandwidth
+ * gain against a 17% latency gain), access latency in bus cycles grows —
+ * the paper argues the improvement from access reordering therefore
+ * grows with each generation.
+ *
+ * This bench measures the Burst_TH vs BkInOrder execution-time gain on
+ * both devices across the benchmark suite.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace bsim;
+
+int
+main()
+{
+    bench::banner("Section 6: technology trend",
+                  "row-conflict latency 6 -> 15 cycles; reordering gains "
+                  "grow");
+
+    const auto workloads = trace::specProfileNames();
+
+    Table t("Burst_TH execution time normalized to BkInOrder, per device:");
+    t.header({"benchmark", "DDR-266 (2-2-2)", "DDR2-800 (5-5-5)"});
+
+    double sum_old = 0, sum_new = 0;
+    for (const auto &w : workloads) {
+        double norm[2] = {0, 0};
+        int i = 0;
+        for (sim::DeviceGen dev :
+             {sim::DeviceGen::DDR_266, sim::DeviceGen::DDR2_800}) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = w;
+            cfg.device = dev;
+            cfg.mechanism = ctrl::Mechanism::BkInOrder;
+            const auto base = sim::runExperiment(cfg);
+            cfg.mechanism = ctrl::Mechanism::BurstTH;
+            const auto th = sim::runExperiment(cfg);
+            norm[i++] = double(th.execCpuCycles) /
+                        double(base.execCpuCycles);
+        }
+        sum_old += norm[0];
+        sum_new += norm[1];
+        t.row({w, Table::num(norm[0], 3), Table::num(norm[1], 3)});
+        std::fprintf(stderr, "  %s done\n", w.c_str());
+    }
+    const double n = double(workloads.size());
+    t.row({"average", Table::num(sum_old / n, 3),
+           Table::num(sum_new / n, 3)});
+    t.print(std::cout);
+
+    std::cout << "\npaper expectation: the newer device (longer latencies "
+                 "in bus cycles) shows the\nlarger reduction — burst "
+                 "scheduling's advantage grows with the technology "
+                 "trend.\n";
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Table 1 reproduction: possible SDRAM access latencies (idle busses) by
+ * controller policy and row outcome, measured against the timing engine.
+ *
+ *   policy  row hit  row empty     row conflict
+ *   OP      tCL      tRCD+tCL      tRP+tRCD+tCL
+ *   CPA     N/A      tRCD+tCL      N/A
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "dram/memory_system.hh"
+
+#include <iostream>
+
+using namespace bsim;
+using dram::CmdType;
+using dram::Coords;
+
+namespace
+{
+
+dram::DramConfig
+smallConfig(dram::PagePolicy policy, const dram::Timing &t)
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 4;
+    cfg.rowsPerBank = 64;
+    cfg.blocksPerRow = 32;
+    cfg.blockBytes = 64;
+    cfg.timing = t;
+    cfg.timing.tREFI = 0; // no refresh during the measurement
+    cfg.pagePolicy = policy;
+    return cfg;
+}
+
+/**
+ * Measure command-to-first-data latency of an access finding the bank in
+ * the given state. Returns latency in cycles from the first transaction.
+ */
+Tick
+measure(dram::PagePolicy policy, const dram::Timing &t,
+        dram::RowOutcome outcome)
+{
+    dram::MemorySystem mem(smallConfig(policy, t));
+    const Coords target{0, 0, 0, 5, 0};
+
+    Tick now = 0;
+    auto issue_when_ready = [&](CmdType cmd, const Coords &c) {
+        dram::Command command{cmd, c, 1};
+        while (!mem.canIssue(command, now))
+            ++now;
+        return mem.issue(command, now);
+    };
+
+    // Prepare the bank state, then let all constraints settle.
+    switch (outcome) {
+      case dram::RowOutcome::Empty:
+        break; // bank starts precharged
+      case dram::RowOutcome::Hit:
+        issue_when_ready(CmdType::Activate, target);
+        ++now;
+        break;
+      case dram::RowOutcome::Conflict: {
+        Coords other = target;
+        other.row = 9;
+        issue_when_ready(CmdType::Activate, other);
+        ++now;
+        break;
+      }
+    }
+    now += 100; // quiesce: isolate the access's own latency
+
+    const Tick start = now;
+    Tick first_data = 0;
+    for (;;) {
+        const CmdType cmd = mem.nextCmdFor(target, AccessType::Read);
+        const dram::IssueResult r = issue_when_ready(cmd, target);
+        if (cmd == CmdType::Read) {
+            first_data = r.dataStart;
+            break;
+        }
+        ++now;
+    }
+    return first_data - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    const dram::Timing t = dram::Timing::ddr2_800();
+    std::printf("Table 1: SDRAM access latencies (first transaction to "
+                "first data beat, idle busses)\n");
+    std::printf("device: %s (tCL=%u tRCD=%u tRP=%u)\n\n", t.name.c_str(),
+                t.tCL, t.tRCD, t.tRP);
+
+    Table table;
+    table.header({"policy", "row hit", "row empty", "row conflict"});
+
+    {
+        const Tick hit = measure(dram::PagePolicy::OpenPage, t,
+                                 dram::RowOutcome::Hit);
+        const Tick empty = measure(dram::PagePolicy::OpenPage, t,
+                                   dram::RowOutcome::Empty);
+        const Tick conflict = measure(dram::PagePolicy::OpenPage, t,
+                                      dram::RowOutcome::Conflict);
+        table.row({"OP", std::to_string(hit), std::to_string(empty),
+                   std::to_string(conflict)});
+    }
+    {
+        // Under CPA every access finds the bank precharged.
+        const Tick empty = measure(dram::PagePolicy::ClosePageAuto, t,
+                                   dram::RowOutcome::Empty);
+        table.row({"CPA", "N/A", std::to_string(empty), "N/A"});
+    }
+    table.print(std::cout);
+
+    std::printf("\nexpected: OP = {tCL=%u, tRCD+tCL=%u, tRP+tRCD+tCL=%u}, "
+                "CPA = tRCD+tCL=%u\n",
+                t.tCL, t.tRCD + t.tCL, t.tRP + t.tRCD + t.tCL,
+                t.tRCD + t.tCL);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the Table 4
+ * mechanism list, the 16-benchmark sweep, and uniform headers.
+ */
+
+#ifndef BURSTSIM_BENCH_BENCH_UTIL_HH
+#define BURSTSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctrl/access.hh"
+#include "sim/experiment.hh"
+#include "trace/spec_profiles.hh"
+
+namespace bench
+{
+
+/** The seven out-of-order mechanisms of Figure 10 plus the baseline. */
+inline std::vector<bsim::ctrl::Mechanism>
+allMechanisms()
+{
+    return {std::begin(bsim::ctrl::kAllMechanisms),
+            std::end(bsim::ctrl::kAllMechanisms)};
+}
+
+/** Results of a full (benchmark x mechanism) sweep. */
+struct Sweep
+{
+    std::vector<std::string> workloads;
+    std::vector<bsim::ctrl::Mechanism> mechanisms;
+    /** results[w][m] in the index order above. */
+    std::vector<std::vector<bsim::sim::RunResult>> results;
+};
+
+/** Run every SPEC profile under every mechanism. */
+inline Sweep
+sweepAll(std::uint64_t instructions = 0)
+{
+    Sweep s;
+    s.workloads = bsim::trace::specProfileNames();
+    s.mechanisms = allMechanisms();
+    for (const auto &w : s.workloads) {
+        std::fprintf(stderr, "  sweeping %s...\n", w.c_str());
+        s.results.push_back(
+            bsim::sim::runMechanismSweep(w, s.mechanisms, instructions));
+    }
+    return s;
+}
+
+/** Mean of a per-workload metric for mechanism index @p m. */
+template <typename Fn>
+double
+meanOver(const Sweep &s, std::size_t m, Fn metric)
+{
+    double sum = 0.0;
+    for (const auto &per_wl : s.results)
+        sum += metric(per_wl[m]);
+    return sum / double(s.results.size());
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("=== %s ===\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    std::printf("instructions/run: %llu (override: BURSTSIM_INSTR)\n\n",
+                static_cast<unsigned long long>(
+                    bsim::sim::defaultInstructions()));
+}
+
+} // namespace bench
+
+#endif // BURSTSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Visualizing scheduler decisions as an ASCII command waterfall — the
+ * same picture the paper draws in Figures 1 and 2.
+ *
+ * Attaches a CommandLog to the SDRAM device, runs a small access stream
+ * under BkInOrder and under Burst_TH, and renders both timelines so the
+ * burst structure (back-to-back R's over one open row, precharge/activate
+ * of other banks hidden under data transfers) is visible directly.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ctrl/controller.hh"
+#include "dram/command_log.hh"
+#include "dram/memory_system.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+dram::DramConfig
+smallConfig()
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 16;
+    cfg.blocksPerRow = 32;
+    cfg.timing.tREFI = 0; // keep the picture clean
+    return cfg;
+}
+
+void
+runAndRender(ctrl::Mechanism mech)
+{
+    dram::MemorySystem mem(smallConfig());
+    dram::CommandLog log;
+    mem.attachLog(&log);
+
+    ctrl::ControllerConfig ccfg;
+    ccfg.mechanism = mech;
+    ctrl::MemoryController controller(mem, ccfg);
+
+    // Two four-access bursts (same row) plus two conflicting accesses,
+    // mirroring the flavor of the paper's worked example.
+    struct Req
+    {
+        std::uint32_t bank, row, col;
+    };
+    const std::vector<Req> reqs = {
+        {0, 1, 0}, {1, 2, 0}, {0, 3, 0}, {0, 1, 1},
+        {0, 1, 2}, {1, 2, 1}, {0, 1, 3}, {1, 5, 0},
+    };
+    Tick now = 0;
+    for (const Req &rq : reqs) {
+        dram::Coords c{0, 0, rq.bank, rq.row, rq.col};
+        controller.submit(AccessType::Read,
+                          mem.addressMap().encode(c), now);
+    }
+    while (controller.busy() && now < 500)
+        controller.tick(now++);
+
+    std::cout << ctrl::mechanismName(mech) << " (" << now
+              << " cycles to drain):\n";
+    log.renderTimeline(std::cout, 0, now);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "bus_timeline: SDRAM command waterfalls per scheduling "
+                 "mechanism\n(8 reads: a 4-access row-1 burst in bank 0, "
+                 "a 2-access row-2 burst in bank 1,\n a row-3 conflict "
+                 "in bank 0 and a row-5 access in bank 1)\n\n";
+    runAndRender(ctrl::Mechanism::BkInOrder);
+    runAndRender(ctrl::Mechanism::BurstTH);
+    std::cout << "Burst scheduling clusters the row-1 reads back to back "
+                 "and hides the other\nbank's precharge/activate under "
+                 "the data transfers.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tiny command-line argument parser for the burstsim tools.
+ *
+ * Supports --flag (boolean), --opt value and --opt=value forms, typed
+ * accessors with defaults, automatic --help text, and strict unknown-
+ * option rejection.
+ */
+
+#ifndef BURSTSIM_COMMON_ARGS_HH
+#define BURSTSIM_COMMON_ARGS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsim
+{
+
+/** Declarative command-line parser. */
+class ArgParser
+{
+  public:
+    /** Create a parser for a program called @p program. */
+    explicit ArgParser(std::string program, std::string description = "");
+
+    /** Declare a boolean flag (present = true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /** Declare a string option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /**
+     * Parse argv. Returns false (after printing a message) on --help or
+     * on errors; callers should exit in both cases, with status 0 for
+     * help and nonzero for errors (see helpRequested()).
+     */
+    bool parse(int argc, const char *const *argv, std::ostream &err);
+
+    /** True if parse() returned false because of --help. */
+    bool helpRequested() const { return helpRequested_; }
+
+    /** Was @p name given on the command line? */
+    bool given(const std::string &name) const;
+
+    /** Boolean flag value. */
+    bool flag(const std::string &name) const;
+
+    /** String option value (default when absent). */
+    const std::string &str(const std::string &name) const;
+
+    /** Unsigned option value; fatal() on non-numeric input. */
+    std::uint64_t u64(const std::string &name) const;
+
+    /** Positional arguments (everything not starting with --). */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the --help text. */
+    void printHelp(std::ostream &os) const;
+
+  private:
+    struct Spec
+    {
+        bool isFlag = false;
+        std::string def;
+        std::string help;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_; //!< declaration order for help
+    std::map<std::string, Spec> specs_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+    bool helpRequested_ = false;
+};
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_ARGS_HH

@@ -1,0 +1,186 @@
+#include "common/json.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/log.hh"
+
+namespace bsim
+{
+
+JsonWriter::JsonWriter(std::ostream &os, bool pretty)
+    : os_(os), pretty_(pretty)
+{
+}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::separator()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return; // value follows its key directly
+    }
+    if (stack_.empty()) {
+        if (rootWritten_)
+            panic("json: more than one root value");
+        rootWritten_ = true;
+        return;
+    }
+    if (!firstInFrame_)
+        os_ << ',';
+    firstInFrame_ = false;
+    newlineIndent();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << '{';
+    stack_.push_back(Frame::Object);
+    firstInFrame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        panic("json: endObject without matching beginObject");
+    const bool was_empty = firstInFrame_;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineIndent();
+    os_ << '}';
+    firstInFrame_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << '[';
+    stack_.push_back(Frame::Array);
+    firstInFrame_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Frame::Array)
+        panic("json: endArray without matching beginArray");
+    const bool was_empty = firstInFrame_;
+    stack_.pop_back();
+    if (!was_empty)
+        newlineIndent();
+    os_ << ']';
+    firstInFrame_ = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || stack_.back() != Frame::Object)
+        panic("json: key outside an object");
+    if (!firstInFrame_)
+        os_ << ',';
+    firstInFrame_ = false;
+    newlineIndent();
+    writeEscaped(k);
+    os_ << (pretty_ ? ": " : ":");
+    afterKey_ = true;
+    return *this;
+}
+
+void
+JsonWriter::writeEscaped(const std::string &s)
+{
+    os_ << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os_ << "\\\""; break;
+          case '\\': os_ << "\\\\"; break;
+          case '\n': os_ << "\\n"; break;
+          case '\t': os_ << "\\t"; break;
+          case '\r': os_ << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os_ << buf;
+            } else {
+                os_ << c;
+            }
+        }
+    }
+    os_ << '"';
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    writeEscaped(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    separator();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+bool
+JsonWriter::complete() const
+{
+    return stack_.empty() && rootWritten_ && !afterKey_;
+}
+
+} // namespace bsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal streaming JSON writer — enough for emitting simulation results
+ * to machine-readable output without an external dependency.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("reads").value(42);
+ *   w.key("hist").beginArray().value(1).value(2).endArray();
+ *   w.endObject();
+ */
+
+#ifndef BURSTSIM_COMMON_JSON_HH
+#define BURSTSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsim
+{
+
+/** Streaming JSON emitter with automatic comma/indent handling. */
+class JsonWriter
+{
+  public:
+    /** Write to @p os; @p pretty adds newlines and two-space indent. */
+    explicit JsonWriter(std::ostream &os, bool pretty = true);
+
+    /** Open an object ('{'). */
+    JsonWriter &beginObject();
+
+    /** Close the innermost object. */
+    JsonWriter &endObject();
+
+    /** Open an array ('['). */
+    JsonWriter &beginArray();
+
+    /** Close the innermost array. */
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be followed by a value or container. */
+    JsonWriter &key(const std::string &k);
+
+    /** Emit a string value (escaped). */
+    JsonWriter &value(const std::string &v);
+
+    /** Emit a string value (escaped). */
+    JsonWriter &value(const char *v);
+
+    /** Emit a numeric value. */
+    JsonWriter &value(double v);
+
+    /** Emit an integer value. */
+    JsonWriter &value(std::uint64_t v);
+
+    /** Emit an integer value. */
+    JsonWriter &value(int v);
+
+    /** Emit a boolean value. */
+    JsonWriter &value(bool v);
+
+    /** True once every container has been closed. */
+    bool complete() const;
+
+  private:
+    enum class Frame { Object, Array };
+
+    void separator();
+    void newlineIndent();
+    void writeEscaped(const std::string &s);
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<Frame> stack_;
+    bool firstInFrame_ = true;
+    bool afterKey_ = false;
+    bool rootWritten_ = false;
+};
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_JSON_HH

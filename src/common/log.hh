@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Minimal logging / error-reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for simulator bugs, fatal() for user errors,
+ * warn()/inform() for status.
+ */
+
+#ifndef BURSTSIM_COMMON_LOG_HH
+#define BURSTSIM_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace bsim
+{
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global verbosity (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ * Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ * Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message (suppressed at LogLevel::Quiet). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_LOG_HH

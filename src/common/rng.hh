@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * We deliberately avoid std::mt19937 plus distribution objects because the
+ * standard distributions are not bit-reproducible across library
+ * implementations; every experiment in the paper reproduction must be
+ * deterministic for a given seed on any platform. The generator is
+ * xoshiro256** (public domain, Blackman & Vigna).
+ */
+
+#ifndef BURSTSIM_COMMON_RNG_HH
+#define BURSTSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace bsim
+{
+
+/** Deterministic, platform-independent PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 1) { reseed(seed); }
+
+    /** Re-initialize state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // splitmix64 to fill the state; guards against all-zero state.
+        std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+        for (auto &s : state_) {
+            std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = next();
+        __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+        std::uint64_t l = std::uint64_t(m);
+        if (l < bound) {
+            std::uint64_t t = (0 - bound) % bound;
+            while (l < t) {
+                x = next();
+                m = __uint128_t(x) * __uint128_t(bound);
+                l = std::uint64_t(m);
+            }
+        }
+        return std::uint64_t(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Geometric-ish run length in [1, cap]: mean approximately @p mean.
+     * Used to synthesize row-reuse runs in the workload generators.
+     */
+    std::uint64_t
+    runLength(double mean, std::uint64_t cap)
+    {
+        if (mean <= 1.0)
+            return 1;
+        std::uint64_t len = 1;
+        const double p_continue = 1.0 - 1.0 / mean;
+        while (len < cap && chance(p_continue))
+            ++len;
+        return len;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_RNG_HH

@@ -1,0 +1,61 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+
+namespace bsim
+{
+
+double
+Histogram::fractionAtLeast(std::size_t v) const
+{
+    if (!total_)
+        return 0.0;
+    std::uint64_t n = 0;
+    for (std::size_t i = std::min(v, buckets_.size() - 1); i < buckets_.size();
+         ++i) {
+        n += buckets_[i];
+    }
+    // When v is clamped we must not count lower buckets.
+    if (v >= buckets_.size())
+        n = buckets_.back();
+    return double(n) / double(total_);
+}
+
+double
+Histogram::mean() const
+{
+    if (!total_)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        sum += double(i) * double(buckets_[i]);
+    return sum / double(total_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+}
+
+void
+StatGroup::set(const std::string &key, double value)
+{
+    values_[key] = value;
+}
+
+double
+StatGroup::get(const std::string &key) const
+{
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : 0.0;
+}
+
+bool
+StatGroup::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+} // namespace bsim

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Statistics primitives used throughout the simulator: scalar counters,
+ * running means, bounded histograms and ratio helpers. All statistics are
+ * plain value types; a StatGroup provides named registration so modules can
+ * dump their statistics uniformly.
+ */
+
+#ifndef BURSTSIM_COMMON_STATS_HH
+#define BURSTSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsim
+{
+
+/**
+ * Arithmetic mean accumulator.
+ *
+ * Keeps a running sum and sample count; mean() of an empty accumulator is
+ * defined as 0 so report code does not need special cases.
+ */
+class RunningMean
+{
+  public:
+    /** Add one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+    }
+
+    /** Number of samples observed. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+    /** Discard all samples. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Fixed-range histogram over integer values [0, maxValue]; samples above
+ * the range are clamped into the final bucket.
+ *
+ * Used for e.g. the distribution of outstanding reads/writes (Figures 8
+ * and 11 in the paper), where each memory cycle contributes one sample.
+ */
+class Histogram
+{
+  public:
+    /** Construct with inclusive upper bound @p max_value. */
+    explicit Histogram(std::size_t max_value = 0)
+        : buckets_(max_value + 1, 0)
+    {}
+
+    /** Add one sample (clamped to the bucket range). */
+    void
+    sample(std::size_t v)
+    {
+        if (v >= buckets_.size())
+            v = buckets_.size() - 1;
+        buckets_[v] += 1;
+        total_ += 1;
+    }
+
+    /** Count in bucket @p v. */
+    std::uint64_t
+    bucket(std::size_t v) const
+    {
+        return v < buckets_.size() ? buckets_[v] : 0;
+    }
+
+    /** Number of buckets (maxValue + 1). */
+    std::size_t size() const { return buckets_.size(); }
+
+    /** Total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** Fraction of samples in bucket @p v (0 when empty). */
+    double
+    fraction(std::size_t v) const
+    {
+        return total_ ? double(bucket(v)) / double(total_) : 0.0;
+    }
+
+    /** Fraction of samples at or above @p v. */
+    double fractionAtLeast(std::size_t v) const;
+
+    /** Mean of the sampled values. */
+    double mean() const;
+
+    /** Discard all samples. */
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of scalar statistics for uniform reporting.
+ *
+ * Modules register name/value pairs at dump time; the experiment harness
+ * merges groups into CSV rows or human-readable tables.
+ */
+class StatGroup
+{
+  public:
+    /** Create a group with a reporting prefix, e.g. "dram". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Record (overwrite) a scalar statistic. */
+    void set(const std::string &key, double value);
+
+    /** Value of @p key, or 0 if absent. */
+    double get(const std::string &key) const;
+
+    /** True if @p key has been recorded. */
+    bool has(const std::string &key) const;
+
+    /** Group name / prefix. */
+    const std::string &name() const { return name_; }
+
+    /** All recorded statistics in key order. */
+    const std::map<std::string, double> &values() const { return values_; }
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+inline double
+ratio(double num, double den)
+{
+    return den != 0.0 ? num / den : 0.0;
+}
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_STATS_HH

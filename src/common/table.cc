@@ -1,0 +1,98 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace bsim
+{
+
+Table::Table(std::string caption) : caption_(std::move(caption)) {}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    if (!caption_.empty())
+        os << caption_ << '\n';
+
+    std::vector<std::size_t> widths;
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (widths.size() < cells.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            os << cells[i];
+            if (i + 1 < cells.size())
+                os << std::string(widths[i] - cells[i].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ',';
+            // Cells are simple identifiers/numbers; quote if a comma leaks.
+            if (cells[i].find(',') != std::string::npos)
+                os << '"' << cells[i] << '"';
+            else
+                os << cells[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+    return buf;
+}
+
+} // namespace bsim

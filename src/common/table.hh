@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text table and CSV emission used by the benchmark harness to print
+ * paper-style result tables.
+ */
+
+#ifndef BURSTSIM_COMMON_TABLE_HH
+#define BURSTSIM_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bsim
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Rows are added as vectors of preformatted cells; the first row added via
+ * header() is underlined in text output and becomes the CSV header row.
+ */
+class Table
+{
+  public:
+    /** Create a table with an optional caption printed above it. */
+    explicit Table(std::string caption = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render as aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header first if present). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a double with @p digits decimal places. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a percentage (0.42 -> "42.0%"). */
+    static std::string pct(double v, int digits = 1);
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_TABLE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental simulator-wide types.
+ *
+ * The simulator ticks at memory-bus-cycle granularity. A Tick is one cycle
+ * of the SDRAM bus clock (400 MHz for DDR2-800); the CPU model advances
+ * `cpuCyclesPerMemCycle` CPU cycles per Tick.
+ */
+
+#ifndef BURSTSIM_COMMON_TYPES_HH
+#define BURSTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bsim
+{
+
+/** Simulation time in memory bus cycles. */
+using Tick = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick scheduled". */
+constexpr Tick kTickMax = ~Tick{0};
+
+/** Kind of a main-memory access issued by the lowest level cache. */
+enum class AccessType : std::uint8_t { Read, Write };
+
+/** Printable name of an access type. */
+inline const char *
+accessTypeName(AccessType t)
+{
+    return t == AccessType::Read ? "read" : "write";
+}
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_TYPES_HH

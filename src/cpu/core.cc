@@ -1,0 +1,176 @@
+#include "cpu/core.hh"
+
+#include "common/log.hh"
+
+namespace bsim::cpu
+{
+
+Core::Core(const CoreConfig &cfg, CacheHierarchy &mem,
+           trace::TraceSource &trace)
+    : cfg_(cfg), mem_(mem), trace_(trace)
+{
+}
+
+Core::RobEntry *
+Core::entryOf(std::uint64_t seq)
+{
+    if (seq < frontSeq_ || seq >= frontSeq_ + rob_.size())
+        return nullptr;
+    return &rob_[seq - frontSeq_];
+}
+
+bool
+Core::producerReady(const RobEntry &e, std::uint64_t now)
+{
+    if (e.producerSeq == kTickMax)
+        return true;
+    RobEntry *p = entryOf(e.producerSeq);
+    if (!p)
+        return true; // producer already retired, hence long since ready
+    return p->readyAt <= now;
+}
+
+bool
+Core::startLoad(RobEntry &e, std::uint64_t now)
+{
+    // Dependence-chain loads gate further chain progress: mark their
+    // fills critical so criticality-aware schedulers (Section 7) can
+    // prioritize them inside bursts.
+    const bool critical = e.producerSeq != kTickMax || e.isChainHead;
+    const HierarchyResult r = mem_.access(e.addr, false, e.seq, critical);
+    switch (r.outcome) {
+      case CacheOutcome::L1Hit:
+      case CacheOutcome::L2Hit:
+        e.readyAt = now + r.latencyCpu;
+        e.started = true;
+        return true;
+      case CacheOutcome::Miss:
+        e.started = true; // readyAt set by onMemResponse
+        return true;
+      case CacheOutcome::Retry:
+        return false;
+    }
+    return false;
+}
+
+void
+Core::retire(std::uint64_t now)
+{
+    for (std::uint32_t i = 0; i < cfg_.issueWidth; ++i) {
+        if (rob_.empty())
+            return;
+        RobEntry &head = rob_.front();
+        if (head.readyAt > now) {
+            headStalls_ += 1;
+            return;
+        }
+        if (head.op == trace::TraceInstr::Op::Store) {
+            // Stores perform at retirement (store-buffer semantics). A
+            // congested memory path stalls retirement here: this is how
+            // write-queue saturation reaches the pipeline.
+            const HierarchyResult r = mem_.access(head.addr, true);
+            if (r.outcome == CacheOutcome::Retry) {
+                storeStalls_ += 1;
+                return;
+            }
+            stores_ += 1;
+        }
+        if (head.op == trace::TraceInstr::Op::Load ||
+            head.op == trace::TraceInstr::Op::Store) {
+            memOpsInRob_ -= 1;
+        }
+        rob_.pop_front();
+        frontSeq_ += 1;
+        retired_ += 1;
+    }
+}
+
+void
+Core::startPendingLoads(std::uint64_t now)
+{
+    for (std::size_t n = pendingLoads_.size(); n > 0; --n) {
+        const std::uint64_t seq = pendingLoads_.front();
+        pendingLoads_.pop_front();
+        RobEntry *e = entryOf(seq);
+        if (!e || e->started)
+            continue;
+        if (!producerReady(*e, now) || !startLoad(*e, now))
+            pendingLoads_.push_back(seq); // retry next cycle
+    }
+}
+
+void
+Core::issue(std::uint64_t now)
+{
+    for (std::uint32_t i = 0; i < cfg_.issueWidth; ++i) {
+        if (rob_.size() >= cfg_.robSize)
+            return;
+        if (!lookaheadValid_) {
+            if (traceEnded_ || !trace_.next(lookahead_)) {
+                traceEnded_ = true;
+                return;
+            }
+            lookaheadValid_ = true;
+        }
+        const trace::TraceInstr &in = lookahead_;
+        const bool is_mem = in.op != trace::TraceInstr::Op::Compute;
+        if (is_mem && memOpsInRob_ >= cfg_.lsqSize)
+            return; // LSQ full
+
+        RobEntry e;
+        e.op = in.op;
+        e.addr = in.addr;
+        e.seq = nextSeq_++;
+        switch (in.op) {
+          case trace::TraceInstr::Op::Compute:
+            e.readyAt = now + cfg_.computeLatency;
+            break;
+          case trace::TraceInstr::Op::Store:
+            e.readyAt = now + cfg_.computeLatency;
+            memOpsInRob_ += 1;
+            break;
+          case trace::TraceInstr::Op::Load:
+            memOpsInRob_ += 1;
+            loads_ += 1;
+            if (in.depChain) {
+                e.isChainHead = true;
+                if (lastChainSeq_.size() <= in.chainId)
+                    lastChainSeq_.resize(in.chainId + 1, kTickMax);
+                const std::uint64_t prev = lastChainSeq_[in.chainId];
+                if (prev != kTickMax && entryOf(prev))
+                    e.producerSeq = prev;
+                lastChainSeq_[in.chainId] = e.seq;
+            }
+            break;
+        }
+        rob_.push_back(e);
+        if (in.op == trace::TraceInstr::Op::Load) {
+            RobEntry &placed = rob_.back();
+            if (placed.producerSeq != kTickMax || !startLoad(placed, now))
+                pendingLoads_.push_back(placed.seq);
+        }
+        lookaheadValid_ = false;
+    }
+}
+
+void
+Core::cpuCycle(std::uint64_t now)
+{
+    retire(now);
+    startPendingLoads(now);
+    issue(now);
+}
+
+void
+Core::onMemResponse(Addr block_addr, std::uint64_t now)
+{
+    for (std::uint64_t seq : mem_.onMemResponse(block_addr)) {
+        RobEntry *e = entryOf(seq);
+        if (!e)
+            continue;
+        if (e->readyAt == kTickMax)
+            e->readyAt = now;
+    }
+}
+
+} // namespace bsim::cpu

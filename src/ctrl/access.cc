@@ -1,0 +1,34 @@
+#include "ctrl/access.hh"
+
+#include "common/log.hh"
+
+namespace bsim::ctrl
+{
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::BkInOrder: return "BkInOrder";
+      case Mechanism::RowHit: return "RowHit";
+      case Mechanism::Intel: return "Intel";
+      case Mechanism::IntelRP: return "Intel_RP";
+      case Mechanism::Burst: return "Burst";
+      case Mechanism::BurstRP: return "Burst_RP";
+      case Mechanism::BurstWP: return "Burst_WP";
+      case Mechanism::BurstTH: return "Burst_TH";
+      case Mechanism::AdaptiveHistory: return "AdaptiveHistory";
+    }
+    return "?";
+}
+
+Mechanism
+parseMechanism(const std::string &name)
+{
+    for (Mechanism m : kExtendedMechanisms)
+        if (name == mechanismName(m))
+            return m;
+    fatal("unknown mechanism '%s'", name.c_str());
+}
+
+} // namespace bsim::ctrl

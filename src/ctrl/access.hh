@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Memory access objects and the mechanism taxonomy of Table 4.
+ *
+ * Throughout (as in the paper, Section 2) an "access" is a read or write
+ * issued by the lowest level cache; it expands into one or more SDRAM
+ * transactions depending on device state.
+ */
+
+#ifndef BURSTSIM_CTRL_ACCESS_HH
+#define BURSTSIM_CTRL_ACCESS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+
+namespace bsim::ctrl
+{
+
+/** The eight simulated access reordering mechanisms (paper Table 4). */
+enum class Mechanism : std::uint8_t
+{
+    BkInOrder, //!< in order intra bank, round robin inter banks
+    RowHit,    //!< row hit first intra bank, round robin inter banks
+    Intel,     //!< Intel's patented out of order scheduling
+    IntelRP,   //!< Intel's scheduling with read preemption
+    Burst,     //!< burst scheduling
+    BurstRP,   //!< burst scheduling with read preemption
+    BurstWP,   //!< burst scheduling with write piggybacking
+    BurstTH,   //!< burst scheduling with threshold (RP + WP)
+
+    // Extended comparison points beyond the paper's Table 4:
+    AdaptiveHistory, //!< Hur & Lin MICRO'04 (paper Section 2.2)
+};
+
+/** The paper's Table 4 mechanisms, in presentation order. */
+inline constexpr Mechanism kAllMechanisms[] = {
+    Mechanism::BkInOrder, Mechanism::RowHit,  Mechanism::Intel,
+    Mechanism::IntelRP,   Mechanism::Burst,   Mechanism::BurstRP,
+    Mechanism::BurstWP,   Mechanism::BurstTH,
+};
+
+/** Table 4 plus the extended related-work comparison points. */
+inline constexpr Mechanism kExtendedMechanisms[] = {
+    Mechanism::BkInOrder, Mechanism::RowHit,  Mechanism::Intel,
+    Mechanism::IntelRP,   Mechanism::Burst,   Mechanism::BurstRP,
+    Mechanism::BurstWP,   Mechanism::BurstTH,
+    Mechanism::AdaptiveHistory,
+};
+
+/** Printable mechanism name matching the paper's figures. */
+const char *mechanismName(Mechanism m);
+
+/** Parse a mechanism name (as printed by mechanismName); fatal on error. */
+Mechanism parseMechanism(const std::string &name);
+
+/**
+ * One outstanding main-memory access inside the controller.
+ *
+ * Owned by the MemoryController; schedulers hold non-owning pointers while
+ * the access sits in their queues. State transitions: admitted ->
+ * (optionally selected as a bank's ongoing access) -> first transaction
+ * issued (row outcome classified) -> column access issued -> data
+ * transferred (completed).
+ */
+struct MemAccess
+{
+    std::uint64_t id = 0;
+    AccessType type = AccessType::Read;
+    Addr addr = 0; //!< block-aligned byte address
+    dram::Coords coords;
+
+    Tick arrival = 0;         //!< tick admitted into the controller
+    Tick firstCmdAt = kTickMax; //!< first transaction issue tick
+    Tick colIssuedAt = kTickMax; //!< column access issue tick
+    Tick dataEnd = 0;         //!< end of data transfer
+
+    /** Device state found at first service (row hit/empty/conflict). */
+    dram::RowOutcome outcome = dram::RowOutcome::Empty;
+    bool outcomeValid = false;
+
+    /** True once the read was satisfied by write-queue forwarding. */
+    bool forwarded = false;
+
+    /** Opaque requester tag (e.g. core id in CMP systems). */
+    std::uint64_t tag = 0;
+
+    /** Requester hint: a dependence chain is blocked on this read. */
+    bool critical = false;
+
+    bool isRead() const { return type == AccessType::Read; }
+    bool isWrite() const { return type == AccessType::Write; }
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_ACCESS_HH

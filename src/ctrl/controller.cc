@@ -1,0 +1,334 @@
+#include "ctrl/controller.hh"
+
+#include "common/log.hh"
+#include "ctrl/schedulers/factory.hh"
+
+namespace bsim::ctrl
+{
+
+SchedulerParams
+ControllerConfig::schedulerParams() const
+{
+    SchedulerParams p;
+    p.writeCap = writeCap;
+    p.dynamicThreshold = dynamicThreshold;
+    p.sortBurstsBySize = sortBurstsBySize;
+    p.criticalFirst = criticalFirst;
+    p.rankAware = rankAware;
+    switch (mechanism) {
+      case Mechanism::BkInOrder:
+      case Mechanism::RowHit:
+      case Mechanism::Intel:
+      case Mechanism::Burst:
+      case Mechanism::AdaptiveHistory:
+        p.readPreemption = false;
+        p.writePiggyback = false;
+        p.threshold = writeCap; // unused
+        break;
+      case Mechanism::IntelRP:
+        p.readPreemption = true;
+        p.writePiggyback = false;
+        p.threshold = writeCap; // preempt whenever not saturated
+        break;
+      case Mechanism::BurstRP:
+        // Equivalent to Burst_TH with threshold == writeCap (Section 5.4).
+        p.readPreemption = true;
+        p.writePiggyback = false;
+        p.threshold = writeCap;
+        break;
+      case Mechanism::BurstWP:
+        // Equivalent to Burst_TH with threshold == 0.
+        p.readPreemption = false;
+        p.writePiggyback = true;
+        p.threshold = 0;
+        break;
+      case Mechanism::BurstTH:
+        p.readPreemption = true;
+        p.writePiggyback = true;
+        p.threshold = threshold;
+        break;
+    }
+    return p;
+}
+
+double
+ControllerStats::rowHitRate() const
+{
+    const double n = double(rowHits + rowEmpties + rowConflicts);
+    return ratio(double(rowHits), n);
+}
+
+double
+ControllerStats::rowConflictRate() const
+{
+    const double n = double(rowHits + rowEmpties + rowConflicts);
+    return ratio(double(rowConflicts), n);
+}
+
+double
+ControllerStats::rowEmptyRate() const
+{
+    const double n = double(rowHits + rowEmpties + rowConflicts);
+    return ratio(double(rowEmpties), n);
+}
+
+double
+ControllerStats::writeSaturationRate() const
+{
+    return ratio(double(writeSatTicks), double(ticks));
+}
+
+MemoryController::MemoryController(dram::MemorySystem &mem,
+                                   const ControllerConfig &cfg)
+    : mem_(mem), cfg_(cfg)
+{
+    if (cfg_.writeCap > cfg_.poolCap)
+        fatal("controller: writeCap (%zu) exceeds poolCap (%zu)",
+              cfg_.writeCap, cfg_.poolCap);
+
+    const auto &dcfg = mem_.config();
+    for (std::uint32_t ch = 0; ch < dcfg.channels; ++ch) {
+        SchedulerContext ctx;
+        ctx.mem = &mem_;
+        ctx.channel = ch;
+        ctx.global = &counts_;
+        ctx.params = cfg_.schedulerParams();
+        schedulers_.push_back(makeScheduler(cfg_.mechanism, ctx));
+    }
+
+    // Stagger per-rank refresh deadlines so refreshes do not align.
+    const Tick trefi = dcfg.timing.tREFI;
+    refresh_.resize(std::size_t(dcfg.channels) * dcfg.ranksPerChannel);
+    if (trefi) {
+        for (std::uint32_t ch = 0; ch < dcfg.channels; ++ch) {
+            for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
+                auto &st = refresh_[ch * dcfg.ranksPerChannel + r];
+                st.nextDue =
+                    trefi + Tick(r) * (trefi / dcfg.ranksPerChannel);
+            }
+        }
+    }
+}
+
+MemoryController::~MemoryController() = default;
+
+bool
+MemoryController::canAccept() const
+{
+    if (counts_.writesOutstanding >= cfg_.writeCap)
+        return false; // saturated write queue blocks all admission
+    if (inflight_.size() >= cfg_.poolCap)
+        return false;
+    return true;
+}
+
+std::uint64_t
+MemoryController::submit(AccessType type, Addr addr, Tick now,
+                         const std::uint8_t *data, std::uint64_t tag,
+                         bool critical)
+{
+    if (!canAccept())
+        panic("submit() while controller cannot accept");
+
+    auto access = std::make_unique<MemAccess>();
+    MemAccess *a = access.get();
+    a->id = nextId_++;
+    a->type = type;
+    a->addr = mem_.addressMap().blockBase(addr);
+    a->coords = mem_.addressMap().decode(a->addr);
+    a->arrival = now;
+    a->tag = tag;
+    a->critical = critical && type == AccessType::Read;
+    inflight_.emplace(a->id, std::move(access));
+
+    Scheduler &sched = *schedulers_[a->coords.channel];
+
+    if (type == AccessType::Read) {
+        counts_.readsOutstanding += 1;
+        if (MemAccess *w = sched.findWrite(a->addr)) {
+            // Write queue hit: forward the latest write's data; the read
+            // completes without touching the SDRAM device (Figure 4).
+            (void)w;
+            a->forwarded = true;
+            a->dataEnd = now + cfg_.forwardLatency;
+            pendingReads_.emplace(a->dataEnd, a);
+        } else {
+            sched.enqueue(a);
+        }
+    } else {
+        if (cfg_.coalesceWrites && sched.findWrite(a->addr)) {
+            // Merge into the queued write: the backing store gets the
+            // newer payload; the older queue entry carries it to DRAM.
+            if (data)
+                mem_.store().write(a->addr, data);
+            stats_.coalescedWrites += 1;
+            const std::uint64_t id = a->id;
+            inflight_.erase(id);
+            return id;
+        }
+        counts_.writesOutstanding += 1;
+        if (data) {
+            // Writes are complete from the CPU's perspective on admission;
+            // commit the payload now (single-requestor ordering holds: the
+            // cache hierarchy never issues a read that must bypass an
+            // older in-flight write without hitting the write queue).
+            mem_.store().write(a->addr, data);
+        }
+        sched.enqueue(a);
+    }
+    return a->id;
+}
+
+void
+MemoryController::tick(Tick now)
+{
+    completeReads(now);
+    sampleOccupancy();
+
+    for (std::uint32_t ch = 0; ch < mem_.numChannels(); ++ch) {
+        if (refreshTick(ch, now))
+            continue; // refresh engine used this channel's command slot
+        Scheduler::Issued issued = schedulers_[ch]->tick(now);
+        if (issued.access)
+            handleIssued(issued);
+    }
+
+    stats_.ticks += 1;
+}
+
+void
+MemoryController::completeReads(Tick now)
+{
+    while (!pendingReads_.empty() && pendingReads_.begin()->first <= now) {
+        MemAccess *a = pendingReads_.begin()->second;
+        pendingReads_.erase(pendingReads_.begin());
+
+        stats_.reads += 1;
+        stats_.readLatency.sample(double(a->dataEnd - a->arrival));
+        if (a->forwarded) {
+            stats_.forwardedReads += 1;
+        } else {
+            stats_.bytesTransferred += mem_.config().blockBytes;
+        }
+        counts_.readsOutstanding -= 1;
+
+        if (readCb_)
+            readCb_(*a, now);
+        finishAccess(a);
+    }
+}
+
+void
+MemoryController::sampleOccupancy()
+{
+    stats_.outstandingReads.sample(counts_.readsOutstanding);
+    stats_.outstandingWrites.sample(counts_.writesOutstanding);
+    if (counts_.writesOutstanding >= cfg_.writeCap)
+        stats_.writeSatTicks += 1;
+}
+
+bool
+MemoryController::refreshTick(std::uint32_t channel, Tick now)
+{
+    const auto &dcfg = mem_.config();
+    if (!dcfg.timing.tREFI)
+        return false;
+
+    for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
+        auto &st = refresh_[channel * dcfg.ranksPerChannel + r];
+        if (!st.pending) {
+            if (now >= st.nextDue)
+                st.pending = true;
+            else
+                continue;
+        }
+
+        // Precharge any open bank; then refresh the rank.
+        dram::Coords c;
+        c.channel = channel;
+        c.rank = r;
+
+        dram::Command ref{dram::CmdType::RefreshAll, c, 0};
+        if (mem_.canIssue(ref, now)) {
+            mem_.issue(ref, now);
+            st.pending = false;
+            st.nextDue += dcfg.timing.tREFI;
+            stats_.refreshes += 1;
+            return true;
+        }
+        for (std::uint32_t b = 0; b < dcfg.banksPerRank; ++b) {
+            c.bank = b;
+            if (!mem_.bank(c).isOpen())
+                continue;
+            dram::Command pre{dram::CmdType::Precharge, c, 0};
+            if (mem_.canIssue(pre, now)) {
+                mem_.issue(pre, now);
+                return true;
+            }
+        }
+        // This rank's refresh is pending but blocked by timing; do not
+        // let a lower-priority rank steal the slot for its refresh, but
+        // do allow the scheduler to keep other ranks busy.
+        break;
+    }
+    return false;
+}
+
+void
+MemoryController::handleIssued(const Scheduler::Issued &issued)
+{
+    MemAccess *a = issued.access;
+    if (!issued.columnAccess)
+        return;
+
+    // The access's transactions are now fully scheduled: account for the
+    // row outcome and route the completion.
+    switch (a->outcome) {
+      case dram::RowOutcome::Hit: stats_.rowHits += 1; break;
+      case dram::RowOutcome::Empty: stats_.rowEmpties += 1; break;
+      case dram::RowOutcome::Conflict: stats_.rowConflicts += 1; break;
+    }
+
+    if (a->isRead()) {
+        pendingReads_.emplace(a->dataEnd, a);
+    } else {
+        stats_.writes += 1;
+        stats_.writeLatency.sample(double(a->dataEnd - a->arrival));
+        stats_.bytesTransferred += mem_.config().blockBytes;
+        counts_.writesOutstanding -= 1;
+        finishAccess(a);
+    }
+}
+
+void
+MemoryController::finishAccess(MemAccess *a)
+{
+    auto it = inflight_.find(a->id);
+    if (it == inflight_.end())
+        panic("finishAccess: unknown access id %llu",
+              static_cast<unsigned long long>(a->id));
+    inflight_.erase(it);
+}
+
+bool
+MemoryController::busy() const
+{
+    if (!pendingReads_.empty())
+        return true;
+    for (const auto &s : schedulers_)
+        if (s->hasWork())
+            return true;
+    return false;
+}
+
+std::map<std::string, double>
+MemoryController::schedulerStats() const
+{
+    std::map<std::string, double> merged;
+    for (const auto &s : schedulers_)
+        for (const auto &[k, v] : s->extraStats())
+            merged[k] += v;
+    return merged;
+}
+
+} // namespace bsim::ctrl

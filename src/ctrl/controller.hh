@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The memory controller: access pool, admission rules, write-queue read
+ * forwarding, refresh engine, response path and statistics. The actual
+ * ordering decisions are delegated to one Scheduler per channel.
+ *
+ * Baseline parameters follow Table 3 of the paper: a 256-entry access
+ * pool of which at most 64 may be writes. When the write queue is full
+ * the controller accepts no new accesses at all (Section 3.2) — this is
+ * what makes write-queue saturation expensive and motivates the
+ * read-preemption / write-piggybacking threshold.
+ */
+
+#ifndef BURSTSIM_CTRL_CONTROLLER_HH
+#define BURSTSIM_CTRL_CONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "ctrl/access.hh"
+#include "ctrl/scheduler.hh"
+#include "dram/memory_system.hh"
+
+namespace bsim::ctrl
+{
+
+/** Controller configuration (Table 3 baseline defaults). */
+struct ControllerConfig
+{
+    Mechanism mechanism = Mechanism::BkInOrder;
+    std::size_t poolCap = 256;   //!< total outstanding accesses
+    std::size_t writeCap = 64;   //!< maximal queued writes
+    std::size_t threshold = 52;  //!< Burst_TH threshold
+    Tick forwardLatency = 2;     //!< write-queue-hit read response time
+
+    /** Extension: merge a newly admitted write into an already-queued
+     *  write to the same block instead of enqueueing a duplicate (real
+     *  controllers coalesce; the paper's model does not). */
+    bool coalesceWrites = false;
+
+    // Extension / ablation switches (see SchedulerParams).
+    bool dynamicThreshold = false;
+    bool sortBurstsBySize = false;
+    bool criticalFirst = false;
+    bool rankAware = true;
+
+    /** Derive per-channel scheduler parameters for this mechanism. */
+    SchedulerParams schedulerParams() const;
+};
+
+/** Aggregated controller statistics (the quantities in Figures 7-12). */
+struct ControllerStats
+{
+    RunningMean readLatency;   //!< arrival -> end of data, memory cycles
+    RunningMean writeLatency;  //!< arrival -> end of data, memory cycles
+
+    std::uint64_t reads = 0;           //!< read accesses completed
+    std::uint64_t writes = 0;          //!< write accesses completed
+    std::uint64_t forwardedReads = 0;  //!< satisfied from the write queue
+
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowEmpties = 0;
+    std::uint64_t rowConflicts = 0;
+
+    Histogram outstandingReads{64};
+    Histogram outstandingWrites{72};
+
+    std::uint64_t ticks = 0;
+    std::uint64_t writeSatTicks = 0; //!< ticks with the write queue full
+    std::uint64_t refreshes = 0;
+    std::uint64_t bytesTransferred = 0;
+    std::uint64_t coalescedWrites = 0; //!< writes merged into queued ones
+
+    /** Row hit rate among DRAM-serviced accesses. */
+    double rowHitRate() const;
+    /** Row conflict rate. */
+    double rowConflictRate() const;
+    /** Row empty rate. */
+    double rowEmptyRate() const;
+    /** Fraction of time the write queue was saturated. */
+    double writeSaturationRate() const;
+};
+
+/**
+ * Main memory controller front door.
+ *
+ * The owner calls tick() once per memory bus cycle, submits accesses
+ * subject to canAccept(), and receives read completions through the
+ * response callback (writes are acknowledged synchronously on admission,
+ * "completed from the view of the CPU" as in Figure 4).
+ */
+class MemoryController
+{
+  public:
+    /** Invoked when a read's data is available: (access, now). */
+    using ReadCallback = std::function<void(const MemAccess &, Tick)>;
+
+    /** Build a controller driving @p mem with policy @p cfg. */
+    MemoryController(dram::MemorySystem &mem, const ControllerConfig &cfg);
+    ~MemoryController();
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    /** Register the read completion callback. */
+    void setReadCallback(ReadCallback cb) { readCb_ = std::move(cb); }
+
+    /**
+     * May a new access be admitted right now? A saturated write queue
+     * blocks all admission; a full pool likewise.
+     */
+    bool canAccept() const;
+
+    /**
+     * Admit an access at @p now (caller must have checked canAccept()).
+     * For writes, @p data optionally supplies blockBytes of payload that
+     * is committed to the backing store; @p tag is an opaque requester
+     * id handed back with the response (e.g. the core id in CMP
+     * systems). Returns the access id.
+     */
+    std::uint64_t submit(AccessType type, Addr addr, Tick now,
+                         const std::uint8_t *data = nullptr,
+                         std::uint64_t tag = 0, bool critical = false);
+
+    /** Advance one memory bus cycle. */
+    void tick(Tick now);
+
+    /** True while any access is queued, in flight, or awaiting response. */
+    bool busy() const;
+
+    /** Statistics so far. */
+    const ControllerStats &stats() const { return stats_; }
+
+    /** Policy-specific statistics merged over channels. */
+    std::map<std::string, double> schedulerStats() const;
+
+    /** The device this controller drives. */
+    dram::MemorySystem &mem() { return mem_; }
+
+    /** Current queued-write count (for tests). */
+    std::size_t writesOutstanding() const
+    {
+        return counts_.writesOutstanding;
+    }
+
+    /** Current outstanding-read count (for tests). */
+    std::size_t readsOutstanding() const
+    {
+        return counts_.readsOutstanding;
+    }
+
+  private:
+    /** Per-(channel,rank) refresh engine state. */
+    struct RefreshState
+    {
+        Tick nextDue = 0;
+        bool pending = false;
+    };
+
+    void completeReads(Tick now);
+    void sampleOccupancy();
+    /** Run the refresh engine for @p channel; true if it used the slot. */
+    bool refreshTick(std::uint32_t channel, Tick now);
+    void handleIssued(const Scheduler::Issued &issued);
+    void finishAccess(MemAccess *a);
+
+    dram::MemorySystem &mem_;
+    ControllerConfig cfg_;
+    GlobalCounts counts_;
+    ControllerStats stats_;
+    ReadCallback readCb_;
+
+    std::vector<std::unique_ptr<Scheduler>> schedulers_; //!< per channel
+    std::unordered_map<std::uint64_t, std::unique_ptr<MemAccess>> inflight_;
+    /** Reads whose data transfer is scheduled, keyed by completion tick. */
+    std::multimap<Tick, MemAccess *> pendingReads_;
+    std::vector<RefreshState> refresh_; //!< channel-major [ch*ranks + r]
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_CONTROLLER_HH

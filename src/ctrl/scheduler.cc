@@ -1,0 +1,35 @@
+#include "ctrl/scheduler.hh"
+
+#include "common/log.hh"
+
+namespace bsim::ctrl
+{
+
+Scheduler::Issued
+Scheduler::issueFor(MemAccess *a, Tick now)
+{
+    const dram::CmdType type = nextCmd(a);
+    if (a->firstCmdAt == kTickMax) {
+        a->firstCmdAt = now;
+        a->outcome = ctx_.mem->classify(a->coords);
+        a->outcomeValid = true;
+    }
+
+    dram::Command cmd{type, a->coords, a->id};
+    const dram::IssueResult res = ctx_.mem->issue(cmd, now);
+
+    Issued out;
+    out.access = a;
+    out.cmd = type;
+    if (dram::isColumnAccess(type)) {
+        out.columnAccess = true;
+        out.dataEnd = res.dataEnd;
+        a->colIssuedAt = now;
+        a->dataEnd = res.dataEnd;
+        if (a->isWrite())
+            noteWriteIssued(a);
+    }
+    return out;
+}
+
+} // namespace bsim::ctrl

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The access-scheduler policy interface.
+ *
+ * One Scheduler instance manages the queues of one memory channel. Every
+ * memory cycle the controller offers the scheduler the channel's command
+ * slot; the scheduler may issue at most one SDRAM transaction through the
+ * shared timing engine. Policies therefore differ only in *ordering* —
+ * the engine rejects anything that violates device timing.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULER_HH
+#define BURSTSIM_CTRL_SCHEDULER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "ctrl/access.hh"
+#include "dram/memory_system.hh"
+
+namespace bsim::ctrl
+{
+
+/** Controller-wide occupancy shared with per-channel schedulers. */
+struct GlobalCounts
+{
+    std::size_t readsOutstanding = 0;
+    std::size_t writesOutstanding = 0; //!< writes still in write queues
+};
+
+/** Static knobs a scheduler may consult. */
+struct SchedulerParams
+{
+    /** Write-queue capacity (paper: 64, shared across channels). */
+    std::size_t writeCap = 64;
+    /** Burst threshold: preempt while writes < threshold, piggyback
+     *  while writes > threshold (paper Section 3.2; best value 52). */
+    std::size_t threshold = 52;
+    /** Enable read preemption (Burst_RP / Burst_TH / Intel_RP). */
+    bool readPreemption = false;
+    /** Enable write piggybacking (Burst_WP / Burst_TH). */
+    bool writePiggyback = false;
+
+    // --- extensions beyond the paper's evaluated design space ---
+
+    /** Section 7 future work: compute the threshold on the fly from the
+     *  observed read/write mix instead of using the static value. */
+    bool dynamicThreshold = false;
+    /** Section 7 future work: order bursts within a bank by size
+     *  (largest first) instead of by first-access arrival time. */
+    bool sortBurstsBySize = false;
+    /** Section 7 future work: schedule critical reads (those a
+     *  dependence chain is blocked on) first inside their burst.
+     *  Changing intra-burst order does not affect the burst's total
+     *  bandwidth, only which dependent instructions unblock sooner. */
+    bool criticalFirst = false;
+    /** Ablation: when false, the Table 2 priorities ignore rank locality
+     *  (column accesses to other ranks are no longer demoted). */
+    bool rankAware = true;
+};
+
+/** Everything a scheduler needs from its environment. */
+struct SchedulerContext
+{
+    dram::MemorySystem *mem = nullptr;
+    std::uint32_t channel = 0;
+    const GlobalCounts *global = nullptr;
+    SchedulerParams params;
+};
+
+/**
+ * Abstract access reordering mechanism for one channel.
+ *
+ * Subclasses own the queue structures (the paper's mechanisms differ in
+ * queue shape: unified per-bank queues, per-bank read queues plus a write
+ * queue, or per-bank burst lists).
+ */
+class Scheduler
+{
+  public:
+    /** What (if anything) was issued during a tick. */
+    struct Issued
+    {
+        MemAccess *access = nullptr; //!< access whose transaction issued
+        dram::CmdType cmd = dram::CmdType::Precharge;
+        bool columnAccess = false;   //!< access left the queues this tick
+        Tick dataEnd = 0;            //!< valid when columnAccess
+    };
+
+    explicit Scheduler(const SchedulerContext &ctx) : ctx_(ctx) {}
+    virtual ~Scheduler() = default;
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Add an admitted access to this channel's queues. */
+    virtual void enqueue(MemAccess *a) = 0;
+
+    /** Offer the command slot for @p now; issue at most one transaction. */
+    virtual Issued tick(Tick now) = 0;
+
+    /** Reads waiting or in service in this channel. */
+    virtual std::size_t readCount() const = 0;
+
+    /** Writes waiting or in service in this channel. */
+    virtual std::size_t writeCount() const = 0;
+
+    /** True when any access is queued or in service. */
+    virtual bool hasWork() const = 0;
+
+    /**
+     * Latest still-queued write covering block @p block_base, for read
+     * forwarding (paper Figure 4, lines 2-4); nullptr when none.
+     */
+    MemAccess *
+    findWrite(Addr block_base) const
+    {
+        auto it = latestWrite_.find(block_base);
+        return it == latestWrite_.end() ? nullptr : it->second;
+    }
+
+    /** Policy-specific statistics (e.g. preemption/piggyback counts). */
+    virtual std::map<std::string, double> extraStats() const { return {}; }
+
+  protected:
+    /** Banks on this channel (rank-major flat index). */
+    std::uint32_t
+    numBanks() const
+    {
+        const auto &cfg = ctx_.mem->config();
+        return cfg.ranksPerChannel * cfg.banksPerRank;
+    }
+
+    /** Flat bank index of @p c on this channel. */
+    std::uint32_t
+    bankIndex(const dram::Coords &c) const
+    {
+        return c.rank * ctx_.mem->config().banksPerRank + c.bank;
+    }
+
+    /** Next transaction @p a needs given current bank state. */
+    dram::CmdType
+    nextCmd(const MemAccess *a) const
+    {
+        return ctx_.mem->nextCmdFor(a->coords, a->type);
+    }
+
+    /** May @p a's next transaction issue at @p now? */
+    bool
+    canIssueFor(const MemAccess *a, Tick now) const
+    {
+        dram::Command cmd{nextCmd(a), a->coords, a->id};
+        return ctx_.mem->canIssue(cmd, now);
+    }
+
+    /**
+     * Issue @p a's next transaction (must be legal). Classifies the row
+     * outcome on the access's first transaction and fills in an Issued
+     * record; on a column access also stamps colIssuedAt / dataEnd.
+     */
+    Issued issueFor(MemAccess *a, Tick now);
+
+    /** Track @p a as the latest write to its block (on write enqueue). */
+    void
+    noteWriteEnqueued(MemAccess *a)
+    {
+        latestWrite_[a->addr] = a;
+    }
+
+    /** Drop @p a from the forwarding index (on write issue). */
+    void
+    noteWriteIssued(MemAccess *a)
+    {
+        auto it = latestWrite_.find(a->addr);
+        if (it != latestWrite_.end() && it->second == a)
+            latestWrite_.erase(it);
+    }
+
+    SchedulerContext ctx_;
+
+  private:
+    std::unordered_map<Addr, MemAccess *> latestWrite_;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULER_HH

@@ -1,0 +1,55 @@
+#include "ctrl/schedulers/bk_in_order.hh"
+
+namespace bsim::ctrl
+{
+
+BkInOrderScheduler::BkInOrderScheduler(const SchedulerContext &ctx)
+    : Scheduler(ctx), queues_(numBanks())
+{
+}
+
+void
+BkInOrderScheduler::enqueue(MemAccess *a)
+{
+    queues_[bankIndex(a->coords)].push_back(a);
+    if (a->isWrite()) {
+        writes_ += 1;
+        noteWriteEnqueued(a);
+    } else {
+        reads_ += 1;
+    }
+}
+
+Scheduler::Issued
+BkInOrderScheduler::tick(Tick now)
+{
+    const std::uint32_t n = numBanks();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t b = (rr_ + 1 + i) % n;
+        auto &q = queues_[b];
+        if (q.empty())
+            continue;
+        MemAccess *a = q.front();
+        if (!canIssueFor(a, now))
+            continue;
+        Issued out = issueFor(a, now);
+        if (out.columnAccess) {
+            q.pop_front();
+            if (a->isWrite())
+                writes_ -= 1;
+            else
+                reads_ -= 1;
+            rr_ = b; // round robin advances on completed service
+        }
+        return out;
+    }
+    return {};
+}
+
+bool
+BkInOrderScheduler::hasWork() const
+{
+    return reads_ + writes_ > 0;
+}
+
+} // namespace bsim::ctrl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bank in order scheduling (the paper's baseline, Table 3/4):
+ * accesses within the same bank are serviced in arrival order; banks are
+ * served round robin. Reads and writes share one FIFO per bank, so writes
+ * are not postponed.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_BK_IN_ORDER_HH
+#define BURSTSIM_CTRL_SCHEDULERS_BK_IN_ORDER_HH
+
+#include <deque>
+#include <vector>
+
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/** In order intra bank, round robin inter banks. */
+class BkInOrderScheduler : public Scheduler
+{
+  public:
+    explicit BkInOrderScheduler(const SchedulerContext &ctx);
+
+    void enqueue(MemAccess *a) override;
+    Issued tick(Tick now) override;
+    std::size_t readCount() const override { return reads_; }
+    std::size_t writeCount() const override { return writes_; }
+    bool hasWork() const override;
+
+  private:
+    std::vector<std::deque<MemAccess *>> queues_; //!< one FIFO per bank
+    std::uint32_t rr_ = 0; //!< bank whose column access issued last
+    std::size_t reads_ = 0;
+    std::size_t writes_ = 0;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_BK_IN_ORDER_HH

@@ -1,0 +1,310 @@
+#include "ctrl/schedulers/burst.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bsim::ctrl
+{
+
+BurstScheduler::BurstScheduler(const SchedulerContext &ctx)
+    : Scheduler(ctx), banks_(numBanks())
+{
+}
+
+void
+BurstScheduler::enqueue(MemAccess *a)
+{
+    BankState &bs = banks_[bankIndex(a->coords)];
+    if (a->isWrite()) {
+        // Figure 4: all writes enter the write queue in order and are
+        // complete from the view of the CPU.
+        bs.writeQ.push_back(a);
+        writes_ += 1;
+        writeArrivals_ = writeArrivals_ * 0.999 + 1.0;
+        noteWriteEnqueued(a);
+        return;
+    }
+
+    reads_ += 1;
+    readArrivals_ = readArrivals_ * 0.999 + 1.0;
+    // Figure 4: join an existing burst for this row (bursts can grow even
+    // while being scheduled), otherwise open a new single-access burst at
+    // the tail of the read queue.
+    for (auto &burst : bs.bursts) {
+        if (burst.row == a->coords.row) {
+            if (ctx_.params.criticalFirst && a->critical) {
+                // Section 7: critical reads go ahead of the queued
+                // non-critical reads of their burst (stable among
+                // criticals; the in-service access is unaffected).
+                auto pos = burst.reads.begin();
+                while (pos != burst.reads.end() && (*pos)->critical)
+                    ++pos;
+                burst.reads.insert(pos, a);
+            } else {
+                burst.reads.push_back(a);
+            }
+            burstJoinCount_ += 1;
+            return;
+        }
+    }
+    Burst nb;
+    nb.row = a->coords.row;
+    nb.firstArrival = a->arrival;
+    nb.reads.push_back(a);
+    bs.bursts.push_back(std::move(nb));
+    burstsFormed_ += 1;
+}
+
+std::size_t
+BurstScheduler::effectiveThreshold() const
+{
+    if (!ctx_.params.dynamicThreshold)
+        return ctx_.params.threshold;
+    // Section 7 future work: adapt the preemption/piggyback switch point
+    // to the workload's read/write mix. A write-heavy phase needs early
+    // piggybacking (low threshold) to avoid saturation; a read-heavy
+    // phase can afford aggressive preemption (high threshold).
+    const double write_share =
+        writeArrivals_ / (readArrivals_ + writeArrivals_);
+    const double cap = double(ctx_.params.writeCap);
+    const double th = cap * (1.0 - 1.25 * write_share);
+    if (th < cap * 0.125)
+        return std::size_t(cap * 0.125);
+    if (th > cap - 4.0)
+        return std::size_t(cap - 4.0);
+    return std::size_t(th);
+}
+
+std::deque<MemAccess *>::iterator
+BurstScheduler::findPiggybackWrite(std::uint32_t b)
+{
+    BankState &bs = banks_[b];
+    const MemAccess *probe =
+        !bs.writeQ.empty()
+            ? bs.writeQ.front()
+            : (bs.ongoing ? bs.ongoing : nullptr);
+    if (!probe)
+        return bs.writeQ.end();
+    const dram::Bank &bank = ctx_.mem->bank(probe->coords);
+    if (!bank.isOpen())
+        return bs.writeQ.end();
+    // Oldest write directed to the same row as the just-finished burst so
+    // the continuous row hits are not disturbed (Section 3.2).
+    return std::find_if(bs.writeQ.begin(), bs.writeQ.end(),
+                        [&](MemAccess *w) {
+                            return w->coords.row == bank.openRow();
+                        });
+}
+
+void
+BurstScheduler::maybePreempt(std::uint32_t b)
+{
+    // Figure 5 lines 9-11: while the write queue occupancy is below the
+    // threshold, a read may interrupt an ongoing write; the write returns
+    // to the head of the write queue and restarts later.
+    if (!ctx_.params.readPreemption)
+        return;
+    BankState &bs = banks_[b];
+    MemAccess *a = bs.ongoing;
+    if (!a || !a->isWrite() || bs.bursts.empty())
+        return;
+    if (ctx_.global->writesOutstanding >= effectiveThreshold())
+        return;
+    bs.writeQ.push_front(a);
+    bs.ongoing = nullptr;
+    bs.ongoingFromBurst = false;
+    preemptions_ += 1;
+    // Figure 5 line 11: the first read of the next burst starts now.
+    arbitrate(b);
+}
+
+void
+BurstScheduler::arbitrate(std::uint32_t b)
+{
+    BankState &bs = banks_[b];
+    if (bs.ongoing)
+        return;
+
+    const std::size_t global_writes = ctx_.global->writesOutstanding;
+    const bool write_q_full = global_writes >= ctx_.params.writeCap;
+
+    auto take_write = [&](std::deque<MemAccess *>::iterator it) {
+        bs.ongoing = *it;
+        bs.ongoingFromBurst = false;
+        bs.writeQ.erase(it);
+    };
+
+    // Figure 5, lines 1-8.
+    if (write_q_full && !bs.writeQ.empty()) {
+        take_write(bs.writeQ.begin()); // oldest write
+        return;
+    }
+    if (ctx_.params.writePiggyback &&
+        global_writes > effectiveThreshold() && bs.endOfBurst &&
+        !bs.writeQ.empty()) {
+        auto it = findPiggybackWrite(b);
+        if (it != bs.writeQ.end()) {
+            take_write(it);
+            piggybacks_ += 1;
+            return;
+        }
+        // No qualified write: the next burst starts (fall through).
+    }
+    // Figure 5 line 6: writes are serviced only when no reads are
+    // outstanding. Burst scheduling is more aggressive in prioritizing
+    // reads over writes than Intel's scheduler (Section 5.1): the
+    // condition is channel-wide, not per bank, so a single pending read
+    // anywhere keeps every bank's writes postponed.
+    if (!bs.writeQ.empty() && reads_ == 0) {
+        take_write(bs.writeQ.begin());
+        return;
+    }
+    if (!bs.bursts.empty()) {
+        // Section 7 future work (sortBurstsBySize): start the largest
+        // waiting burst instead of the oldest. A partially-served front
+        // burst is never displaced (that would break its row hits);
+        // starvation of small bursts is the documented tradeoff.
+        if (ctx_.params.sortBurstsBySize && bs.bursts.size() > 1 &&
+            !bs.frontStarted) {
+            auto largest = bs.bursts.begin();
+            for (auto it = bs.bursts.begin(); it != bs.bursts.end(); ++it)
+                if (it->reads.size() > largest->reads.size())
+                    largest = it;
+            if (largest != bs.bursts.begin())
+                std::swap(*largest, bs.bursts.front());
+        }
+        Burst &front = bs.bursts.front();
+        if (front.reads.empty())
+            panic("empty burst left in read queue");
+        bs.ongoing = front.reads.front();
+        front.reads.pop_front();
+        bs.ongoingFromBurst = true;
+        bs.frontStarted = true;
+        bs.endOfBurst = false;
+    }
+}
+
+int
+BurstScheduler::priorityOf(const MemAccess *a, dram::CmdType cmd) const
+{
+    const bool read = a->isRead();
+    if (dram::isColumnAccess(cmd)) {
+        if (!lastValid_) {
+            // Before any column access, rank locality is vacuous; treat as
+            // same-rank so bursts can start.
+            return read ? 2 : 4;
+        }
+        const bool rank_aware = ctx_.params.rankAware;
+        const bool same_rank =
+            !rank_aware || a->coords.rank == lastRank_;
+        const bool same_bank = a->coords.rank == lastRank_ &&
+                               bankIndex(a->coords) == lastBank_;
+        if (same_rank) {
+            if (read)
+                return same_bank ? 1 : 2;
+            return same_bank ? 3 : 4;
+        }
+        return read ? 7 : 8;
+    }
+    // Precharge and row activate do not require data bus resources and
+    // overlap with column accesses.
+    return read ? 5 : 6;
+}
+
+Scheduler::Issued
+BurstScheduler::tick(Tick now)
+{
+    // Bank arbiters (Figure 5) including preemption checks.
+    for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+        maybePreempt(b);
+        arbitrate(b);
+    }
+
+    // Transaction scheduler (Figure 6 with the Table 2 priorities):
+    // among all banks' ongoing accesses pick the unblocked transaction
+    // with the best priority; oldest first breaks ties.
+    MemAccess *best = nullptr;
+    std::uint32_t best_bank = 0;
+    dram::CmdType best_cmd = dram::CmdType::Precharge;
+    int best_prio = 9;
+    MemAccess *oldest_any = nullptr;
+
+    for (std::uint32_t b = 0; b < banks_.size(); ++b) {
+        MemAccess *a = banks_[b].ongoing;
+        if (!a)
+            continue;
+        if (!oldest_any || a->arrival < oldest_any->arrival)
+            oldest_any = a;
+        const dram::CmdType cmd = nextCmd(a);
+        const int prio = priorityOf(a, cmd);
+        if (prio > best_prio ||
+            (prio == best_prio && best && a->arrival >= best->arrival)) {
+            continue;
+        }
+        dram::Command c{cmd, a->coords, a->id};
+        if (!ctx_.mem->canIssue(c, now))
+            continue;
+        best = a;
+        best_bank = b;
+        best_cmd = cmd;
+        best_prio = prio;
+    }
+
+    if (!best) {
+        // Figure 6 lines 14-15: with nothing unblocked, switch to the bank
+        // holding the oldest access so it gains priority next cycle.
+        if (oldest_any) {
+            lastBank_ = bankIndex(oldest_any->coords);
+            lastRank_ = oldest_any->coords.rank;
+            lastValid_ = true;
+        }
+        return {};
+    }
+
+    Issued out = issueFor(best, now);
+    if (out.columnAccess) {
+        BankState &bs = banks_[best_bank];
+        if (best->isWrite())
+            writes_ -= 1;
+        else
+            reads_ -= 1;
+        if (bs.ongoingFromBurst) {
+            // Retire the front burst once drained; this bank is now at an
+            // end of burst, the write piggybacking opportunity.
+            if (bs.bursts.empty())
+                panic("ongoing read without a front burst");
+            if (bs.bursts.front().reads.empty()) {
+                bs.bursts.pop_front();
+                bs.endOfBurst = true;
+                bs.frontStarted = false;
+            }
+        }
+        bs.ongoing = nullptr;
+        bs.ongoingFromBurst = false;
+        lastBank_ = best_bank;
+        lastRank_ = best->coords.rank;
+        lastValid_ = true;
+        (void)best_cmd;
+    }
+    return out;
+}
+
+bool
+BurstScheduler::hasWork() const
+{
+    return reads_ + writes_ > 0;
+}
+
+std::map<std::string, double>
+BurstScheduler::extraStats() const
+{
+    return {
+        {"preemptions", double(preemptions_)},
+        {"piggybacks", double(piggybacks_)},
+        {"bursts_formed", double(burstsFormed_)},
+        {"burst_joins", double(burstJoinCount_)},
+    };
+}
+
+} // namespace bsim::ctrl

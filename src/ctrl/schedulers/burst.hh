@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Burst scheduling — the paper's primary contribution (Section 3).
+ *
+ * Outstanding reads are clustered into bursts: groups of accesses to the
+ * same row of the same bank, kept per bank in arrival order of each
+ * burst's first access. Within a burst every access but the first is a
+ * row hit, so data transfers run back to back. The mechanism is a
+ * two-level scheduler:
+ *
+ *  - a per-bank *bank arbiter* (Figure 5) chooses the bank's ongoing
+ *    access from its read bursts and write queue, implementing read
+ *    preemption and write piggybacking under the static write-queue
+ *    occupancy threshold;
+ *  - a global per-channel *transaction scheduler* (Figure 6) issues, each
+ *    memory cycle, the unblocked transaction with the best static
+ *    priority (Table 2): column accesses within the last rank first
+ *    (same bank before other banks, reads before writes), then precharge
+ *    and activate (they do not use the data bus), and column accesses to
+ *    other ranks last to avoid rank-to-rank turnaround bubbles.
+ *
+ * New reads join an existing burst for their row even while that burst is
+ * being serviced; bursts within a bank are ordered by the arrival time of
+ * their first access to prevent starvation.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_BURST_HH
+#define BURSTSIM_CTRL_SCHEDULERS_BURST_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/** Burst scheduling with optional read preemption / write piggybacking. */
+class BurstScheduler : public Scheduler
+{
+  public:
+    explicit BurstScheduler(const SchedulerContext &ctx);
+
+    void enqueue(MemAccess *a) override;
+    Issued tick(Tick now) override;
+    std::size_t readCount() const override { return reads_; }
+    std::size_t writeCount() const override { return writes_; }
+    bool hasWork() const override;
+    std::map<std::string, double> extraStats() const override;
+
+    /** A cluster of same-row reads within one bank (for tests). */
+    struct Burst
+    {
+        std::uint32_t row = 0;
+        Tick firstArrival = 0;
+        std::deque<MemAccess *> reads;
+    };
+
+    /** Read-burst list of bank @p b (test introspection). */
+    const std::deque<Burst> &burstsOfBank(std::uint32_t b) const
+    {
+        return banks_[b].bursts;
+    }
+
+  private:
+    struct BankState
+    {
+        std::deque<Burst> bursts;        //!< read queue, burst-clustered
+        std::deque<MemAccess *> writeQ;  //!< writes in arrival order
+        MemAccess *ongoing = nullptr;
+        bool ongoingFromBurst = false;   //!< ongoing came from front burst
+        bool endOfBurst = false;         //!< last access ended a burst
+        bool frontStarted = false;       //!< front burst partially served
+    };
+
+    /** Figure 5: pick an ongoing access for bank @p b if it has none. */
+    void arbitrate(std::uint32_t b);
+
+    /** Figure 5 lines 9-11: read preemption of an ongoing write. */
+    void maybePreempt(std::uint32_t b);
+
+    /** Oldest write in bank @p b directed to the bank's open row. */
+    std::deque<MemAccess *>::iterator findPiggybackWrite(std::uint32_t b);
+
+    /** Table 2 priority of @p a's next transaction @p cmd (1 = best). */
+    int priorityOf(const MemAccess *a, dram::CmdType cmd) const;
+
+    /** Effective threshold for this cycle (static or dynamic, §7). */
+    std::size_t effectiveThreshold() const;
+
+    std::vector<BankState> banks_;
+    std::size_t reads_ = 0;
+    std::size_t writes_ = 0;
+
+    bool lastValid_ = false;
+    std::uint32_t lastBank_ = 0; //!< flat index of last column access
+    std::uint32_t lastRank_ = 0;
+
+    std::uint64_t preemptions_ = 0;
+    std::uint64_t piggybacks_ = 0;
+    std::uint64_t burstsFormed_ = 0;
+    std::uint64_t burstJoinCount_ = 0;
+
+    /** Decayed read/write arrival counts for the dynamic threshold. */
+    double readArrivals_ = 1.0;
+    double writeArrivals_ = 1.0;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_BURST_HH

@@ -1,0 +1,34 @@
+#include "ctrl/schedulers/factory.hh"
+
+#include "ctrl/schedulers/bk_in_order.hh"
+#include "ctrl/schedulers/history.hh"
+#include "ctrl/schedulers/burst.hh"
+#include "ctrl/schedulers/intel.hh"
+#include "ctrl/schedulers/row_hit.hh"
+
+namespace bsim::ctrl
+{
+
+std::unique_ptr<Scheduler>
+makeScheduler(Mechanism m, const SchedulerContext &ctx)
+{
+    switch (m) {
+      case Mechanism::BkInOrder:
+        return std::make_unique<BkInOrderScheduler>(ctx);
+      case Mechanism::RowHit:
+        return std::make_unique<RowHitScheduler>(ctx);
+      case Mechanism::Intel:
+      case Mechanism::IntelRP:
+        return std::make_unique<IntelScheduler>(ctx);
+      case Mechanism::Burst:
+      case Mechanism::BurstRP:
+      case Mechanism::BurstWP:
+      case Mechanism::BurstTH:
+        return std::make_unique<BurstScheduler>(ctx);
+      case Mechanism::AdaptiveHistory:
+        return std::make_unique<AdaptiveHistoryScheduler>(ctx);
+    }
+    return nullptr;
+}
+
+} // namespace bsim::ctrl

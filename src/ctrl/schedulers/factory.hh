@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Scheduler factory: Table 4 mechanism -> policy instance.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_FACTORY_HH
+#define BURSTSIM_CTRL_SCHEDULERS_FACTORY_HH
+
+#include <memory>
+
+#include "ctrl/access.hh"
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/** Instantiate the scheduler implementing @p m for one channel. */
+std::unique_ptr<Scheduler> makeScheduler(Mechanism m,
+                                         const SchedulerContext &ctx);
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_FACTORY_HH

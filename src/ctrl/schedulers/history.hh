@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Adaptive history-based scheduling (Hur and Lin, MICRO'04), the
+ * related-work mechanism of the paper's Section 2.2, reimplemented in
+ * simplified form as an *extended* comparison point (it is not part of
+ * the paper's Table 4 evaluation):
+ *
+ *  - the scheduler tracks the read/write mix of *arriving* accesses and
+ *    the mix of *recently scheduled* accesses with decayed counters;
+ *  - each cycle it selects, among the per-bank candidates, the access
+ *    that (a) steers the scheduled mix toward the observed arrival mix
+ *    (the "match the program's mixture of reads and writes" criterion)
+ *    and (b) avoids reusing the most recently serviced banks (expected
+ *    bank-level parallelism), with age as the tie breaker;
+ *  - within a bank, candidates are chosen row-hit-first over a small
+ *    window, as in the patent-style schedulers of the era.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_HISTORY_HH
+#define BURSTSIM_CTRL_SCHEDULERS_HISTORY_HH
+
+#include <deque>
+#include <vector>
+
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/** Hur-Lin style adaptive history-based scheduler. */
+class AdaptiveHistoryScheduler : public Scheduler
+{
+  public:
+    explicit AdaptiveHistoryScheduler(const SchedulerContext &ctx);
+
+    void enqueue(MemAccess *a) override;
+    Issued tick(Tick now) override;
+    std::size_t readCount() const override { return reads_; }
+    std::size_t writeCount() const override { return writes_; }
+    bool hasWork() const override;
+    std::map<std::string, double> extraStats() const override;
+
+  private:
+    /** Select a candidate for bank @p b (row hit first in a window). */
+    void arbitrate(std::uint32_t b);
+
+    /** History-match score of scheduling @p a next (higher = better). */
+    double scoreOf(const MemAccess *a, std::uint32_t bank) const;
+
+    std::vector<std::deque<MemAccess *>> queues_; //!< unified, per bank
+    std::vector<MemAccess *> ongoing_;            //!< per bank
+
+    // Decayed arrival and service mixes.
+    double readArrivals_ = 1.0;
+    double writeArrivals_ = 1.0;
+    double readsScheduled_ = 1.0;
+    double writesScheduled_ = 1.0;
+
+    std::uint32_t lastBank_ = ~0u;
+    std::uint32_t prevBank_ = ~0u;
+
+    std::size_t reads_ = 0;
+    std::size_t writes_ = 0;
+    std::uint64_t mixSteered_ = 0; //!< picks that corrected the mix
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_HISTORY_HH

@@ -1,0 +1,77 @@
+#include "ctrl/schedulers/row_hit.hh"
+
+#include <algorithm>
+
+namespace bsim::ctrl
+{
+
+RowHitScheduler::RowHitScheduler(const SchedulerContext &ctx)
+    : Scheduler(ctx), queues_(numBanks()), ongoing_(numBanks(), nullptr)
+{
+}
+
+void
+RowHitScheduler::enqueue(MemAccess *a)
+{
+    queues_[bankIndex(a->coords)].push_back(a);
+    if (a->isWrite()) {
+        writes_ += 1;
+        noteWriteEnqueued(a);
+    } else {
+        reads_ += 1;
+    }
+}
+
+void
+RowHitScheduler::arbitrate(std::uint32_t b)
+{
+    auto &q = queues_[b];
+    if (ongoing_[b] || q.empty())
+        return;
+
+    // Row hit first: the oldest access directed to the open row; when the
+    // bank is closed or no queued access matches, fall back to the oldest.
+    auto pick = q.begin();
+    const dram::Bank &bank = ctx_.mem->bank(q.front()->coords);
+    if (bank.isOpen()) {
+        auto hit = std::find_if(q.begin(), q.end(), [&](MemAccess *a) {
+            return a->coords.row == bank.openRow();
+        });
+        if (hit != q.end())
+            pick = hit;
+    }
+    ongoing_[b] = *pick;
+    q.erase(pick);
+}
+
+Scheduler::Issued
+RowHitScheduler::tick(Tick now)
+{
+    const std::uint32_t n = numBanks();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t b = (rr_ + 1 + i) % n;
+        arbitrate(b);
+        MemAccess *a = ongoing_[b];
+        if (!a || !canIssueFor(a, now))
+            continue;
+        Issued out = issueFor(a, now);
+        if (out.columnAccess) {
+            ongoing_[b] = nullptr;
+            if (a->isWrite())
+                writes_ -= 1;
+            else
+                reads_ -= 1;
+            rr_ = b;
+        }
+        return out;
+    }
+    return {};
+}
+
+bool
+RowHitScheduler::hasWork() const
+{
+    return reads_ + writes_ > 0;
+}
+
+} // namespace bsim::ctrl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Row hit access reordering (Rixner et al., ISCA'00; paper Table 4):
+ * each bank has a unified access queue; a row-hit-first policy selects the
+ * oldest access directed to the same row as the last access to that bank,
+ * falling back to the oldest access. Banks are served round robin. Reads
+ * and writes are treated equally.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_ROW_HIT_HH
+#define BURSTSIM_CTRL_SCHEDULERS_ROW_HIT_HH
+
+#include <deque>
+#include <vector>
+
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/** Row hit first intra bank, round robin inter banks. */
+class RowHitScheduler : public Scheduler
+{
+  public:
+    explicit RowHitScheduler(const SchedulerContext &ctx);
+
+    void enqueue(MemAccess *a) override;
+    Issued tick(Tick now) override;
+    std::size_t readCount() const override { return reads_; }
+    std::size_t writeCount() const override { return writes_; }
+    bool hasWork() const override;
+
+  private:
+    /** Pick the next ongoing access for bank @p b (row hit first). */
+    void arbitrate(std::uint32_t b);
+
+    std::vector<std::deque<MemAccess *>> queues_; //!< unified, per bank
+    std::vector<MemAccess *> ongoing_;            //!< per bank
+    std::uint32_t rr_ = 0;
+    std::size_t reads_ = 0;
+    std::size_t writes_ = 0;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_ROW_HIT_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Physical address to SDRAM location mapping.
+ *
+ * The baseline machine (Table 3) uses Page Interleaving: the column bits
+ * sit directly above the block offset so that a sequential stream fills an
+ * entire row (page) before moving to the next channel/bank, maximizing row
+ * locality while spreading consecutive pages across channels and banks for
+ * parallelism. BlockInterleave and BitReversal are provided for the
+ * related-work / future-work mapping studies (Section 7).
+ */
+
+#ifndef BURSTSIM_DRAM_ADDRESS_MAP_HH
+#define BURSTSIM_DRAM_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/config.hh"
+
+namespace bsim::dram
+{
+
+/**
+ * Bijective mapping between block-aligned physical addresses and
+ * (channel, rank, bank, row, column) coordinates.
+ *
+ * All field widths are derived from the DramConfig; dimensions must be
+ * powers of two. Addresses beyond the configured capacity wrap (the
+ * workload generators keep footprints inside capacity; tests assert the
+ * wrap behaviour explicitly).
+ */
+class AddressMap
+{
+  public:
+    /** Build a mapper for @p cfg (validates power-of-two dimensions). */
+    explicit AddressMap(const DramConfig &cfg);
+
+    /** Decode a byte address into SDRAM coordinates. */
+    Coords decode(Addr addr) const;
+
+    /** Re-encode coordinates into the canonical block base address. */
+    Addr encode(const Coords &c) const;
+
+    /** Block base (alignment) of @p addr. */
+    Addr
+    blockBase(Addr addr) const
+    {
+        return addr & ~Addr(blockBytes_ - 1);
+    }
+
+    /** Number of address bits covered by the mapping. */
+    std::uint32_t addressBits() const { return totalBits_; }
+
+  private:
+    static std::uint32_t log2Exact(std::uint64_t v, const char *what);
+
+    AddressMapKind kind_;
+    std::uint32_t blockBytes_;
+    std::uint32_t offsetBits_, colBits_, chanBits_, bankBits_, rankBits_,
+        rowBits_;
+    std::uint32_t totalBits_;
+};
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_ADDRESS_MAP_HH

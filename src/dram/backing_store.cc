@@ -1,0 +1,48 @@
+#include "dram/backing_store.hh"
+
+#include <cstring>
+
+namespace bsim::dram
+{
+
+void
+BackingStore::write(Addr addr, const std::uint8_t *data)
+{
+    auto &blk = blocks_[base(addr)];
+    if (blk.empty())
+        blk.resize(blockBytes_);
+    std::memcpy(blk.data(), data, blockBytes_);
+}
+
+void
+BackingStore::read(Addr addr, std::uint8_t *data) const
+{
+    auto it = blocks_.find(base(addr));
+    if (it == blocks_.end()) {
+        std::memset(data, 0, blockBytes_);
+        return;
+    }
+    std::memcpy(data, it->second.data(), blockBytes_);
+}
+
+void
+BackingStore::writeStamp(Addr addr, std::uint64_t stamp)
+{
+    auto &blk = blocks_[base(addr)];
+    if (blk.empty())
+        blk.resize(blockBytes_);
+    std::memcpy(blk.data(), &stamp, sizeof(stamp));
+}
+
+std::uint64_t
+BackingStore::readStamp(Addr addr) const
+{
+    auto it = blocks_.find(base(addr));
+    if (it == blocks_.end())
+        return 0;
+    std::uint64_t s;
+    std::memcpy(&s, it->second.data(), sizeof(s));
+    return s;
+}
+
+} // namespace bsim::dram

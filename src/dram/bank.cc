@@ -1,0 +1,89 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace bsim::dram
+{
+
+void
+Bank::activate(std::uint32_t row, Tick now, const Timing &t)
+{
+    if (open_)
+        panic("activate on open bank at tick %llu",
+              static_cast<unsigned long long>(now));
+    if (now < actAllowedAt_)
+        panic("activate violates tRP/tRC/tRFC: now=%llu allowed=%llu",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(actAllowedAt_));
+    open_ = true;
+    hasLastRow_ = true;
+    openRow_ = row;
+    rdAllowedAt_ = std::max(rdAllowedAt_, now + t.tRCD);
+    wrAllowedAt_ = std::max(wrAllowedAt_, now + t.tRCD);
+    preAllowedAt_ = std::max(preAllowedAt_, now + t.tRAS);
+    actAllowedAt_ = std::max(actAllowedAt_, now + t.tRC);
+}
+
+void
+Bank::precharge(Tick now, const Timing &t)
+{
+    if (!open_)
+        panic("precharge on closed bank at tick %llu",
+              static_cast<unsigned long long>(now));
+    if (now < preAllowedAt_)
+        panic("precharge violates tRAS/tWR/tRTP: now=%llu allowed=%llu",
+              static_cast<unsigned long long>(now),
+              static_cast<unsigned long long>(preAllowedAt_));
+    open_ = false;
+    actAllowedAt_ = std::max(actAllowedAt_, now + t.tRP);
+}
+
+void
+Bank::read(Tick now, const Timing &t, bool auto_precharge)
+{
+    if (!open_ || now < rdAllowedAt_)
+        panic("illegal read at tick %llu",
+              static_cast<unsigned long long>(now));
+    // Earliest precharge after a read: the burst must be allowed to leave
+    // the array. DDR2 read-to-precharge works out to roughly
+    // dataCycles + tRTP - 2 after the command; never earlier than now + 1.
+    const Tick rtp_done =
+        now + std::max<Tick>(1, Tick(t.dataCycles()) + t.tRTP - 2);
+    preAllowedAt_ = std::max(preAllowedAt_, rtp_done);
+    if (auto_precharge) {
+        // Close-page-autoprecharge: the device precharges itself at the
+        // earliest legal point; model as an implicit precharge then.
+        const Tick pre_at = preAllowedAt_;
+        open_ = false;
+        actAllowedAt_ = std::max(actAllowedAt_, pre_at + t.tRP);
+    }
+}
+
+void
+Bank::write(Tick now, const Timing &t, bool auto_precharge)
+{
+    if (!open_ || now < wrAllowedAt_)
+        panic("illegal write at tick %llu",
+              static_cast<unsigned long long>(now));
+    // Write recovery: precharge only after the write data has been
+    // restored into the array (end of data + tWR).
+    const Tick data_end = now + t.tWL + t.dataCycles();
+    preAllowedAt_ = std::max(preAllowedAt_, data_end + t.tWR);
+    if (auto_precharge) {
+        const Tick pre_at = preAllowedAt_;
+        open_ = false;
+        actAllowedAt_ = std::max(actAllowedAt_, pre_at + t.tRP);
+    }
+}
+
+void
+Bank::refreshUntil(Tick ready)
+{
+    if (open_)
+        panic("refresh with open bank");
+    actAllowedAt_ = std::max(actAllowedAt_, ready);
+}
+
+} // namespace bsim::dram

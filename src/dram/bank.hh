@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-bank SDRAM state machine.
+ *
+ * A bank tracks its open row and the earliest tick at which each command
+ * class may legally be issued to it. All constraint bookkeeping is local;
+ * rank- and channel-level constraints (tRRD, tFAW, tWTR, bus turnaround)
+ * live in Rank and Channel.
+ */
+
+#ifndef BURSTSIM_DRAM_BANK_HH
+#define BURSTSIM_DRAM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+#include "dram/timing.hh"
+
+namespace bsim::dram
+{
+
+/** One SDRAM bank: open-row state plus per-command ready times. */
+class Bank
+{
+  public:
+    /** True when a row is latched in the sense amplifiers. */
+    bool isOpen() const { return open_; }
+
+    /** The open row; only meaningful when isOpen(). */
+    std::uint32_t openRow() const { return openRow_; }
+
+    /** True once any row has ever been activated. */
+    bool hasLastRow() const { return hasLastRow_; }
+
+    /** The most recently activated row (valid even after precharge). */
+    std::uint32_t lastRow() const { return openRow_; }
+
+    /**
+     * Classify how an access to @p row would find this bank right now
+     * (row hit / empty / conflict), per Section 2 of the paper.
+     */
+    RowOutcome
+    classify(std::uint32_t row) const
+    {
+        if (!open_)
+            return RowOutcome::Empty;
+        return openRow_ == row ? RowOutcome::Hit : RowOutcome::Conflict;
+    }
+
+    /** Earliest tick an ACTIVATE may issue. */
+    Tick actAllowedAt() const { return actAllowedAt_; }
+
+    /** Earliest tick a PRECHARGE may issue. */
+    Tick preAllowedAt() const { return preAllowedAt_; }
+
+    /** Earliest tick a READ column access may issue. */
+    Tick rdAllowedAt() const { return rdAllowedAt_; }
+
+    /** Earliest tick a WRITE column access may issue. */
+    Tick wrAllowedAt() const { return wrAllowedAt_; }
+
+    /** Can an ACTIVATE of @p row issue at @p now (bank-local rules)? */
+    bool
+    canActivate(Tick now) const
+    {
+        return !open_ && now >= actAllowedAt_;
+    }
+
+    /** Can a PRECHARGE issue at @p now (bank-local rules)? */
+    bool
+    canPrecharge(Tick now) const
+    {
+        return open_ && now >= preAllowedAt_;
+    }
+
+    /** Can a READ to @p row issue at @p now (bank-local rules)? */
+    bool
+    canRead(std::uint32_t row, Tick now) const
+    {
+        return open_ && openRow_ == row && now >= rdAllowedAt_;
+    }
+
+    /** Can a WRITE to @p row issue at @p now (bank-local rules)? */
+    bool
+    canWrite(std::uint32_t row, Tick now) const
+    {
+        return open_ && openRow_ == row && now >= wrAllowedAt_;
+    }
+
+    /** Apply an ACTIVATE issued at @p now. */
+    void activate(std::uint32_t row, Tick now, const Timing &t);
+
+    /** Apply a PRECHARGE issued at @p now. */
+    void precharge(Tick now, const Timing &t);
+
+    /**
+     * Apply a READ column access issued at @p now; when @p auto_precharge
+     * the bank closes itself at the earliest legal point (CPA policy).
+     */
+    void read(Tick now, const Timing &t, bool auto_precharge);
+
+    /**
+     * Apply a WRITE column access issued at @p now; see read() for
+     * @p auto_precharge.
+     */
+    void write(Tick now, const Timing &t, bool auto_precharge);
+
+    /** Apply a refresh that blocks this bank until @p ready. */
+    void refreshUntil(Tick ready);
+
+  private:
+    bool open_ = false;
+    bool hasLastRow_ = false;
+    std::uint32_t openRow_ = 0;
+    Tick actAllowedAt_ = 0;
+    Tick preAllowedAt_ = 0;
+    Tick rdAllowedAt_ = 0;
+    Tick wrAllowedAt_ = 0;
+};
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_BANK_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * SDRAM command (transaction) definitions.
+ *
+ * The paper distinguishes three transaction kinds generated per access —
+ * bank precharge, row activate and column access (read or write) — plus
+ * the data transfer they imply. Auto-refresh is issued per rank by the
+ * controller's refresh engine.
+ */
+
+#ifndef BURSTSIM_DRAM_COMMAND_HH
+#define BURSTSIM_DRAM_COMMAND_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bsim::dram
+{
+
+/** Location of a block within the SDRAM organization. */
+struct Coords
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t col = 0; //!< block (burst) index within the row
+
+    bool
+    sameBank(const Coords &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank;
+    }
+
+    bool
+    sameRow(const Coords &o) const
+    {
+        return sameBank(o) && row == o.row;
+    }
+
+    bool
+    sameRank(const Coords &o) const
+    {
+        return channel == o.channel && rank == o.rank;
+    }
+};
+
+/** SDRAM command types the engine can issue. */
+enum class CmdType : std::uint8_t
+{
+    Precharge,  //!< close the open row of one bank
+    Activate,   //!< open a row (copy it into the sense amplifiers)
+    Read,       //!< column access, read burst
+    Write,      //!< column access, write burst
+    RefreshAll, //!< per-rank auto refresh (all banks)
+};
+
+/** Printable command mnemonic. */
+inline const char *
+cmdName(CmdType t)
+{
+    switch (t) {
+      case CmdType::Precharge: return "PRE";
+      case CmdType::Activate: return "ACT";
+      case CmdType::Read: return "RD";
+      case CmdType::Write: return "WR";
+      case CmdType::RefreshAll: return "REF";
+    }
+    return "?";
+}
+
+/** True for the two column-access commands (the only data-bus users). */
+inline bool
+isColumnAccess(CmdType t)
+{
+    return t == CmdType::Read || t == CmdType::Write;
+}
+
+/** A fully-specified command ready for issue. */
+struct Command
+{
+    CmdType type = CmdType::Precharge;
+    Coords at;
+    /** Id of the access this transaction belongs to (0 = none/refresh). */
+    std::uint64_t accessId = 0;
+};
+
+/**
+ * How an access finds the SDRAM device state when it is first serviced.
+ * Mirrors the paper's row hit / row empty / row conflict classification.
+ */
+enum class RowOutcome : std::uint8_t { Hit, Empty, Conflict };
+
+/** Printable name of a row outcome. */
+inline const char *
+rowOutcomeName(RowOutcome o)
+{
+    switch (o) {
+      case RowOutcome::Hit: return "hit";
+      case RowOutcome::Empty: return "empty";
+      case RowOutcome::Conflict: return "conflict";
+    }
+    return "?";
+}
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_COMMAND_HH

@@ -1,0 +1,124 @@
+#include "dram/command_log.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace bsim::dram
+{
+
+void
+CommandLog::record(const CommandRecord &rec)
+{
+    total_ += 1;
+    if (capacity_ == 0)
+        return;
+    if (records_.size() >= capacity_)
+        records_.erase(records_.begin());
+    records_.push_back(rec);
+}
+
+void
+CommandLog::clear()
+{
+    records_.clear();
+    total_ = 0;
+}
+
+namespace
+{
+
+char
+glyphOf(CmdType t)
+{
+    switch (t) {
+      case CmdType::Precharge: return 'P';
+      case CmdType::Activate: return 'A';
+      case CmdType::Read: return 'R';
+      case CmdType::Write: return 'W';
+      case CmdType::RefreshAll: return 'F';
+    }
+    return '?';
+}
+
+} // namespace
+
+void
+CommandLog::renderTimeline(std::ostream &os, Tick from, Tick to,
+                           std::size_t max_width) const
+{
+    if (to <= from) {
+        os << "(empty window)\n";
+        return;
+    }
+    Tick span = to - from;
+    bool truncated = false;
+    if (span > max_width) {
+        span = max_width;
+        to = from + span;
+        truncated = true;
+    }
+
+    // Lane keys: bank lanes sorted by (channel, rank, bank); one data
+    // lane per channel at the end.
+    auto bank_key = [](const Coords &c) {
+        return (std::uint64_t(c.channel) << 32) |
+               (std::uint64_t(c.rank) << 16) | c.bank;
+    };
+    std::map<std::uint64_t, std::string> bank_lanes;
+    std::map<std::uint32_t, std::string> data_lanes;
+
+    for (const auto &rec : records_) {
+        if (rec.type == CmdType::RefreshAll) {
+            // Refresh covers the whole rank; draw on every known lane of
+            // that rank later — simply ensure a lane exists for bank 0.
+        }
+        if (rec.at >= from && rec.at < to) {
+            auto &lane = bank_lanes[bank_key(rec.coords)];
+            if (lane.empty())
+                lane.assign(span, '.');
+            lane[std::size_t(rec.at - from)] = glyphOf(rec.type);
+        }
+        if (isColumnAccess(rec.type)) {
+            auto &dlane = data_lanes[rec.coords.channel];
+            if (dlane.empty())
+                dlane.assign(span, '.');
+            const Tick s = std::max(rec.dataStart, from);
+            const Tick e = std::min(rec.dataEnd, to);
+            for (Tick t = s; t < e; ++t)
+                dlane[std::size_t(t - from)] = '=';
+        }
+    }
+
+    // Header ruler with tick marks every 10 cycles.
+    os << "timeline [" << from << ", " << to << ")";
+    if (truncated)
+        os << " (truncated to " << max_width << " cycles)";
+    os << "\n";
+    std::string ruler(span, ' ');
+    for (Tick t = from; t < to; ++t)
+        if (t % 10 == 0)
+            ruler[std::size_t(t - from)] = '|';
+    os << "                 " << ruler << '\n';
+
+    auto emit_lane = [&](std::string label, const std::string &lane) {
+        label.resize(17, ' ');
+        os << label << lane << '\n';
+    };
+    for (const auto &[key, lane] : bank_lanes) {
+        const std::uint32_t ch = std::uint32_t(key >> 32);
+        const std::uint32_t rk = std::uint32_t((key >> 16) & 0xffff);
+        const std::uint32_t bk = std::uint32_t(key & 0xffff);
+        char label[32];
+        std::snprintf(label, sizeof(label), "ch%u r%u b%u", ch, rk, bk);
+        emit_lane(label, lane);
+    }
+    for (const auto &[ch, lane] : data_lanes) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "ch%u data bus", ch);
+        emit_lane(label, lane);
+    }
+    os << "P precharge  A activate  R read  W write  F refresh  = data\n";
+}
+
+} // namespace bsim::dram

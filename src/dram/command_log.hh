@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Command logging and ASCII timeline rendering.
+ *
+ * A CommandLog attached to a MemorySystem records every issued SDRAM
+ * transaction. The renderer draws the kind of waterfall diagram the
+ * paper uses in Figures 1 and 2 — one lane per bank showing P/A/R/W
+ * commands, plus a data-bus lane showing the transfer bursts — which is
+ * invaluable when debugging a scheduler's interleaving decisions.
+ */
+
+#ifndef BURSTSIM_DRAM_COMMAND_LOG_HH
+#define BURSTSIM_DRAM_COMMAND_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command.hh"
+
+namespace bsim::dram
+{
+
+/** One issued transaction. */
+struct CommandRecord
+{
+    Tick at = 0;
+    CmdType type = CmdType::Precharge;
+    Coords coords;
+    std::uint64_t accessId = 0;
+    Tick dataStart = 0; //!< column accesses only
+    Tick dataEnd = 0;   //!< column accesses only
+};
+
+/** Bounded in-order record of issued commands. */
+class CommandLog
+{
+  public:
+    /** Keep at most @p capacity records (oldest dropped first). */
+    explicit CommandLog(std::size_t capacity = 4096)
+        : capacity_(capacity)
+    {}
+
+    /** Append a record (drops the oldest beyond capacity). */
+    void record(const CommandRecord &rec);
+
+    /** All retained records, oldest first. */
+    const std::vector<CommandRecord> &records() const { return records_; }
+
+    /** Number of retained records. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Total records ever offered (including dropped ones). */
+    std::uint64_t totalRecorded() const { return total_; }
+
+    /** Discard all records. */
+    void clear();
+
+    /**
+     * Render an ASCII waterfall of the window [from, to): one lane per
+     * (channel, rank, bank) that issued a command, plus one data-bus
+     * lane per channel. Lanes show 'P' (precharge), 'A' (activate),
+     * 'R'/'W' (column accesses) at their issue tick; data lanes show
+     * '=' for occupied cycles. A window longer than @p max_width
+     * columns is truncated with a note.
+     */
+    void renderTimeline(std::ostream &os, Tick from, Tick to,
+                        std::size_t max_width = 100) const;
+
+  private:
+    std::size_t capacity_;
+    std::vector<CommandRecord> records_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_COMMAND_LOG_HH

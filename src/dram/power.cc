@@ -1,0 +1,55 @@
+#include "dram/power.hh"
+
+namespace bsim::dram
+{
+
+PowerParams
+PowerParams::ddr2_800()
+{
+    return PowerParams{};
+}
+
+EnergyBreakdown
+estimateEnergy(const CommandCounts &counts, Tick elapsed,
+               const DramConfig &cfg, const PowerParams &p,
+               double clock_ns)
+{
+    EnergyBreakdown e;
+    const double dev = double(p.devicesPerRank);
+    const double sec_per_cycle = clock_ns * 1e-9;
+    const Timing &t = cfg.timing;
+
+    // One ACT/PRE pair: IDD0 is the average current of a full tRC
+    // activate-precharge loop; subtracting the active-standby floor
+    // isolates the operation's incremental energy (TN-47-04 eq. for
+    // P(ACT)). Charged per activate (the matching precharge included).
+    const double act_pre_j = (p.idd0 - p.idd3n) * p.vdd *
+                             double(t.tRC) * sec_per_cycle * dev;
+    e.actPre = act_pre_j * double(counts.activates);
+
+    // Read/write bursts: incremental current over active standby for the
+    // burst duration.
+    const double rd_j = (p.idd4r - p.idd3n) * p.vdd *
+                        double(t.dataCycles()) * sec_per_cycle * dev;
+    const double wr_j = (p.idd4w - p.idd3n) * p.vdd *
+                        double(t.dataCycles()) * sec_per_cycle * dev;
+    e.readBurst = rd_j * double(counts.reads);
+    e.writeBurst = wr_j * double(counts.writes);
+
+    // Refresh: incremental current over precharge standby for tRFC, per
+    // all-bank refresh command (which refreshes one rank).
+    const double ref_j = (p.idd5 - p.idd2n) * p.vdd * double(t.tRFC) *
+                         sec_per_cycle * dev;
+    e.refresh = ref_j * double(counts.refreshes);
+
+    // Background: every device idles at (roughly) the midpoint of
+    // precharge and active standby for the whole run. Scales with the
+    // total rank count — this is the term that rewards finishing early.
+    const double ranks = double(cfg.channels) * cfg.ranksPerChannel;
+    const double standby_a = 0.5 * (p.idd2n + p.idd3n);
+    e.background = standby_a * p.vdd * double(elapsed) * sec_per_cycle *
+                   dev * ranks;
+    return e;
+}
+
+} // namespace bsim::dram

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DDR2 energy estimation (extension).
+ *
+ * The paper evaluates performance only, but its central quantity — the
+ * row hit rate — is also the main DRAM energy lever: every avoided
+ * activate/precharge pair saves the largest per-operation energy in the
+ * device. This model follows Micron's TN-47-04 "Calculating Memory
+ * System Power for DDR2" methodology in simplified form: per-operation
+ * energies are derived from IDD current deltas, plus a standby
+ * background term, scaled by the number of devices per rank.
+ */
+
+#ifndef BURSTSIM_DRAM_POWER_HH
+#define BURSTSIM_DRAM_POWER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/config.hh"
+
+namespace bsim::dram
+{
+
+/** Per-command issue counts (maintained by MemorySystem). */
+struct CommandCounts
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0; //!< explicit + auto precharges
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+};
+
+/** IDD-style electrical parameters of one DRAM device. */
+struct PowerParams
+{
+    double vdd = 1.8;      //!< supply voltage, volts
+    double idd0 = 0.090;   //!< amps: one ACT-PRE cycle, averaged over tRC
+    double idd2n = 0.050;  //!< amps: precharge standby
+    double idd3n = 0.065;  //!< amps: active standby
+    double idd4r = 0.145;  //!< amps: read burst
+    double idd4w = 0.135;  //!< amps: write burst
+    double idd5 = 0.170;   //!< amps: refresh
+    std::uint32_t devicesPerRank = 8; //!< x8 devices on a 64-bit rank
+
+    /** Micron DDR2-800 1 Gb x8 datasheet-flavoured values. */
+    static PowerParams ddr2_800();
+};
+
+/** Energy totals in joules, split by contributor. */
+struct EnergyBreakdown
+{
+    double actPre = 0.0;     //!< activate + precharge pairs
+    double readBurst = 0.0;  //!< read data bursts
+    double writeBurst = 0.0; //!< write data bursts
+    double refresh = 0.0;
+    double background = 0.0; //!< standby power over the whole run
+
+    /** Total energy in joules. */
+    double
+    total() const
+    {
+        return actPre + readBurst + writeBurst + refresh + background;
+    }
+
+    /** Average power in watts over @p seconds. */
+    double
+    averagePower(double seconds) const
+    {
+        return seconds > 0.0 ? total() / seconds : 0.0;
+    }
+
+    /** Energy per transferred byte (J/B); 0 when nothing moved. */
+    double
+    perByte(std::uint64_t bytes) const
+    {
+        return bytes ? total() / double(bytes) : 0.0;
+    }
+};
+
+/**
+ * Estimate energy for @p counts of commands on the organization @p cfg
+ * over @p elapsed bus cycles at @p clock_ns nanoseconds per cycle.
+ */
+EnergyBreakdown estimateEnergy(const CommandCounts &counts, Tick elapsed,
+                               const DramConfig &cfg,
+                               const PowerParams &params, double clock_ns);
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_POWER_HH

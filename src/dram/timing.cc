@@ -1,0 +1,96 @@
+#include "dram/timing.hh"
+
+#include "common/log.hh"
+
+namespace bsim::dram
+{
+
+void
+Timing::validate() const
+{
+    if (burstLength == 0 || burstLength % 2)
+        fatal("timing '%s': burstLength must be a positive even number",
+              name.c_str());
+    if (tCL == 0 || tRCD == 0 || tRP == 0)
+        fatal("timing '%s': tCL/tRCD/tRP must be nonzero", name.c_str());
+    if (tRC < tRAS)
+        fatal("timing '%s': tRC (%u) must be >= tRAS (%u)", name.c_str(),
+              tRC, tRAS);
+    if (tWL >= tCL + 1)
+        fatal("timing '%s': tWL (%u) must be <= tCL (%u)", name.c_str(),
+              tWL, tCL);
+    if (tREFI != 0 && tRFC >= tREFI)
+        fatal("timing '%s': tRFC (%u) must be < tREFI (%u)", name.c_str(),
+              tRFC, tREFI);
+}
+
+Timing
+Timing::ddr2_800()
+{
+    Timing t;
+    t.name = "DDR2-800 PC2-6400 5-5-5";
+    t.tCL = 5;
+    t.tRCD = 5;
+    t.tRP = 5;
+    t.tRAS = 18;   // 45 ns
+    t.tRC = 23;    // tRAS + tRP
+    t.tWR = 6;     // 15 ns
+    t.tWTR = 3;    // 7.5 ns
+    t.tRTP = 3;    // 7.5 ns
+    t.tRRD = 3;    // 7.5 ns
+    t.tFAW = 15;   // 37.5 ns
+    t.tWL = 4;     // tCL - 1 (DDR2)
+    t.tRTRS = 2;
+    t.tRTW = 2;
+    t.tREFI = 3120; // 7.8 us at 400 MHz
+    t.tRFC = 51;    // 127.5 ns
+    t.burstLength = 8;
+    return t;
+}
+
+Timing
+Timing::ddr_266()
+{
+    Timing t;
+    t.name = "DDR-266 PC-2100 2-2-2";
+    t.tCL = 2;
+    t.tRCD = 2;
+    t.tRP = 2;
+    t.tRAS = 6;    // 45 ns at 133 MHz
+    t.tRC = 8;
+    t.tWR = 2;     // 15 ns
+    t.tWTR = 1;
+    t.tRTP = 1;
+    t.tRRD = 1;
+    t.tFAW = 0;    // DDR1 has no FAW constraint
+    t.tWL = 1;     // DDR1 write latency is one cycle
+    t.tRTRS = 1;
+    t.tRTW = 1;
+    t.tREFI = 1040; // 7.8 us at 133 MHz
+    t.tRFC = 10;
+    t.burstLength = 4;
+    return t;
+}
+
+Timing
+Timing::figure1Example()
+{
+    Timing t = ddr_266();
+    t.name = "Figure-1 example 2-2-2 BL4";
+    // The worked example only exercises tCL/tRCD/tRP and the burst
+    // transfer; neutralize the secondary constraints so its idealized
+    // schedule is admissible.
+    t.tRAS = 4;    // row may close right after its column access
+    t.tRC = 6;
+    t.tWR = 1;
+    t.tWTR = 0;
+    t.tRTP = 0;
+    t.tRRD = 0;
+    t.tFAW = 0;
+    t.tRTRS = 0;
+    t.tRTW = 0;
+    t.tREFI = 0;   // no refresh during the 30-cycle example
+    return t;
+}
+
+} // namespace bsim::dram

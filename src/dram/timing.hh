@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SDRAM timing parameter sets.
+ *
+ * All parameters are expressed in memory bus clock cycles. Presets follow
+ * the devices the paper references: DDR2-800 (PC2-6400, 5-5-5) for the
+ * baseline machine (Table 3) and DDR-266 (PC-2100, 2-2-2) for the worked
+ * example of Figure 1 and the technology-trend discussion in Section 6.
+ */
+
+#ifndef BURSTSIM_DRAM_TIMING_HH
+#define BURSTSIM_DRAM_TIMING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace bsim::dram
+{
+
+/**
+ * A complete DDRx timing parameter set in bus clock cycles.
+ *
+ * The data bus transfers two beats per clock (DDR); a burst of length
+ * `burstLength` therefore occupies `burstLength / 2` clocks, available as
+ * dataCycles().
+ */
+struct Timing
+{
+    std::string name = "custom";
+
+    // Core 3-tuple the paper quotes as tCL-tRCD-tRP.
+    std::uint32_t tCL = 5;   //!< column access (CAS) latency
+    std::uint32_t tRCD = 5;  //!< row activate to column access
+    std::uint32_t tRP = 5;   //!< precharge to activate
+
+    std::uint32_t tRAS = 18; //!< activate to precharge, same bank
+    std::uint32_t tRC = 23;  //!< activate to activate, same bank
+    std::uint32_t tWR = 6;   //!< end of write data to precharge
+    std::uint32_t tWTR = 3;  //!< end of write data to read, same rank
+    std::uint32_t tRTP = 3;  //!< read to precharge
+    std::uint32_t tRRD = 3;  //!< activate to activate, same rank
+    std::uint32_t tFAW = 15; //!< window for four activates, same rank (0 = off)
+    std::uint32_t tWL = 4;   //!< write latency (command to first write data)
+    std::uint32_t tRTRS = 2; //!< rank to rank data bus turnaround
+    std::uint32_t tRTW = 2;  //!< read to write data bus turnaround gap
+
+    std::uint32_t tREFI = 3120; //!< average refresh interval (0 = off)
+    std::uint32_t tRFC = 51;    //!< refresh cycle time
+
+    std::uint32_t burstLength = 8; //!< beats per column access
+
+    /** Clocks of data bus occupancy per column access. */
+    std::uint32_t dataCycles() const { return burstLength / 2; }
+
+    /**
+     * Idle-bus access latency from first transaction to end of data, as in
+     * Table 1 of the paper (plus the data transfer itself).
+     * Row hit: tCL; empty: tRCD+tCL; conflict: tRP+tRCD+tCL.
+     */
+    std::uint32_t
+    idleLatency(bool needs_precharge, bool needs_activate) const
+    {
+        std::uint32_t lat = tCL;
+        if (needs_activate)
+            lat += tRCD;
+        if (needs_precharge)
+            lat += tRP;
+        return lat;
+    }
+
+    /** Validate internal consistency; calls fatal() on bad user config. */
+    void validate() const;
+
+    /** DDR2-800 / PC2-6400 5-5-5 (baseline machine of Table 3). */
+    static Timing ddr2_800();
+
+    /** DDR-266 / PC-2100 2-2-2 with burst length 4 (Figure 1 example). */
+    static Timing ddr_266();
+
+    /**
+     * The exact device of the Figure 1 worked example: 2-2-2, burst
+     * length 4, with every secondary constraint relaxed so the published
+     * 28-vs-16-cycle schedule is reproducible cycle for cycle.
+     */
+    static Timing figure1Example();
+};
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_TIMING_HH

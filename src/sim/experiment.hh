@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Experiment harness: run (workload, mechanism) pairs and collect the
+ * metrics reported in the paper's figures. Used by all bench binaries
+ * and by the integration tests.
+ */
+
+#ifndef BURSTSIM_SIM_EXPERIMENT_HH
+#define BURSTSIM_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ctrl/controller.hh"
+#include "dram/config.hh"
+#include "sim/system.hh"
+#include "trace/trace_gen.hh"
+
+namespace bsim::sim
+{
+
+/** SDRAM generation to simulate (Section 6 technology trend). */
+enum class DeviceGen : std::uint8_t
+{
+    DDR2_800, //!< PC2-6400 5-5-5, 400 MHz bus (Table 3 baseline)
+    DDR_266,  //!< PC-2100 2-2-2, 133 MHz bus (Section 6 comparison)
+};
+
+/** Printable device name. */
+const char *deviceGenName(DeviceGen g);
+
+/** One simulation run specification. */
+struct ExperimentConfig
+{
+    std::string workload = "swim"; //!< profile name (spec_profiles)
+    ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+    std::uint64_t instructions = 0; //!< 0 = defaultInstructions()
+    std::uint64_t seed = 20070212;  //!< HPCA 2007, for determinism
+    std::size_t threshold = 52;     //!< Burst_TH threshold
+    dram::PagePolicy pagePolicy = dram::PagePolicy::OpenPage;
+    dram::AddressMapKind addressMap = dram::AddressMapKind::PageInterleave;
+    DeviceGen device = DeviceGen::DDR2_800;
+    /** Organization overrides (0 = keep the Table 3 baseline value). */
+    std::uint32_t channels = 0;
+    std::uint32_t ranksPerChannel = 0;
+    std::uint32_t banksPerRank = 0;
+
+    // Extension / ablation switches (Section 7 future work + Table 2
+    // rank-awareness ablation).
+    bool dynamicThreshold = false;
+    bool sortBurstsBySize = false;
+    bool criticalFirst = false;
+    bool rankAware = true;
+    bool coalesceWrites = false;
+    /** Core overrides (0 = Table 3 baseline). A robSize of 1 with
+     *  issueWidth 1 approximates a blocking in-order core. */
+    std::uint32_t robSize = 0;
+    std::uint32_t issueWidth = 0;
+};
+
+/** Metrics of one run (the quantities behind Figures 7-12). */
+struct RunResult
+{
+    std::string workload;
+    ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+
+    std::uint64_t instructions = 0;
+    std::uint64_t execCpuCycles = 0; //!< the paper's execution time
+    std::uint64_t memCycles = 0;
+
+    ctrl::ControllerStats ctrl; //!< latencies, rates, histograms
+    std::map<std::string, double> sched; //!< policy extras
+
+    double addrBusUtil = 0.0;
+    double dataBusUtil = 0.0;
+    double bandwidthGBs = 0.0; //!< effective bandwidth
+    double ipc = 0.0;
+
+    std::uint64_t l2Misses = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+
+    /** DRAM energy estimate over the run (extension; see dram/power.hh). */
+    dram::EnergyBreakdown energy;
+    double avgPowerW = 0.0;
+    dram::CommandCounts dramCommands;
+};
+
+/**
+ * Default instruction count per run: 150,000, overridable through the
+ * BURSTSIM_INSTR environment variable (the benches print which value was
+ * used). Scaled down from the paper's 2 billion so the full figure suite
+ * reproduces in minutes.
+ */
+std::uint64_t defaultInstructions();
+
+/** Run one experiment. */
+RunResult runExperiment(const ExperimentConfig &cfg);
+
+/** Result of a chip-multiprocessor run (paper Section 6). */
+struct CmpResult
+{
+    std::vector<std::string> workloads; //!< one per core
+    ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+    std::uint64_t execCpuCycles = 0; //!< last core's completion
+    std::vector<std::uint64_t> perCoreCpuCycles;
+    ctrl::ControllerStats ctrl;
+    double dataBusUtil = 0.0;
+    double bandwidthGBs = 0.0;
+};
+
+/**
+ * Run a CMP experiment: one private cache stack per workload, all cores
+ * sharing the memory controller. Each core's copy of a workload is
+ * shifted to a disjoint address region and seeded differently.
+ */
+CmpResult runCmpExperiment(const std::vector<std::string> &workloads,
+                           ctrl::Mechanism mechanism,
+                           std::uint64_t instructions = 0,
+                           std::size_t threshold = 52);
+
+/** Run @p workload under every mechanism in @p mechanisms. */
+std::vector<RunResult> runMechanismSweep(
+    const std::string &workload,
+    const std::vector<ctrl::Mechanism> &mechanisms,
+    std::uint64_t instructions = 0);
+
+} // namespace bsim::sim
+
+#endif // BURSTSIM_SIM_EXPERIMENT_HH

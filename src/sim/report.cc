@@ -1,0 +1,130 @@
+#include "sim/report.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/table.hh"
+
+namespace bsim::sim
+{
+
+namespace
+{
+
+void
+writeControllerStats(JsonWriter &w, const ctrl::ControllerStats &st)
+{
+    w.key("reads").value(st.reads);
+    w.key("writes").value(st.writes);
+    w.key("forwarded_reads").value(st.forwardedReads);
+    w.key("read_latency_mean").value(st.readLatency.mean());
+    w.key("write_latency_mean").value(st.writeLatency.mean());
+    w.key("row_hit_rate").value(st.rowHitRate());
+    w.key("row_conflict_rate").value(st.rowConflictRate());
+    w.key("row_empty_rate").value(st.rowEmptyRate());
+    w.key("write_saturation_rate").value(st.writeSaturationRate());
+    w.key("refreshes").value(st.refreshes);
+    w.key("bytes_transferred").value(st.bytesTransferred);
+    w.key("mem_ticks").value(st.ticks);
+    w.key("outstanding_reads_mean").value(st.outstandingReads.mean());
+    w.key("outstanding_writes_mean").value(st.outstandingWrites.mean());
+}
+
+} // namespace
+
+void
+writeResultJson(std::ostream &os, const RunResult &r)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("workload").value(r.workload);
+    w.key("mechanism").value(ctrl::mechanismName(r.mechanism));
+    w.key("instructions").value(r.instructions);
+    w.key("exec_cpu_cycles").value(r.execCpuCycles);
+    w.key("mem_cycles").value(r.memCycles);
+    w.key("ipc").value(r.ipc);
+    w.key("addr_bus_utilization").value(r.addrBusUtil);
+    w.key("data_bus_utilization").value(r.dataBusUtil);
+    w.key("bandwidth_gbs").value(r.bandwidthGBs);
+    w.key("l2_misses").value(r.l2Misses);
+    w.key("mem_reads").value(r.memReads);
+    w.key("mem_writes").value(r.memWrites);
+    w.key("controller").beginObject();
+    writeControllerStats(w, r.ctrl);
+    w.endObject();
+    w.key("scheduler").beginObject();
+    for (const auto &[k, v] : r.sched)
+        w.key(k).value(v);
+    w.endObject();
+    w.key("energy").beginObject();
+    w.key("total_joules").value(r.energy.total());
+    w.key("act_pre_joules").value(r.energy.actPre);
+    w.key("read_joules").value(r.energy.readBurst);
+    w.key("write_joules").value(r.energy.writeBurst);
+    w.key("refresh_joules").value(r.energy.refresh);
+    w.key("background_joules").value(r.energy.background);
+    w.key("average_watts").value(r.avgPowerW);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeCmpResultJson(std::ostream &os, const CmpResult &r)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("mechanism").value(ctrl::mechanismName(r.mechanism));
+    w.key("workloads").beginArray();
+    for (const auto &wl : r.workloads)
+        w.value(wl);
+    w.endArray();
+    w.key("exec_cpu_cycles").value(r.execCpuCycles);
+    w.key("per_core_cpu_cycles").beginArray();
+    for (auto c : r.perCoreCpuCycles)
+        w.value(c);
+    w.endArray();
+    w.key("data_bus_utilization").value(r.dataBusUtil);
+    w.key("bandwidth_gbs").value(r.bandwidthGBs);
+    w.key("controller").beginObject();
+    writeControllerStats(w, r.ctrl);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+}
+
+void
+writeResultText(std::ostream &os, const RunResult &r)
+{
+    os << "workload " << r.workload << ", mechanism "
+       << ctrl::mechanismName(r.mechanism) << ", " << r.instructions
+       << " instructions\n";
+    Table t;
+    t.header({"metric", "value"});
+    t.row({"execution time (CPU cycles)",
+           std::to_string(r.execCpuCycles)});
+    t.row({"IPC", Table::num(r.ipc, 3)});
+    t.row({"read latency (mem cycles)",
+           Table::num(r.ctrl.readLatency.mean(), 1)});
+    t.row({"write latency (mem cycles)",
+           Table::num(r.ctrl.writeLatency.mean(), 1)});
+    t.row({"row hit / conflict / empty",
+           Table::pct(r.ctrl.rowHitRate()) + " / " +
+               Table::pct(r.ctrl.rowConflictRate()) + " / " +
+               Table::pct(r.ctrl.rowEmptyRate())});
+    t.row({"addr / data bus utilization",
+           Table::pct(r.addrBusUtil) + " / " + Table::pct(r.dataBusUtil)});
+    t.row({"write queue saturation",
+           Table::pct(r.ctrl.writeSaturationRate())});
+    t.row({"effective bandwidth", Table::num(r.bandwidthGBs, 2) + " GB/s"});
+    t.row({"memory reads / writes", std::to_string(r.ctrl.reads) + " / " +
+                                        std::to_string(r.ctrl.writes)});
+    t.row({"DRAM energy / avg power",
+           Table::num(r.energy.total() * 1e3, 2) + " mJ / " +
+               Table::num(r.avgPowerW, 2) + " W"});
+    for (const auto &[k, v] : r.sched)
+        t.row({"scheduler: " + k, Table::num(v, 0)});
+    t.print(os);
+}
+
+} // namespace bsim::sim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Result reporting: render RunResult / CmpResult as JSON (machine
+ * readable) or as a human-readable text summary. Shared by the CLI tool
+ * and available to library users.
+ */
+
+#ifndef BURSTSIM_SIM_REPORT_HH
+#define BURSTSIM_SIM_REPORT_HH
+
+#include <iosfwd>
+
+#include "sim/experiment.hh"
+
+namespace bsim::sim
+{
+
+/** Emit @p r as a JSON object (pretty-printed). */
+void writeResultJson(std::ostream &os, const RunResult &r);
+
+/** Emit @p r as a JSON object (pretty-printed). */
+void writeCmpResultJson(std::ostream &os, const CmpResult &r);
+
+/** Emit a human-readable one-run summary. */
+void writeResultText(std::ostream &os, const RunResult &r);
+
+} // namespace bsim::sim
+
+#endif // BURSTSIM_SIM_REPORT_HH

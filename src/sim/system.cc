@@ -1,0 +1,197 @@
+#include "sim/system.hh"
+
+#include "common/log.hh"
+
+namespace bsim::sim
+{
+
+SystemConfig
+SystemConfig::baseline()
+{
+    SystemConfig cfg;
+    // Table 3: 4 GHz 8-way CPU, 32 LSQ, 196 ROB; 128 KB 2-way L1s; 2 MB
+    // 16-way L2; 64 B lines; 4 GB DDR2 PC2-6400 5-5-5; 2 channels x 4
+    // ranks x 4 banks; open page; page interleaving; pool 256 / 64
+    // writes. All of those are the defaults of the component configs.
+    cfg.ctrl.mechanism = ctrl::Mechanism::BkInOrder;
+    return cfg;
+}
+
+/** Routes one core's misses/writebacks into its FSB queue. */
+class System::CorePort : public cpu::MemPort
+{
+  public:
+    CorePort(System &sys, std::uint32_t core) : sys_(sys), core_(core) {}
+
+    bool
+    canSend(unsigned n) const override
+    {
+        return sys_.cores_[core_].fsbQueue.size() + n <=
+               sys_.cfg_.memQueueCap;
+    }
+
+    void
+    sendRead(Addr block_addr, bool critical) override
+    {
+        sys_.cores_[core_].fsbQueue.push_back(
+            {block_addr, false, critical,
+             sys_.now_ + sys_.cfg_.fsbLatency});
+    }
+
+    void
+    sendWrite(Addr block_addr) override
+    {
+        sys_.cores_[core_].fsbQueue.push_back(
+            {block_addr, true, false, sys_.now_ + sys_.cfg_.fsbLatency});
+    }
+
+  private:
+    System &sys_;
+    std::uint32_t core_;
+};
+
+System::System(const SystemConfig &cfg, trace::TraceSource &trace)
+    : cfg_(cfg)
+{
+    build({&trace});
+}
+
+System::System(const SystemConfig &cfg,
+               const std::vector<trace::TraceSource *> &traces)
+    : cfg_(cfg)
+{
+    build(traces);
+}
+
+System::~System() = default;
+
+void
+System::build(const std::vector<trace::TraceSource *> &traces)
+{
+    if (traces.empty())
+        fatal("system: at least one workload trace is required");
+
+    mem_ = std::make_unique<dram::MemorySystem>(cfg_.dram);
+    ctrl_ = std::make_unique<ctrl::MemoryController>(*mem_, cfg_.ctrl);
+
+    cores_.resize(traces.size());
+    for (std::uint32_t i = 0; i < traces.size(); ++i) {
+        CoreNode &node = cores_[i];
+        node.port = std::make_unique<CorePort>(*this, i);
+        node.caches =
+            std::make_unique<cpu::CacheHierarchy>(cfg_.caches, *node.port);
+        node.core = std::make_unique<cpu::Core>(cfg_.core, *node.caches,
+                                                *traces[i]);
+    }
+
+    ctrl_->setReadCallback([this](const ctrl::MemAccess &a, Tick now) {
+        // Read data crosses the FSB back to the requesting core.
+        respQueue_.emplace(now + cfg_.fsbLatency,
+                           std::make_pair(a.addr,
+                                          std::uint32_t(a.tag)));
+    });
+}
+
+bool
+System::canSend(unsigned n) const
+{
+    return cores_[0].fsbQueue.size() + n <= cfg_.memQueueCap;
+}
+
+void
+System::sendRead(Addr block_addr, bool critical)
+{
+    cores_[0].fsbQueue.push_back(
+        {block_addr, false, critical, now_ + cfg_.fsbLatency});
+}
+
+void
+System::sendWrite(Addr block_addr)
+{
+    cores_[0].fsbQueue.push_back(
+        {block_addr, true, false, now_ + cfg_.fsbLatency});
+}
+
+void
+System::tick()
+{
+    // 1. Deliver read data that has crossed the bus back to its core.
+    while (!respQueue_.empty() && respQueue_.begin()->first <= now_) {
+        const auto [addr, core_id] = respQueue_.begin()->second;
+        cores_[core_id].core->onMemResponse(addr, cpuNow_);
+        respQueue_.erase(respQueue_.begin());
+    }
+
+    // 2. Memory controller cycle (schedules SDRAM transactions).
+    ctrl_->tick(now_);
+
+    // 3. Admit FSB requests round robin across cores. A saturated write
+    //    queue or full pool backs requests up into the per-core FSB
+    //    queues, which in turn stalls caches and pipelines (Section 3.2).
+    const std::uint32_t n = numCores();
+    for (std::uint32_t scanned = 0, served = 0;
+         scanned < n * cfg_.memQueueCap && ctrl_->canAccept(); ++scanned) {
+        CoreNode &node = cores_[rrCore_];
+        if (!node.fsbQueue.empty() &&
+            node.fsbQueue.front().readyAt <= now_) {
+            const FsbRequest &rq = node.fsbQueue.front();
+            ctrl_->submit(rq.isWrite ? AccessType::Write
+                                     : AccessType::Read,
+                          rq.addr, now_, nullptr, rrCore_, rq.critical);
+            node.fsbQueue.pop_front();
+            served += 1;
+        }
+        rrCore_ = (rrCore_ + 1) % n;
+        if (served >= n * cfg_.memQueueCap)
+            break;
+    }
+
+    // 4. CPU cycles within this memory cycle, for every running core.
+    bool all_done = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        CoreNode &node = cores_[i];
+        if (node.done)
+            continue;
+        for (std::uint32_t c = 0; c < cfg_.cpuCyclesPerMemCycle; ++c) {
+            node.core->cpuCycle(cpuNow_ + c);
+            if (node.core->done()) {
+                node.done = true;
+                node.doneAtCpu = cpuNow_ + c + 1;
+                break;
+            }
+        }
+        all_done = all_done && node.done;
+    }
+    cpuNow_ += cfg_.cpuCyclesPerMemCycle;
+    if (all_done && !allDone_) {
+        allDone_ = true;
+        execCpuCycles_ = cpuNow_;
+    }
+
+    now_ += 1;
+}
+
+bool
+System::done() const
+{
+    if (!allDone_ || ctrl_->busy())
+        return false;
+    for (const auto &node : cores_)
+        if (!node.fsbQueue.empty())
+            return false;
+    return true;
+}
+
+Tick
+System::run(Tick max_ticks)
+{
+    const Tick start = now_;
+    while (!done()) {
+        if (now_ - start >= max_ticks)
+            break;
+        tick();
+    }
+    return now_ - start;
+}
+
+} // namespace bsim::sim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Full-system wiring: core(s) -> caches -> front-side buffer -> memory
+ * controller -> SDRAM, with the Table 3 baseline configuration and the
+ * 4 GHz CPU : 400 MHz memory bus clock-domain crossing (10 CPU cycles per
+ * memory cycle).
+ *
+ * The system supports chip multiprocessing (paper Section 6: "access
+ * reordering mechanisms will play a more important role with chip level
+ * multiple processors"): each core has private L1/L2 caches and its own
+ * FSB queue; all cores share the memory controller. Workloads are
+ * assumed address-disjoint (no coherence is modelled).
+ */
+
+#ifndef BURSTSIM_SIM_SYSTEM_HH
+#define BURSTSIM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "cpu/cache_hierarchy.hh"
+#include "cpu/core.hh"
+#include "ctrl/controller.hh"
+#include "dram/memory_system.hh"
+#include "trace/instr.hh"
+
+namespace bsim::sim
+{
+
+/** Complete machine configuration. */
+struct SystemConfig
+{
+    cpu::CoreConfig core;
+    cpu::HierarchyConfig caches;
+    dram::DramConfig dram;
+    ctrl::ControllerConfig ctrl;
+
+    /** CPU cycles per memory bus cycle (4 GHz / 400 MHz). */
+    std::uint32_t cpuCyclesPerMemCycle = 10;
+    /** Front-side bus buffer depth per core (requests toward memory). */
+    std::size_t memQueueCap = 6;
+    /** FSB transfer latency, memory cycles, each direction. */
+    Tick fsbLatency = 2;
+    /** Memory bus clock in MHz (for bandwidth reporting). */
+    double busMHz = 400.0;
+
+    /** The baseline machine of Table 3. */
+    static SystemConfig baseline();
+};
+
+/** One simulated machine running one or more workloads. */
+class System
+{
+  public:
+    /** Single-core machine; @p trace must outlive the system. */
+    System(const SystemConfig &cfg, trace::TraceSource &trace);
+
+    /** CMP machine with one private cache stack per trace. */
+    System(const SystemConfig &cfg,
+           const std::vector<trace::TraceSource *> &traces);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** Advance one memory bus cycle. */
+    void tick();
+
+    /**
+     * Run until every workload retires and memory drains, or
+     * @p max_ticks elapse. Returns memory cycles simulated.
+     */
+    Tick run(Tick max_ticks = kTickMax);
+
+    /** All workloads retired and all memory traffic drained. */
+    bool done() const;
+
+    /** Memory cycles elapsed. */
+    Tick memCycles() const { return now_; }
+
+    /** CPU cycles elapsed. */
+    std::uint64_t cpuCycles() const { return cpuNow_; }
+
+    /** CPU cycle at which the last core finished (execution time). */
+    std::uint64_t execCpuCycles() const { return execCpuCycles_; }
+
+    /** CPU cycle at which core @p i finished (0 while running). */
+    std::uint64_t coreExecCpuCycles(std::uint32_t i) const
+    {
+        return cores_[i].doneAtCpu;
+    }
+
+    /** Number of cores. */
+    std::uint32_t numCores() const
+    {
+        return std::uint32_t(cores_.size());
+    }
+
+    /** Components (stats access). */
+    cpu::Core &core(std::uint32_t i = 0) { return *cores_[i].core; }
+    cpu::CacheHierarchy &caches(std::uint32_t i = 0)
+    {
+        return *cores_[i].caches;
+    }
+    ctrl::MemoryController &controller() { return *ctrl_; }
+    dram::MemorySystem &mem() { return *mem_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    // Single-core MemPort convenience (routes to core 0's FSB queue);
+    // primarily for tests exercising the queue discipline.
+    bool canSend(unsigned n) const;
+    void sendRead(Addr block_addr, bool critical = false);
+    void sendWrite(Addr block_addr);
+
+  private:
+    struct FsbRequest
+    {
+        Addr addr = 0;
+        bool isWrite = false;
+        bool critical = false;
+        Tick readyAt = 0; //!< memory tick when it may enter the controller
+    };
+
+    /** Per-core MemPort shim feeding the core's FSB queue. */
+    class CorePort;
+
+    struct CoreNode
+    {
+        std::unique_ptr<CorePort> port;
+        std::unique_ptr<cpu::CacheHierarchy> caches;
+        std::unique_ptr<cpu::Core> core;
+        std::deque<FsbRequest> fsbQueue;
+        bool done = false;
+        std::uint64_t doneAtCpu = 0;
+    };
+
+    void build(const std::vector<trace::TraceSource *> &traces);
+
+    SystemConfig cfg_;
+    std::unique_ptr<dram::MemorySystem> mem_;
+    std::unique_ptr<ctrl::MemoryController> ctrl_;
+    std::vector<CoreNode> cores_;
+
+    /** Read data in flight back to a core: tick -> (addr, core id). */
+    std::multimap<Tick, std::pair<Addr, std::uint32_t>> respQueue_;
+
+    Tick now_ = 0;
+    std::uint64_t cpuNow_ = 0;
+    std::uint64_t execCpuCycles_ = 0;
+    bool allDone_ = false;
+    std::uint32_t rrCore_ = 0; //!< FSB admission round robin
+};
+
+} // namespace bsim::sim
+
+#endif // BURSTSIM_SIM_SYSTEM_HH

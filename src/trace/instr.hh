@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Instruction-trace element and the trace source interface.
+ *
+ * Workloads drive the CPU model through a stream of abstract
+ * instructions: computes (occupy the pipeline), loads and stores. A load
+ * flagged depChain depends on the previous depChain load — the mechanism
+ * by which pointer-chasing benchmarks (mcf, parser, ...) serialize their
+ * misses and become latency- rather than bandwidth-bound.
+ */
+
+#ifndef BURSTSIM_TRACE_INSTR_HH
+#define BURSTSIM_TRACE_INSTR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bsim::trace
+{
+
+/** One abstract instruction. */
+struct TraceInstr
+{
+    enum class Op : std::uint8_t { Compute, Load, Store };
+
+    Op op = Op::Compute;
+    Addr addr = 0;        //!< byte address (loads/stores)
+    bool depChain = false; //!< serialized behind the previous load of chain
+    std::uint8_t chainId = 0; //!< which dependence chain (when depChain)
+};
+
+/** Pull-model instruction source. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next instruction; false when the trace is exhausted. */
+    virtual bool next(TraceInstr &out) = 0;
+};
+
+} // namespace bsim::trace
+
+#endif // BURSTSIM_TRACE_INSTR_HH

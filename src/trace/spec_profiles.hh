@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Workload profiles modelling the 16 SPEC CPU2000 benchmarks the paper
+ * evaluates (Figure 10): gzip, gcc, mcf, parser, perlbmk, gap, bzip2,
+ * wupwise, swim, mgrid, applu, mesa, art, facerec, lucas, apsi.
+ */
+
+#ifndef BURSTSIM_TRACE_SPEC_PROFILES_HH
+#define BURSTSIM_TRACE_SPEC_PROFILES_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_gen.hh"
+
+namespace bsim::trace
+{
+
+/** All 16 modelled benchmarks, in the paper's figure order. */
+const std::vector<WorkloadProfile> &specProfiles();
+
+/** Profile by benchmark name; fatal() on unknown names. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** Names of all modelled benchmarks, in figure order. */
+std::vector<std::string> specProfileNames();
+
+} // namespace bsim::trace
+
+#endif // BURSTSIM_TRACE_SPEC_PROFILES_HH

@@ -1,0 +1,83 @@
+#include "trace/trace_file.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace bsim::trace
+{
+
+std::uint64_t
+writeTrace(std::ostream &os, TraceSource &src, std::uint64_t count)
+{
+    TraceInstr in;
+    std::uint64_t written = 0;
+    while (written < count && src.next(in)) {
+        switch (in.op) {
+          case TraceInstr::Op::Compute:
+            os << "C\n";
+            break;
+          case TraceInstr::Op::Load:
+            os << (in.depChain ? "D " : "L ") << std::hex << in.addr
+               << std::dec << '\n';
+            break;
+          case TraceInstr::Op::Store:
+            os << "S " << std::hex << in.addr << std::dec << '\n';
+            break;
+        }
+        written += 1;
+    }
+    return written;
+}
+
+std::vector<TraceInstr>
+readTrace(std::istream &is)
+{
+    std::vector<TraceInstr> out;
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        TraceInstr in;
+        const char kind = line[0];
+        if (kind == 'C') {
+            in.op = TraceInstr::Op::Compute;
+            out.push_back(in);
+            continue;
+        }
+        if (kind != 'L' && kind != 'D' && kind != 'S')
+            fatal("trace line %llu: unknown record '%c'",
+                  static_cast<unsigned long long>(lineno), kind);
+        std::istringstream ss(line.substr(1));
+        std::uint64_t addr = 0;
+        ss >> std::hex >> addr;
+        if (ss.fail())
+            fatal("trace line %llu: missing address",
+                  static_cast<unsigned long long>(lineno));
+        in.addr = addr;
+        if (kind == 'S') {
+            in.op = TraceInstr::Op::Store;
+        } else {
+            in.op = TraceInstr::Op::Load;
+            in.depChain = kind == 'D';
+        }
+        out.push_back(in);
+    }
+    return out;
+}
+
+std::unique_ptr<VectorTrace>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return std::make_unique<VectorTrace>(readTrace(f));
+}
+
+} // namespace bsim::trace

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple text trace format for capturing and replaying workloads.
+ *
+ * One instruction per line:
+ *   C           compute
+ *   L <hexaddr> load
+ *   D <hexaddr> dependent (pointer-chase) load
+ *   S <hexaddr> store
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef BURSTSIM_TRACE_TRACE_FILE_HH
+#define BURSTSIM_TRACE_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instr.hh"
+
+namespace bsim::trace
+{
+
+/** Write @p count instructions from @p src to @p os in trace format. */
+std::uint64_t writeTrace(std::ostream &os, TraceSource &src,
+                         std::uint64_t count);
+
+/** Parse a whole trace from @p is; fatal() on malformed lines. */
+std::vector<TraceInstr> readTrace(std::istream &is);
+
+/** TraceSource replaying a pre-parsed instruction vector. */
+class VectorTrace : public TraceSource
+{
+  public:
+    explicit VectorTrace(std::vector<TraceInstr> instrs)
+        : instrs_(std::move(instrs))
+    {}
+
+    bool
+    next(TraceInstr &out) override
+    {
+        if (pos_ >= instrs_.size())
+            return false;
+        out = instrs_[pos_++];
+        return true;
+    }
+
+    /** Restart from the beginning. */
+    void rewind() { pos_ = 0; }
+
+    /** Number of instructions held. */
+    std::size_t size() const { return instrs_.size(); }
+
+  private:
+    std::vector<TraceInstr> instrs_;
+    std::size_t pos_ = 0;
+};
+
+/** Load a trace file from disk into a replayable source. */
+std::unique_ptr<VectorTrace> loadTraceFile(const std::string &path);
+
+} // namespace bsim::trace
+
+#endif // BURSTSIM_TRACE_TRACE_FILE_HH

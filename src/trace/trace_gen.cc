@@ -1,0 +1,174 @@
+#include "trace/trace_gen.hh"
+
+#include "common/log.hh"
+
+namespace bsim::trace
+{
+
+namespace
+{
+constexpr std::uint64_t kBlock = 64;
+}
+
+SyntheticGenerator::SyntheticGenerator(const WorkloadProfile &profile,
+                                       std::uint64_t num_instructions,
+                                       std::uint64_t seed)
+    : prof_(profile), limit_(num_instructions), rng_(seed ^ 0xb5157a5f00c0ffeeULL)
+{
+    if (prof_.memFraction < 0 || prof_.memFraction > 1)
+        fatal("profile %s: memFraction out of range", prof_.name.c_str());
+    if (prof_.hotFraction < 0 || prof_.hotFraction > 1)
+        fatal("profile %s: hotFraction out of range", prof_.name.c_str());
+    if (prof_.seqFraction + prof_.chaseFraction > 1.0)
+        fatal("profile %s: category fractions exceed 1", prof_.name.c_str());
+    if (prof_.numStreams == 0 || prof_.numWriteStreams == 0)
+        fatal("profile %s: need at least one stream", prof_.name.c_str());
+
+    // Carve the footprint into: read-stream regions (first half),
+    // write-stream regions (next quarter), chase region (last quarter).
+    // Random accesses roam the whole footprint; the hot set sits at the
+    // region base (it is small and overlaps do not matter).
+    const std::uint64_t fp = prof_.footprintBytes;
+    streamRegion_ = (fp / 2) / prof_.numStreams;
+    writeRegion_ = (fp / 4) / prof_.numWriteStreams;
+    chaseBase_ = prof_.regionBase + fp / 2 + fp / 4;
+    chaseBlocks_ = (fp / 4) / kBlock;
+
+    // Each stream starts at a random block phase within its region, as a
+    // real array allocation would: without this, region-aligned bases put
+    // every stream on the same bank rotation and the address streams
+    // collide in one bank forever.
+    for (std::uint32_t i = 0; i < prof_.numStreams; ++i) {
+        streamBase_.push_back(prof_.regionBase +
+                              std::uint64_t(i) * streamRegion_);
+        streamCursor_.push_back(rng_.below(streamRegion_ / (2 * kBlock)) *
+                                kBlock);
+    }
+    for (std::uint32_t i = 0; i < prof_.numWriteStreams; ++i) {
+        writeBase_.push_back(prof_.regionBase + fp / 2 +
+                             std::uint64_t(i) * writeRegion_);
+        writeCursor_.push_back(rng_.below(writeRegion_ / (2 * kBlock)) *
+                               kBlock);
+    }
+}
+
+Addr
+SyntheticGenerator::hotAddr()
+{
+    const std::uint64_t blocks = prof_.hotBytes / kBlock;
+    return prof_.regionBase + rng_.below(blocks) * kBlock;
+}
+
+Addr
+SyntheticGenerator::seqAddr()
+{
+    const std::uint32_t s = nextStream_;
+    nextStream_ = (nextStream_ + 1) % prof_.numStreams;
+    const std::uint64_t need =
+        std::uint64_t(prof_.clusterBlocks) * prof_.streamStride;
+    if (streamCursor_[s] + need > streamRegion_)
+        streamCursor_[s] = 0;
+    const Addr a = streamBase_[s] + streamCursor_[s];
+    streamCursor_[s] += need;
+    return a;
+}
+
+Addr
+SyntheticGenerator::writeStreamAddr()
+{
+    const std::uint32_t s = nextWriteStream_;
+    nextWriteStream_ = (nextWriteStream_ + 1) % prof_.numWriteStreams;
+    const std::uint64_t need =
+        std::uint64_t(prof_.clusterBlocks) * prof_.streamStride;
+    if (writeCursor_[s] + need > writeRegion_)
+        writeCursor_[s] = 0;
+    const Addr a = writeBase_[s] + writeCursor_[s];
+    writeCursor_[s] += need;
+    return a;
+}
+
+Addr
+SyntheticGenerator::chaseAddr()
+{
+    // A pointer dereference lands anywhere in the chase region; what
+    // matters is the depChain serialization, not the address pattern.
+    return chaseBase_ + rng_.below(chaseBlocks_) * kBlock;
+}
+
+Addr
+SyntheticGenerator::randAddr()
+{
+    const std::uint64_t blocks = prof_.footprintBytes / kBlock;
+    return prof_.regionBase + rng_.below(blocks) * kBlock;
+}
+
+bool
+SyntheticGenerator::next(TraceInstr &out)
+{
+    if (produced_ >= limit_)
+        return false;
+    produced_ += 1;
+
+    if (!pending_.empty()) {
+        out = pending_.front();
+        pending_.pop_front();
+        return true;
+    }
+
+    out.depChain = false;
+    if (!rng_.chance(prof_.memFraction)) {
+        out.op = TraceInstr::Op::Compute;
+        out.addr = 0;
+        return true;
+    }
+
+    const bool is_store = rng_.chance(prof_.writeFraction);
+    out.op = is_store ? TraceInstr::Op::Store : TraceInstr::Op::Load;
+
+    // The hot set decides memory intensity first; the pattern split only
+    // shapes the accesses that will actually reach main memory.
+    if (rng_.chance(prof_.hotFraction)) {
+        out.addr = hotAddr();
+        return true;
+    }
+
+    // Streaming accesses arrive in runs of clusterBlocks consecutive
+    // blocks of one stream (a blocked loop touching a chunk of an
+    // array): the first is returned now, the rest are queued back to
+    // back. This clustering is what creates same-row bursts in flight.
+    auto emit_cluster = [&](bool store, Addr (SyntheticGenerator::*gen)()) {
+        out.addr = (this->*gen)();
+        Addr a = out.addr;
+        for (std::uint32_t i = 1; i < prof_.clusterBlocks; ++i) {
+            a += prof_.streamStride;
+            TraceInstr t;
+            t.op = store ? TraceInstr::Op::Store : TraceInstr::Op::Load;
+            t.addr = a;
+            pending_.push_back(t);
+        }
+    };
+
+    if (is_store && rng_.chance(prof_.storeStreamBias)) {
+        emit_cluster(true, &SyntheticGenerator::writeStreamAddr);
+        return true;
+    }
+
+    const double r = rng_.uniform();
+    if (r < prof_.seqFraction) {
+        emit_cluster(false, &SyntheticGenerator::seqAddr);
+    } else if (r < prof_.seqFraction + prof_.chaseFraction) {
+        if (is_store) {
+            out.addr = randAddr();
+        } else {
+            out.addr = chaseAddr();
+            out.depChain = true;
+            out.chainId = std::uint8_t(nextChain_);
+            nextChain_ = (nextChain_ + 1) % prof_.numChains;
+        }
+    } else {
+        out.addr = randAddr();
+    }
+    return true;
+}
+
+} // namespace bsim::trace

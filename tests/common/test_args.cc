@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Argument parser tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/args.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+/** Build argv from strings. */
+struct Argv
+{
+    explicit Argv(std::vector<std::string> a) : strings(std::move(a))
+    {
+        ptrs.push_back("prog");
+        for (const auto &s : strings)
+            ptrs.push_back(s.c_str());
+    }
+    int argc() const { return int(ptrs.size()); }
+    const char *const *argv() const { return ptrs.data(); }
+    std::vector<std::string> strings;
+    std::vector<const char *> ptrs;
+};
+
+ArgParser
+makeParser()
+{
+    ArgParser p("prog", "test program");
+    p.addFlag("verbose", "be chatty");
+    p.addOption("workload", "swim", "benchmark");
+    p.addOption("count", "100", "how many");
+    return p;
+}
+
+} // namespace
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    ArgParser p = makeParser();
+    Argv a({});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_FALSE(p.flag("verbose"));
+    EXPECT_EQ(p.str("workload"), "swim");
+    EXPECT_EQ(p.u64("count"), 100u);
+    EXPECT_FALSE(p.given("workload"));
+}
+
+TEST(Args, SpaceSeparatedValue)
+{
+    ArgParser p = makeParser();
+    Argv a({"--workload", "mcf"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_EQ(p.str("workload"), "mcf");
+    EXPECT_TRUE(p.given("workload"));
+}
+
+TEST(Args, EqualsValue)
+{
+    ArgParser p = makeParser();
+    Argv a({"--count=42"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_EQ(p.u64("count"), 42u);
+}
+
+TEST(Args, FlagPresence)
+{
+    ArgParser p = makeParser();
+    Argv a({"--verbose"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_TRUE(p.flag("verbose"));
+}
+
+TEST(Args, UnknownOptionRejected)
+{
+    ArgParser p = makeParser();
+    Argv a({"--bogus"});
+    std::ostringstream err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_NE(err.str().find("unknown option"), std::string::npos);
+    EXPECT_FALSE(p.helpRequested());
+}
+
+TEST(Args, MissingValueRejected)
+{
+    ArgParser p = makeParser();
+    Argv a({"--workload"});
+    std::ostringstream err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_NE(err.str().find("requires a value"), std::string::npos);
+}
+
+TEST(Args, FlagWithValueRejected)
+{
+    ArgParser p = makeParser();
+    Argv a({"--verbose=1"});
+    std::ostringstream err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_NE(err.str().find("takes no value"), std::string::npos);
+}
+
+TEST(Args, HelpRequested)
+{
+    ArgParser p = makeParser();
+    Argv a({"--help"});
+    std::ostringstream err;
+    EXPECT_FALSE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_TRUE(p.helpRequested());
+    EXPECT_NE(err.str().find("usage: prog"), std::string::npos);
+    EXPECT_NE(err.str().find("--workload"), std::string::npos);
+    EXPECT_NE(err.str().find("default: swim"), std::string::npos);
+}
+
+TEST(Args, PositionalCollected)
+{
+    ArgParser p = makeParser();
+    Argv a({"one", "--verbose", "two"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "one");
+    EXPECT_EQ(p.positional()[1], "two");
+}
+
+TEST(ArgsDeath, NonNumericU64Fatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"--count", "abc"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_EXIT(p.u64("count"), testing::ExitedWithCode(1),
+                "not a number");
+}
+
+TEST(ArgsDeath, UndeclaredAccessPanics)
+{
+    ArgParser p = makeParser();
+    EXPECT_DEATH(p.flag("nope"), "not a declared flag");
+    EXPECT_DEATH(p.str("nope"), "not a declared option");
+}
+
+TEST(Args, LastValueWins)
+{
+    ArgParser p = makeParser();
+    Argv a({"--count=1", "--count=2"});
+    std::ostringstream err;
+    ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
+    EXPECT_EQ(p.u64("count"), 2u);
+}

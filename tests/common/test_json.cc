@@ -1,0 +1,147 @@
+/**
+ * @file
+ * JSON writer tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+/** Compact (non-pretty) render helper. */
+template <typename Fn>
+std::string
+compact(Fn fn)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty*/ false);
+    fn(w);
+    return os.str();
+}
+
+} // namespace
+
+TEST(Json, EmptyObject)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) { w.beginObject().endObject(); }),
+              "{}");
+}
+
+TEST(Json, EmptyArray)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) { w.beginArray().endArray(); }),
+              "[]");
+}
+
+TEST(Json, KeyValuePairs)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+                  w.beginObject();
+                  w.key("a").value(1);
+                  w.key("b").value("x");
+                  w.endObject();
+              }),
+              R"({"a":1,"b":"x"})");
+}
+
+TEST(Json, NestedContainers)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+                  w.beginObject();
+                  w.key("arr").beginArray().value(1).value(2).endArray();
+                  w.key("obj").beginObject().key("k").value(true)
+                      .endObject();
+                  w.endObject();
+              }),
+              R"({"arr":[1,2],"obj":{"k":true}})");
+}
+
+TEST(Json, ArrayOfValues)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+                  w.beginArray();
+                  w.value(std::uint64_t(18446744073709551615ULL));
+                  w.value(-3);
+                  w.value(false);
+                  w.endArray();
+              }),
+              "[18446744073709551615,-3,false]");
+}
+
+TEST(Json, DoubleFormatting)
+{
+    const std::string out =
+        compact([](JsonWriter &w) { w.beginArray().value(0.5).endArray(); });
+    EXPECT_EQ(out, "[0.5]");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+                  w.beginArray().value("a\"b\\c\nd\te").endArray();
+              }),
+              "[\"a\\\"b\\\\c\\nd\\te\"]");
+}
+
+TEST(Json, ControlCharacterEscaping)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) {
+                  w.beginArray().value(std::string("\x01")).endArray();
+              }),
+              "[\"\\u0001\"]");
+}
+
+TEST(Json, CompleteTracksBalance)
+{
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    EXPECT_FALSE(w.complete());
+    w.beginObject();
+    EXPECT_FALSE(w.complete());
+    w.endObject();
+    EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, PrettyPrintingIndents)
+{
+    std::ostringstream os;
+    JsonWriter w(os, true);
+    w.beginObject();
+    w.key("a").value(1);
+    w.endObject();
+    EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, ScalarRoot)
+{
+    EXPECT_EQ(compact([](JsonWriter &w) { w.value(42); }), "42");
+}
+
+TEST(JsonDeath, MismatchedClosePanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.beginArray();
+    EXPECT_DEATH(w.endObject(), "endObject");
+}
+
+TEST(JsonDeath, KeyOutsideObjectPanics)
+{
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    EXPECT_DEATH(w.key("k"), "key outside");
+}
+
+TEST(JsonDeath, TwoRootsPanic)
+{
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.value(1);
+    EXPECT_DEATH(w.value(2), "root");
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG — reproducibility is load-bearing for
+ * every experiment in the reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+using namespace bsim;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    const std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng r(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(17);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(19);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(r.chance(0.0));
+        ASSERT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(23);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(double(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, RunLengthBounds)
+{
+    Rng r(29);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t len = r.runLength(4.0, 16);
+        ASSERT_GE(len, 1u);
+        ASSERT_LE(len, 16u);
+    }
+}
+
+TEST(Rng, RunLengthMeanApproximate)
+{
+    Rng r(31);
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += double(r.runLength(4.0, 1000));
+    EXPECT_NEAR(sum / 20000.0, 4.0, 0.3);
+}
+
+TEST(Rng, RunLengthDegenerateMean)
+{
+    Rng r(37);
+    EXPECT_EQ(r.runLength(0.5, 16), 1u);
+    EXPECT_EQ(r.runLength(1.0, 16), 1u);
+}

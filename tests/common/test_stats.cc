@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace bsim;
+
+TEST(RunningMean, EmptyIsZero)
+{
+    RunningMean m;
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(m.sum(), 0.0);
+}
+
+TEST(RunningMean, SingleSample)
+{
+    RunningMean m;
+    m.sample(42.0);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_DOUBLE_EQ(m.mean(), 42.0);
+}
+
+TEST(RunningMean, MultipleSamples)
+{
+    RunningMean m;
+    for (int i = 1; i <= 100; ++i)
+        m.sample(double(i));
+    EXPECT_EQ(m.count(), 100u);
+    EXPECT_DOUBLE_EQ(m.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(m.sum(), 5050.0);
+}
+
+TEST(RunningMean, Reset)
+{
+    RunningMean m;
+    m.sample(1.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h(10);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(5), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 0.0);
+}
+
+TEST(Histogram, BucketCounts)
+{
+    Histogram h(10);
+    h.sample(3);
+    h.sample(3);
+    h.sample(7);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.bucket(0), 0u);
+    EXPECT_NEAR(h.fraction(3), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, ClampsOverflowIntoLastBucket)
+{
+    Histogram h(4);
+    h.sample(4);
+    h.sample(100);
+    h.sample(99999);
+    EXPECT_EQ(h.bucket(4), 3u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeBucketReadsZero)
+{
+    Histogram h(4);
+    h.sample(1);
+    EXPECT_EQ(h.bucket(50), 0u);
+}
+
+TEST(Histogram, FractionAtLeast)
+{
+    Histogram h(10);
+    for (std::size_t v : {1u, 2u, 3u, 8u, 9u})
+        h.sample(v);
+    EXPECT_NEAR(h.fractionAtLeast(8), 0.4, 1e-12);
+    EXPECT_NEAR(h.fractionAtLeast(0), 1.0, 1e-12);
+    // Beyond the range only the clamped bucket counts.
+    EXPECT_NEAR(h.fractionAtLeast(100), 0.0, 1e-12);
+}
+
+TEST(Histogram, Mean)
+{
+    Histogram h(10);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(10);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(StatGroup, SetGetHas)
+{
+    StatGroup g("dram");
+    EXPECT_FALSE(g.has("x"));
+    EXPECT_DOUBLE_EQ(g.get("x"), 0.0);
+    g.set("x", 1.5);
+    EXPECT_TRUE(g.has("x"));
+    EXPECT_DOUBLE_EQ(g.get("x"), 1.5);
+    g.set("x", 2.5); // overwrite
+    EXPECT_DOUBLE_EQ(g.get("x"), 2.5);
+    EXPECT_EQ(g.name(), "dram");
+}
+
+TEST(StatGroup, ValuesSortedByKey)
+{
+    StatGroup g("g");
+    g.set("b", 2);
+    g.set("a", 1);
+    auto it = g.values().begin();
+    EXPECT_EQ(it->first, "a");
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(5.0, 2.0), 2.5);
+}

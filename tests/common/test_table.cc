@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the text/CSV table renderer used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+using namespace bsim;
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.header({"a", "long-header"});
+    t.row({"value", "x"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("a      long-header"), std::string::npos);
+    EXPECT_NE(out.find("value  x"), std::string::npos);
+}
+
+TEST(Table, CaptionPrintedFirst)
+{
+    Table t("my caption");
+    t.header({"h"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().rfind("my caption", 0), 0u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t;
+    t.header({"x", "y"});
+    t.row({"1", "2"});
+    t.row({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    Table t;
+    t.header({"x"});
+    t.row({"a,b"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x\n\"a,b\"\n");
+}
+
+TEST(Table, RowsCount)
+{
+    Table t;
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"a"});
+    t.row({"b"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PctFormatting)
+{
+    EXPECT_EQ(Table::pct(0.421, 1), "42.1%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, RaggedRowsDoNotCrash)
+{
+    Table t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3", "4"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_FALSE(os.str().empty());
+}

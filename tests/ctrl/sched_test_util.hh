@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared harness for driving scheduler policies directly (bypassing the
+ * controller) so tests can inspect individual transaction decisions.
+ */
+
+#ifndef BURSTSIM_TESTS_CTRL_SCHED_TEST_UTIL_HH
+#define BURSTSIM_TESTS_CTRL_SCHED_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ctrl/controller.hh"
+#include "ctrl/schedulers/factory.hh"
+#include "dram/memory_system.hh"
+
+namespace schedtest
+{
+
+using namespace bsim;
+
+/** A small single-channel machine: 1 channel x 2 ranks x 2 banks. */
+inline dram::DramConfig
+smallDram()
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 2;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 64;
+    cfg.blocksPerRow = 32;
+    cfg.timing = dram::Timing::ddr2_800();
+    cfg.timing.tREFI = 0; // tests drive refresh explicitly if at all
+    return cfg;
+}
+
+/** Owns a memory system + one scheduler and fabricates accesses. */
+class Harness
+{
+  public:
+    explicit Harness(ctrl::Mechanism mech,
+                     dram::DramConfig dcfg = smallDram(),
+                     ctrl::SchedulerParams params = {})
+        : mem_(dcfg)
+    {
+        ctrl::SchedulerContext ctx;
+        ctx.mem = &mem_;
+        ctx.channel = 0;
+        ctx.global = &counts_;
+        ctx.params = params;
+        // Mechanism-derived flags, as the controller would set them.
+        ctrl::ControllerConfig ccfg;
+        ccfg.mechanism = mech;
+        ccfg.threshold = params.threshold;
+        ccfg.writeCap = params.writeCap;
+        ctx.params = ccfg.schedulerParams();
+        if (mech == ctrl::Mechanism::BurstTH)
+            ctx.params.threshold = params.threshold;
+        ctx.params.dynamicThreshold = params.dynamicThreshold;
+        ctx.params.sortBurstsBySize = params.sortBurstsBySize;
+        ctx.params.criticalFirst = params.criticalFirst;
+        ctx.params.rankAware = params.rankAware;
+        sched_ = ctrl::makeScheduler(mech, ctx);
+    }
+
+    /** Create and enqueue an access at explicit coordinates. */
+    ctrl::MemAccess *
+    add(AccessType type, std::uint32_t rank, std::uint32_t bank,
+        std::uint32_t row, std::uint32_t col, Tick arrival = 0)
+    {
+        auto a = std::make_unique<ctrl::MemAccess>();
+        a->id = nextId_++;
+        a->type = type;
+        a->coords = dram::Coords{0, rank, bank, row, col};
+        a->addr = mem_.addressMap().encode(a->coords);
+        a->arrival = arrival;
+        ctrl::MemAccess *p = a.get();
+        own_.push_back(std::move(a));
+        if (type == AccessType::Write)
+            counts_.writesOutstanding += 1;
+        else
+            counts_.readsOutstanding += 1;
+        sched_->enqueue(p);
+        return p;
+    }
+
+    /** Create and enqueue a critical read (dependence-chain fill). */
+    ctrl::MemAccess *
+    addCritical(std::uint32_t rank, std::uint32_t bank, std::uint32_t row,
+                std::uint32_t col, Tick arrival = 0)
+    {
+        auto a = std::make_unique<ctrl::MemAccess>();
+        a->id = nextId_++;
+        a->type = AccessType::Read;
+        a->coords = dram::Coords{0, rank, bank, row, col};
+        a->addr = mem_.addressMap().encode(a->coords);
+        a->arrival = arrival;
+        a->critical = true;
+        ctrl::MemAccess *p = a.get();
+        own_.push_back(std::move(a));
+        counts_.readsOutstanding += 1;
+        sched_->enqueue(p);
+        return p;
+    }
+
+    /** Tick once; updates global counts on column issue. */
+    ctrl::Scheduler::Issued
+    tick(Tick now)
+    {
+        auto issued = sched_->tick(now);
+        if (issued.columnAccess) {
+            if (issued.access->isWrite())
+                counts_.writesOutstanding -= 1;
+            else
+                counts_.readsOutstanding -= 1;
+        }
+        return issued;
+    }
+
+    /**
+     * Run until all enqueued work completed (column accesses issued);
+     * returns the column-access issue order. Asserts progress.
+     */
+    std::vector<ctrl::MemAccess *>
+    drain(Tick &now, Tick max_ticks = 100000)
+    {
+        std::vector<ctrl::MemAccess *> order;
+        const Tick limit = now + max_ticks;
+        while (sched_->hasWork() && now < limit) {
+            auto issued = tick(now);
+            if (issued.columnAccess)
+                order.push_back(issued.access);
+            ++now;
+        }
+        EXPECT_FALSE(sched_->hasWork()) << "scheduler failed to drain";
+        return order;
+    }
+
+    ctrl::Scheduler &sched() { return *sched_; }
+    dram::MemorySystem &mem() { return mem_; }
+    ctrl::GlobalCounts &counts() { return counts_; }
+
+  private:
+    dram::MemorySystem mem_;
+    ctrl::GlobalCounts counts_;
+    std::unique_ptr<ctrl::Scheduler> sched_;
+    std::vector<std::unique_ptr<ctrl::MemAccess>> own_;
+    std::uint64_t nextId_ = 1;
+};
+
+} // namespace schedtest
+
+#endif // BURSTSIM_TESTS_CTRL_SCHED_TEST_UTIL_HH

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Memory controller tests: admission rules (pool and write-queue caps),
+ * write-queue read forwarding, the refresh engine, response routing and
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ctrl/controller.hh"
+#include "dram/memory_system.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+dram::DramConfig
+smallDram(bool refresh = false)
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 2;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 64;
+    cfg.blocksPerRow = 32;
+    cfg.timing = dram::Timing::ddr2_800();
+    if (!refresh)
+        cfg.timing.tREFI = 0;
+    return cfg;
+}
+
+struct Fixture
+{
+    explicit Fixture(ctrl::Mechanism mech = ctrl::Mechanism::BurstTH,
+                     std::size_t pool = 8, std::size_t wcap = 4,
+                     bool refresh = false)
+        : mem(smallDram(refresh))
+    {
+        ctrl::ControllerConfig cfg;
+        cfg.mechanism = mech;
+        cfg.poolCap = pool;
+        cfg.writeCap = wcap;
+        controller = std::make_unique<ctrl::MemoryController>(mem, cfg);
+        controller->setReadCallback(
+            [this](const ctrl::MemAccess &a, Tick at) {
+                completions.emplace_back(a.id, at);
+            });
+    }
+
+    /** Encode distinct block addresses per index. */
+    Addr
+    blockAddr(std::uint32_t i) const
+    {
+        dram::Coords c{0, 0, i % 2, (i / 4) % 64, i % 32};
+        return mem.addressMap().encode(c);
+    }
+
+    void
+    runTicks(std::uint64_t n)
+    {
+        for (std::uint64_t i = 0; i < n; ++i)
+            controller->tick(now++);
+    }
+
+    void
+    drain(std::uint64_t max = 100000)
+    {
+        std::uint64_t spent = 0;
+        while (controller->busy() && spent++ < max)
+            controller->tick(now++);
+        ASSERT_FALSE(controller->busy()) << "controller failed to drain";
+    }
+
+    dram::MemorySystem mem;
+    std::unique_ptr<ctrl::MemoryController> controller;
+    std::vector<std::pair<std::uint64_t, Tick>> completions;
+    Tick now = 0;
+};
+
+} // namespace
+
+TEST(Controller, ReadCompletesWithCallback)
+{
+    Fixture f;
+    const auto id = f.controller->submit(AccessType::Read, f.blockAddr(0),
+                                         f.now);
+    f.drain();
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.completions[0].first, id);
+    EXPECT_EQ(f.controller->stats().reads, 1u);
+    // Idle-system read: activate + tRCD + tCL + data.
+    const auto &t = f.mem.timing();
+    EXPECT_GE(f.completions[0].second, t.tRCD + t.tCL + t.dataCycles());
+}
+
+TEST(Controller, WriteAckImmediateButDataGoesToDram)
+{
+    Fixture f;
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    EXPECT_TRUE(f.controller->busy());
+    EXPECT_EQ(f.controller->writesOutstanding(), 1u);
+    f.drain();
+    EXPECT_EQ(f.controller->stats().writes, 1u);
+    EXPECT_GT(f.controller->stats().writeLatency.mean(), 0.0);
+    EXPECT_TRUE(f.completions.empty()); // no read callback for writes
+}
+
+TEST(Controller, PoolCapBlocksAdmission)
+{
+    Fixture f(ctrl::Mechanism::BurstTH, /*pool*/ 4, /*wcap*/ 4);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(f.controller->canAccept());
+        f.controller->submit(AccessType::Read, f.blockAddr(i), f.now);
+    }
+    EXPECT_FALSE(f.controller->canAccept());
+    f.drain();
+    EXPECT_TRUE(f.controller->canAccept());
+}
+
+TEST(Controller, FullWriteQueueBlocksAllAdmission)
+{
+    // Section 3.2: a saturated write queue blocks reads too.
+    Fixture f(ctrl::Mechanism::BurstTH, /*pool*/ 16, /*wcap*/ 2);
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    EXPECT_TRUE(f.controller->canAccept());
+    f.controller->submit(AccessType::Write, f.blockAddr(4), f.now);
+    EXPECT_FALSE(f.controller->canAccept()) << "write cap reached";
+    f.drain();
+    EXPECT_TRUE(f.controller->canAccept());
+}
+
+TEST(ControllerDeath, SubmitWhileBlockedPanics)
+{
+    Fixture f(ctrl::Mechanism::BurstTH, /*pool*/ 1, /*wcap*/ 1);
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    EXPECT_DEATH(
+        f.controller->submit(AccessType::Read, f.blockAddr(1), f.now),
+        "cannot accept");
+}
+
+TEST(Controller, WriteQueueHitForwardsRead)
+{
+    Fixture f;
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    const auto rid = f.controller->submit(AccessType::Read, f.blockAddr(0),
+                                          f.now);
+    f.runTicks(4);
+    // The read completed at forwarding latency, long before any DRAM
+    // access could have finished.
+    ASSERT_EQ(f.completions.size(), 1u);
+    EXPECT_EQ(f.completions[0].first, rid);
+    EXPECT_LE(f.completions[0].second, f.now);
+    EXPECT_EQ(f.controller->stats().forwardedReads, 1u);
+    f.drain();
+    EXPECT_EQ(f.controller->stats().forwardedReads, 1u);
+}
+
+TEST(Controller, ForwardedReadUsesLatestWriteData)
+{
+    Fixture f;
+    std::vector<std::uint8_t> v1(64, 0x11), v2(64, 0x22);
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now,
+                         v1.data());
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now,
+                         v2.data());
+    f.drain();
+    std::uint8_t out[64];
+    f.mem.store().read(f.blockAddr(0), out);
+    EXPECT_EQ(out[0], 0x22);
+}
+
+TEST(Controller, ReadToDifferentBlockNotForwarded)
+{
+    Fixture f;
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    f.controller->submit(AccessType::Read, f.blockAddr(1), f.now);
+    f.runTicks(4);
+    EXPECT_TRUE(f.completions.empty());
+    f.drain();
+    EXPECT_EQ(f.controller->stats().forwardedReads, 0u);
+}
+
+TEST(Controller, RowOutcomesCounted)
+{
+    Fixture f;
+    // Same row twice: one empty + one hit. Then a conflict.
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    f.drain();
+    f.controller->submit(AccessType::Read,
+                         f.blockAddr(1) /* same row, other bank? no: */,
+                         f.now);
+    f.drain();
+    const auto &st = f.controller->stats();
+    EXPECT_EQ(st.rowHits + st.rowEmpties + st.rowConflicts, 2u);
+    EXPECT_GE(st.rowEmpties, 1u);
+}
+
+TEST(Controller, OccupancySampledPerTick)
+{
+    Fixture f;
+    f.runTicks(10);
+    EXPECT_EQ(f.controller->stats().outstandingReads.total(), 10u);
+    EXPECT_EQ(f.controller->stats().ticks, 10u);
+}
+
+TEST(Controller, SaturationCounted)
+{
+    Fixture f(ctrl::Mechanism::Burst, 16, /*wcap*/ 1);
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    // One tick with a saturated queue before the write drains.
+    f.controller->tick(f.now++);
+    EXPECT_GE(f.controller->stats().writeSatTicks, 1u);
+    f.drain();
+    EXPECT_GT(f.controller->stats().writeSaturationRate(), 0.0);
+}
+
+TEST(Controller, RefreshEngineIssuesRefreshes)
+{
+    Fixture f(ctrl::Mechanism::BurstTH, 8, 4, /*refresh*/ true);
+    const auto trefi = f.mem.timing().tREFI;
+    f.runTicks(trefi * 3);
+    // 2 ranks, ~3 intervals: several refreshes must have happened.
+    EXPECT_GE(f.controller->stats().refreshes, 3u);
+}
+
+TEST(Controller, RefreshClosesOpenRows)
+{
+    Fixture f(ctrl::Mechanism::BurstTH, 8, 4, /*refresh*/ true);
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    f.drain();
+    const dram::Coords c = f.mem.addressMap().decode(f.blockAddr(0));
+    EXPECT_TRUE(f.mem.bank(c).isOpen());
+    f.runTicks(f.mem.timing().tREFI + 200);
+    EXPECT_FALSE(f.mem.bank(c).isOpen());
+    EXPECT_GE(f.controller->stats().refreshes, 1u);
+}
+
+TEST(Controller, BytesTransferredAccumulate)
+{
+    Fixture f;
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    f.controller->submit(AccessType::Write, f.blockAddr(4), f.now);
+    f.drain();
+    EXPECT_EQ(f.controller->stats().bytesTransferred, 128u);
+}
+
+TEST(Controller, ForwardedReadMovesNoDramBytes)
+{
+    Fixture f;
+    f.controller->submit(AccessType::Write, f.blockAddr(0), f.now);
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    f.drain();
+    // Only the write transferred on the DRAM bus.
+    EXPECT_EQ(f.controller->stats().bytesTransferred, 64u);
+}
+
+TEST(Controller, SchedulerStatsMerged)
+{
+    Fixture f(ctrl::Mechanism::BurstTH);
+    f.controller->submit(AccessType::Read, f.blockAddr(0), f.now);
+    f.drain();
+    const auto stats = f.controller->schedulerStats();
+    EXPECT_TRUE(stats.count("bursts_formed"));
+    EXPECT_GE(stats.at("bursts_formed"), 1.0);
+}
+
+TEST(ControllerConfig, MechanismParamDerivation)
+{
+    ctrl::ControllerConfig cfg;
+    cfg.threshold = 52;
+    cfg.writeCap = 64;
+
+    cfg.mechanism = ctrl::Mechanism::Burst;
+    auto p = cfg.schedulerParams();
+    EXPECT_FALSE(p.readPreemption);
+    EXPECT_FALSE(p.writePiggyback);
+
+    cfg.mechanism = ctrl::Mechanism::BurstRP;
+    p = cfg.schedulerParams();
+    EXPECT_TRUE(p.readPreemption);
+    EXPECT_FALSE(p.writePiggyback);
+    EXPECT_EQ(p.threshold, 64u); // RP == TH64
+
+    cfg.mechanism = ctrl::Mechanism::BurstWP;
+    p = cfg.schedulerParams();
+    EXPECT_FALSE(p.readPreemption);
+    EXPECT_TRUE(p.writePiggyback);
+    EXPECT_EQ(p.threshold, 0u); // WP == TH0
+
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    p = cfg.schedulerParams();
+    EXPECT_TRUE(p.readPreemption);
+    EXPECT_TRUE(p.writePiggyback);
+    EXPECT_EQ(p.threshold, 52u);
+}
+
+TEST(ControllerDeath, WriteCapAbovePoolRejected)
+{
+    dram::MemorySystem mem(smallDram());
+    ctrl::ControllerConfig cfg;
+    cfg.poolCap = 4;
+    cfg.writeCap = 8;
+    EXPECT_EXIT(ctrl::MemoryController(mem, cfg),
+                testing::ExitedWithCode(1), "writeCap");
+}
+
+TEST(Controller, MechanismNamesRoundTrip)
+{
+    for (auto m : ctrl::kAllMechanisms)
+        EXPECT_EQ(ctrl::parseMechanism(ctrl::mechanismName(m)), m);
+}
+
+TEST(ControllerDeath, UnknownMechanismNameFatal)
+{
+    EXPECT_EXIT(ctrl::parseMechanism("NotAMechanism"),
+                testing::ExitedWithCode(1), "unknown mechanism");
+}
+
+TEST(Controller, WriteCoalescingMergesDuplicates)
+{
+    dram::MemorySystem mem(smallDram());
+    ctrl::ControllerConfig cfg;
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.poolCap = 8;
+    cfg.writeCap = 4;
+    cfg.coalesceWrites = true;
+    ctrl::MemoryController controller(mem, cfg);
+
+    std::vector<std::uint8_t> v1(64, 0x11), v2(64, 0x22);
+    Tick now = 0;
+    controller.submit(AccessType::Write, 0, now, v1.data());
+    controller.submit(AccessType::Write, 0, now, v2.data());
+    EXPECT_EQ(controller.writesOutstanding(), 1u);
+    EXPECT_EQ(controller.stats().coalescedWrites, 1u);
+    while (controller.busy())
+        controller.tick(now++);
+    // Exactly one DRAM write happened, carrying the newest data.
+    EXPECT_EQ(controller.stats().writes, 1u);
+    std::uint8_t out[64];
+    mem.store().read(0, out);
+    EXPECT_EQ(out[0], 0x22);
+}
+
+TEST(Controller, CoalescingOffKeepsDuplicates)
+{
+    dram::MemorySystem mem(smallDram());
+    ctrl::ControllerConfig cfg;
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.poolCap = 8;
+    cfg.writeCap = 4;
+    ctrl::MemoryController controller(mem, cfg);
+    Tick now = 0;
+    controller.submit(AccessType::Write, 0, now);
+    controller.submit(AccessType::Write, 0, now);
+    EXPECT_EQ(controller.writesOutstanding(), 2u);
+    while (controller.busy())
+        controller.tick(now++);
+    EXPECT_EQ(controller.stats().writes, 2u);
+    EXPECT_EQ(controller.stats().coalescedWrites, 0u);
+}
+
+TEST(Controller, CoalescedReadStillForwardsLatestData)
+{
+    dram::MemorySystem mem(smallDram());
+    ctrl::ControllerConfig cfg;
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.poolCap = 8;
+    cfg.writeCap = 4;
+    cfg.coalesceWrites = true;
+    ctrl::MemoryController controller(mem, cfg);
+    std::uint64_t forwarded_id = 0;
+    controller.setReadCallback(
+        [&](const ctrl::MemAccess &a, Tick) { forwarded_id = a.id; });
+
+    std::vector<std::uint8_t> v1(64, 0x11), v2(64, 0x22);
+    Tick now = 0;
+    controller.submit(AccessType::Write, 0, now, v1.data());
+    controller.submit(AccessType::Write, 0, now, v2.data());
+    const auto rid = controller.submit(AccessType::Read, 0, now);
+    while (controller.busy())
+        controller.tick(now++);
+    EXPECT_EQ(forwarded_id, rid);
+    EXPECT_EQ(controller.stats().forwardedReads, 1u);
+    std::uint8_t out[64];
+    mem.store().read(0, out);
+    EXPECT_EQ(out[0], 0x22);
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Interplay tests between scheduling mechanisms and the device-side
+ * policies that can change bank state underneath them: auto refresh
+ * (closes rows mid-burst) and close-page-autoprecharge (no row ever
+ * stays open, so bursts degenerate and piggybacking never qualifies).
+ * Every mechanism must stay correct — these paths are where schedulers
+ * with cached assumptions about bank state break.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "ctrl/controller.hh"
+#include "dram/memory_system.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+dram::DramConfig
+smallDram(dram::PagePolicy policy, bool fast_refresh)
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 2;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 32;
+    cfg.blocksPerRow = 16;
+    cfg.timing = dram::Timing::ddr2_800();
+    cfg.pagePolicy = policy;
+    if (fast_refresh) {
+        // Absurdly frequent refresh: every burst gets interrupted.
+        cfg.timing.tREFI = cfg.timing.tRFC + 60;
+    }
+    return cfg;
+}
+
+struct Driver
+{
+    Driver(ctrl::Mechanism mech, dram::PagePolicy policy,
+           bool fast_refresh)
+        : mem(smallDram(policy, fast_refresh))
+    {
+        ctrl::ControllerConfig cfg;
+        cfg.mechanism = mech;
+        cfg.poolCap = 24;
+        cfg.writeCap = 6;
+        controller = std::make_unique<ctrl::MemoryController>(mem, cfg);
+        controller->setReadCallback(
+            [this](const ctrl::MemAccess &, Tick) { responses += 1; });
+    }
+
+    void
+    run(std::uint64_t n)
+    {
+        Rng rng(31);
+        std::uint64_t submitted = 0, guard = 0;
+        while (submitted < n || controller->busy()) {
+            ASSERT_LT(guard++, 600000u) << "no forward progress";
+            while (submitted < n && controller->canAccept() &&
+                   rng.chance(0.6)) {
+                const bool w = rng.chance(0.35);
+                reads += !w;
+                controller->submit(w ? AccessType::Write
+                                     : AccessType::Read,
+                                   rng.below(128) * 64, now);
+                submitted += 1;
+            }
+            controller->tick(now++);
+        }
+    }
+
+    dram::MemorySystem mem;
+    std::unique_ptr<ctrl::MemoryController> controller;
+    Tick now = 0;
+    std::uint64_t responses = 0;
+    std::uint64_t reads = 0;
+};
+
+} // namespace
+
+class PolicyInterplay : public testing::TestWithParam<ctrl::Mechanism>
+{
+};
+
+TEST_P(PolicyInterplay, SurvivesAggressiveRefresh)
+{
+    Driver d(GetParam(), dram::PagePolicy::OpenPage,
+             /*fast_refresh*/ true);
+    d.run(400);
+    EXPECT_EQ(d.responses, d.reads);
+    EXPECT_GT(d.controller->stats().refreshes, 5u);
+    // Refresh-closed banks make accesses row empties; some must appear.
+    EXPECT_GT(d.controller->stats().rowEmpties, 0u);
+}
+
+TEST_P(PolicyInterplay, WorksUnderClosePageAutoprecharge)
+{
+    Driver d(GetParam(), dram::PagePolicy::ClosePageAuto,
+             /*fast_refresh*/ false);
+    d.run(400);
+    EXPECT_EQ(d.responses, d.reads);
+    // CPA: almost every serviced access finds a precharged bank. (Not
+    // strictly all: a preempted write that has already activated its row
+    // leaves the bank open until the preemptor's own transactions close
+    // it, so preempting mechanisms can still score a handful of hits or
+    // conflicts — an emergent interaction, classified faithfully.)
+    EXPECT_GT(d.controller->stats().rowEmptyRate(), 0.85);
+    EXPECT_GT(d.controller->stats().rowEmpties, 0u);
+}
+
+TEST_P(PolicyInterplay, WorksUnderPredictivePolicy)
+{
+    Driver d(GetParam(), dram::PagePolicy::Predictive,
+             /*fast_refresh*/ false);
+    d.run(400);
+    EXPECT_EQ(d.responses, d.reads);
+    const double sum = d.controller->stats().rowHitRate() +
+                       d.controller->stats().rowConflictRate() +
+                       d.controller->stats().rowEmptyRate();
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(PolicyInterplay, RefreshPlusCpaCombined)
+{
+    Driver d(GetParam(), dram::PagePolicy::ClosePageAuto,
+             /*fast_refresh*/ true);
+    d.run(300);
+    EXPECT_EQ(d.responses, d.reads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4, PolicyInterplay,
+    testing::ValuesIn(std::vector<ctrl::Mechanism>(
+        std::begin(ctrl::kExtendedMechanisms),
+        std::end(ctrl::kExtendedMechanisms))),
+    [](const auto &info) {
+        return std::string(ctrl::mechanismName(info.param));
+    });

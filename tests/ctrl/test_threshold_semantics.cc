@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Exact threshold semantics of Figure 5: preemption requires the write
+ * occupancy to be strictly *below* the threshold ("write queues length
+ * < threshold", line 9), piggybacking requires it strictly *above*
+ * ("write queue length > threshold", line 4). At occupancy == threshold
+ * both are disabled. These boundary tests pin the inequalities so a
+ * refactor cannot silently flip them — they are what makes
+ * Burst_RP == TH(writeCap) and Burst_WP == TH(0) hold exactly
+ * (Section 5.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched_test_util.hh"
+
+using namespace bsim;
+using schedtest::Harness;
+
+namespace
+{
+
+ctrl::SchedulerParams
+thParams(std::size_t threshold)
+{
+    ctrl::SchedulerParams p;
+    p.threshold = threshold;
+    p.writeCap = 64;
+    return p;
+}
+
+/**
+ * Build the preemption scenario with @p queued_writes outstanding while
+ * one of them is ongoing; returns true when the late read preempted it
+ * (serviced first).
+ */
+bool
+readPreempts(std::size_t threshold, std::size_t queued_writes)
+{
+    Harness h(ctrl::Mechanism::BurstTH, schedtest::smallDram(),
+              thParams(threshold));
+    std::vector<ctrl::MemAccess *> ws;
+    for (std::size_t i = 0; i < queued_writes; ++i)
+        ws.push_back(h.add(AccessType::Write, 0, 0, 1,
+                           std::uint32_t(i), Tick(i)));
+    Tick now = 0;
+    h.tick(now++); // the oldest write becomes ongoing (activate issues)
+    auto *r = h.add(AccessType::Read, 0, 0, 2, 0, now);
+    const auto order = h.drain(now);
+    return order.front() == r;
+}
+
+/**
+ * Piggyback scenario: a one-read burst in row 1 plus @p queued_writes
+ * writes, the oldest of which is row-1 (qualified). Returns true when
+ * that write was serviced immediately after the burst (piggybacked)
+ * rather than after the row-2 burst that is also waiting.
+ */
+bool
+writePiggybacks(std::size_t threshold, std::size_t queued_writes)
+{
+    Harness h(ctrl::Mechanism::BurstTH, schedtest::smallDram(),
+              thParams(threshold));
+    auto *r1 = h.add(AccessType::Read, 0, 0, 1, 0, 0);
+    auto *w = h.add(AccessType::Write, 0, 0, 1, 5, 1); // qualified
+    for (std::size_t i = 1; i < queued_writes; ++i)
+        h.add(AccessType::Write, 0, 0, 9, std::uint32_t(i), Tick(1 + i));
+    auto *r2 = h.add(AccessType::Read, 0, 0, 2, 0, 2);
+    Tick now = 0;
+    const auto order = h.drain(now);
+    EXPECT_EQ(order.front(), r1);
+    (void)r2;
+    return order[1] == w;
+}
+
+} // namespace
+
+TEST(ThresholdSemantics, PreemptionEnabledStrictlyBelow)
+{
+    // occupancy 2 < threshold 3: preempt.
+    EXPECT_TRUE(readPreempts(/*threshold*/ 3, /*writes*/ 2));
+}
+
+TEST(ThresholdSemantics, PreemptionDisabledAtEquality)
+{
+    // occupancy 3 == threshold 3: no preemption (Figure 5 line 9 is a
+    // strict inequality).
+    EXPECT_FALSE(readPreempts(/*threshold*/ 3, /*writes*/ 3));
+}
+
+TEST(ThresholdSemantics, PreemptionDisabledAbove)
+{
+    EXPECT_FALSE(readPreempts(/*threshold*/ 3, /*writes*/ 4));
+}
+
+TEST(ThresholdSemantics, PiggybackEnabledStrictlyAbove)
+{
+    // occupancy 3 > threshold 2: piggyback the qualified write.
+    EXPECT_TRUE(writePiggybacks(/*threshold*/ 2, /*writes*/ 3));
+}
+
+TEST(ThresholdSemantics, PiggybackDisabledAtEquality)
+{
+    // occupancy 2 == threshold 2: no piggybacking (Figure 5 line 4 is a
+    // strict inequality); the row-2 burst starts instead.
+    EXPECT_FALSE(writePiggybacks(/*threshold*/ 2, /*writes*/ 2));
+}
+
+TEST(ThresholdSemantics, PiggybackDisabledBelow)
+{
+    EXPECT_FALSE(writePiggybacks(/*threshold*/ 3, /*writes*/ 2));
+}
+
+TEST(ThresholdSemantics, Th64EquivalentToRp)
+{
+    // Section 5.4: Burst_RP == Burst_TH(64) given the 64-entry queue.
+    for (std::size_t writes : {1u, 3u}) {
+        Harness rp(ctrl::Mechanism::BurstRP);
+        Harness th(ctrl::Mechanism::BurstTH, schedtest::smallDram(),
+                   thParams(64));
+        for (auto *h : {&rp, &th}) {
+            for (std::size_t i = 0; i < writes; ++i)
+                h->add(AccessType::Write, 0, 0, 1, std::uint32_t(i),
+                       Tick(i));
+            Tick now = 0;
+            h->tick(now++);
+            h->add(AccessType::Read, 0, 0, 2, 0, now);
+        }
+        Tick now_rp = 1, now_th = 1;
+        const auto o1 = rp.drain(now_rp);
+        const auto o2 = th.drain(now_th);
+        ASSERT_EQ(o1.size(), o2.size());
+        for (std::size_t i = 0; i < o1.size(); ++i)
+            EXPECT_EQ(o1[i]->isRead(), o2[i]->isRead()) << i;
+        EXPECT_EQ(now_rp, now_th);
+    }
+}
+
+TEST(ThresholdSemantics, Th0EquivalentToWp)
+{
+    // Section 5.4: Burst_WP == Burst_TH(0).
+    Harness wp(ctrl::Mechanism::BurstWP);
+    Harness th(ctrl::Mechanism::BurstTH, schedtest::smallDram(),
+               thParams(0));
+    for (auto *h : {&wp, &th}) {
+        h->add(AccessType::Read, 0, 0, 1, 0, 0);
+        h->add(AccessType::Write, 0, 0, 1, 5, 1);
+        h->add(AccessType::Read, 0, 0, 2, 0, 2);
+        h->add(AccessType::Write, 0, 0, 2, 6, 3);
+    }
+    Tick now_wp = 0, now_th = 0;
+    const auto o1 = wp.drain(now_wp);
+    const auto o2 = th.drain(now_th);
+    ASSERT_EQ(o1.size(), o2.size());
+    for (std::size_t i = 0; i < o1.size(); ++i) {
+        EXPECT_EQ(o1[i]->isRead(), o2[i]->isRead()) << i;
+        EXPECT_EQ(o1[i]->coords.row, o2[i]->coords.row) << i;
+    }
+    EXPECT_EQ(now_wp, now_th);
+}

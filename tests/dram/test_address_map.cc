@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Address mapping tests: bijectivity, field bounds and the locality
+ * properties each scheme exists to provide.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "dram/address_map.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+
+DramConfig
+baselineConfig(AddressMapKind kind)
+{
+    DramConfig cfg; // Table 3 defaults
+    cfg.addressMap = kind;
+    return cfg;
+}
+
+} // namespace
+
+class AddressMapAll : public testing::TestWithParam<AddressMapKind>
+{
+};
+
+TEST_P(AddressMapAll, RoundTripsRandomAddresses)
+{
+    const DramConfig cfg = baselineConfig(GetParam());
+    AddressMap map(cfg);
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a =
+            (rng.next() % cfg.capacityBytes()) & ~Addr(cfg.blockBytes - 1);
+        const Coords c = map.decode(a);
+        EXPECT_EQ(map.encode(c), a);
+    }
+}
+
+TEST_P(AddressMapAll, FieldsWithinBounds)
+{
+    const DramConfig cfg = baselineConfig(GetParam());
+    AddressMap map(cfg);
+    Rng rng(43);
+    for (int i = 0; i < 5000; ++i) {
+        const Coords c = map.decode(rng.next() % cfg.capacityBytes());
+        EXPECT_LT(c.channel, cfg.channels);
+        EXPECT_LT(c.rank, cfg.ranksPerChannel);
+        EXPECT_LT(c.bank, cfg.banksPerRank);
+        EXPECT_LT(c.row, cfg.rowsPerBank);
+        EXPECT_LT(c.col, cfg.blocksPerRow);
+    }
+}
+
+TEST_P(AddressMapAll, DistinctBlocksDistinctCoords)
+{
+    // Bijectivity the other way: sequential blocks never collide.
+    const DramConfig cfg = baselineConfig(GetParam());
+    AddressMap map(cfg);
+    Addr prev_encoded = ~Addr{0};
+    for (Addr a = 0; a < 512 * 64; a += 64) {
+        const Addr e = map.encode(map.decode(a));
+        EXPECT_EQ(e, a);
+        EXPECT_NE(e, prev_encoded);
+        prev_encoded = e;
+    }
+}
+
+TEST_P(AddressMapAll, AddressesWrapBeyondCapacity)
+{
+    const DramConfig cfg = baselineConfig(GetParam());
+    AddressMap map(cfg);
+    const Addr a = 0x1234000;
+    const Coords lo = map.decode(a);
+    const Coords hi = map.decode(a + cfg.capacityBytes());
+    EXPECT_EQ(lo.channel, hi.channel);
+    EXPECT_EQ(lo.rank, hi.rank);
+    EXPECT_EQ(lo.bank, hi.bank);
+    EXPECT_EQ(lo.row, hi.row);
+    EXPECT_EQ(lo.col, hi.col);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AddressMapAll,
+    testing::Values(AddressMapKind::PageInterleave,
+                    AddressMapKind::BlockInterleave,
+                    AddressMapKind::BitReversal,
+                    AddressMapKind::PermutationInterleave),
+    [](const auto &info) {
+        switch (info.param) {
+          case AddressMapKind::PageInterleave: return "PageInterleave";
+          case AddressMapKind::BlockInterleave: return "BlockInterleave";
+          case AddressMapKind::BitReversal: return "BitReversal";
+          case AddressMapKind::PermutationInterleave:
+            return "PermutationInterleave";
+        }
+        return "Unknown";
+    });
+
+TEST(AddressMapPage, SequentialBlocksFillOneRow)
+{
+    // Page interleaving: a row's worth of sequential blocks lands in one
+    // (channel, rank, bank, row) — the property that gives streaming
+    // workloads their row locality.
+    const DramConfig cfg = baselineConfig(AddressMapKind::PageInterleave);
+    AddressMap map(cfg);
+    const Coords first = map.decode(0);
+    for (std::uint32_t i = 0; i < cfg.blocksPerRow; ++i) {
+        const Coords c = map.decode(Addr(i) * cfg.blockBytes);
+        EXPECT_TRUE(c.sameRow(first));
+        EXPECT_EQ(c.col, i);
+    }
+    // The next block moves to the other channel.
+    const Coords next =
+        map.decode(Addr(cfg.blocksPerRow) * cfg.blockBytes);
+    EXPECT_NE(next.channel, first.channel);
+}
+
+TEST(AddressMapPage, RowAdvancesAfterAllBanks)
+{
+    const DramConfig cfg = baselineConfig(AddressMapKind::PageInterleave);
+    AddressMap map(cfg);
+    const std::uint64_t row_span = std::uint64_t(cfg.blocksPerRow) *
+                                   cfg.blockBytes * cfg.channels *
+                                   cfg.banksPerRank * cfg.ranksPerChannel;
+    EXPECT_EQ(map.decode(0).row, 0u);
+    EXPECT_EQ(map.decode(row_span - 1).row, 0u);
+    EXPECT_EQ(map.decode(row_span).row, 1u);
+}
+
+TEST(AddressMapBlock, AdjacentBlocksAlternateChannels)
+{
+    const DramConfig cfg = baselineConfig(AddressMapKind::BlockInterleave);
+    AddressMap map(cfg);
+    const Coords a = map.decode(0);
+    const Coords b = map.decode(cfg.blockBytes);
+    EXPECT_NE(a.channel, b.channel);
+}
+
+TEST(AddressMapBitReversal, DiffersFromPageInterleave)
+{
+    const DramConfig page = baselineConfig(AddressMapKind::PageInterleave);
+    const DramConfig rev = baselineConfig(AddressMapKind::BitReversal);
+    AddressMap pmap(page), rmap(rev);
+    int differing = 0;
+    for (Addr a = 0; a < 64; ++a) {
+        const Coords pc = pmap.decode(a << 20);
+        const Coords rc = rmap.decode(a << 20);
+        differing += !(pc.sameRow(rc) && pc.col == rc.col);
+    }
+    EXPECT_GT(differing, 32);
+}
+
+TEST(AddressMapBitReversal, LargePow2StridesSpreadBanks)
+{
+    // The point of bit reversal (Shao & Davis SCOPES'05): large
+    // power-of-two strides, which page interleaving maps to one bank,
+    // spread across banks.
+    const DramConfig cfg = baselineConfig(AddressMapKind::BitReversal);
+    AddressMap map(cfg);
+    // The topmost address bits land in the channel/bank fields after
+    // reversal, so GB-scale strides spread across banks...
+    const std::uint64_t stride = 1ULL << 30;
+    bool spreads = false;
+    const Coords first = map.decode(0);
+    for (int i = 1; i < 4; ++i) {
+        const Coords c = map.decode(Addr(i) * stride);
+        if (!c.sameBank(first))
+            spreads = true;
+    }
+    EXPECT_TRUE(spreads);
+    // ...whereas page interleaving keeps them all in one bank.
+    AddressMap pmap(baselineConfig(AddressMapKind::PageInterleave));
+    const Coords pfirst = pmap.decode(0);
+    for (int i = 1; i < 4; ++i)
+        EXPECT_TRUE(pmap.decode(Addr(i) * stride).sameBank(pfirst));
+}
+
+TEST(AddressMapPermutation, PreservesRowLocality)
+{
+    // Within one row, the permutation mapping is identical to page
+    // interleaving: sequential blocks share (channel, rank, bank, row).
+    const DramConfig cfg =
+        baselineConfig(AddressMapKind::PermutationInterleave);
+    AddressMap map(cfg);
+    const Coords first = map.decode(0);
+    for (std::uint32_t i = 1; i < cfg.blocksPerRow; ++i)
+        EXPECT_TRUE(map.decode(Addr(i) * cfg.blockBytes).sameRow(first));
+}
+
+TEST(AddressMapPermutation, SpreadsRowConflictStrides)
+{
+    // The stride that makes page interleaving thrash one bank (row-size
+    // x channels x banks x ranks) maps to rotating banks here.
+    const DramConfig page = baselineConfig(AddressMapKind::PageInterleave);
+    const DramConfig perm =
+        baselineConfig(AddressMapKind::PermutationInterleave);
+    AddressMap pmap(page), qmap(perm);
+    const std::uint64_t stride = std::uint64_t(page.blocksPerRow) *
+                                 page.blockBytes * page.channels *
+                                 page.banksPerRank * page.ranksPerChannel;
+    const Coords p0 = pmap.decode(0), q0 = qmap.decode(0);
+    bool page_same_bank = true, perm_spreads = false;
+    for (int i = 1; i < 4; ++i) {
+        page_same_bank =
+            page_same_bank && pmap.decode(Addr(i) * stride).sameBank(p0);
+        perm_spreads =
+            perm_spreads || !qmap.decode(Addr(i) * stride).sameBank(q0);
+    }
+    EXPECT_TRUE(page_same_bank);
+    EXPECT_TRUE(perm_spreads);
+}
+
+TEST(AddressMap, BlockBaseMasksOffset)
+{
+    const DramConfig cfg = baselineConfig(AddressMapKind::PageInterleave);
+    AddressMap map(cfg);
+    EXPECT_EQ(map.blockBase(0x12345), Addr(0x12340));
+    EXPECT_EQ(map.blockBase(0x12340), Addr(0x12340));
+}
+
+TEST(AddressMap, CoordsHelpers)
+{
+    Coords a{0, 1, 2, 3, 4};
+    Coords b = a;
+    EXPECT_TRUE(a.sameBank(b));
+    EXPECT_TRUE(a.sameRow(b));
+    EXPECT_TRUE(a.sameRank(b));
+    b.row = 9;
+    EXPECT_TRUE(a.sameBank(b));
+    EXPECT_FALSE(a.sameRow(b));
+    b.bank = 0;
+    EXPECT_FALSE(a.sameBank(b));
+    EXPECT_TRUE(a.sameRank(b));
+}
+
+TEST(AddressMapDeath, RejectsNonPowerOfTwo)
+{
+    DramConfig cfg;
+    cfg.rowsPerBank = 1000;
+    EXPECT_EXIT(AddressMap{cfg}, testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(AddressMap, CapacityMatchesTable3)
+{
+    DramConfig cfg;
+    EXPECT_EQ(cfg.capacityBytes(), 4ULL << 30); // 4 GB
+    EXPECT_EQ(cfg.totalBanks(), 32u);           // 2 x 4 x 4
+    AddressMap map(cfg);
+    EXPECT_EQ(map.addressBits(), 32u);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Backing store tests: block-granular storage with lazy allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dram/backing_store.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+TEST(BackingStore, UnwrittenReadsZero)
+{
+    BackingStore s(64);
+    std::uint8_t buf[64];
+    std::memset(buf, 0xff, sizeof(buf));
+    s.read(0x1000, buf);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0);
+    EXPECT_EQ(s.allocatedBlocks(), 0u);
+}
+
+TEST(BackingStore, WriteReadRoundTrip)
+{
+    BackingStore s(64);
+    std::uint8_t in[64], out[64];
+    for (int i = 0; i < 64; ++i)
+        in[i] = std::uint8_t(i * 3);
+    s.write(0x2000, in);
+    s.read(0x2000, out);
+    EXPECT_EQ(std::memcmp(in, out, 64), 0);
+    EXPECT_EQ(s.allocatedBlocks(), 1u);
+}
+
+TEST(BackingStore, SubBlockAddressesAlias)
+{
+    BackingStore s(64);
+    s.writeStamp(0x2000, 77);
+    EXPECT_EQ(s.readStamp(0x2004 + 32), 77u);
+    EXPECT_EQ(s.readStamp(0x203f), 77u);
+    EXPECT_EQ(s.readStamp(0x2040), 0u); // next block
+}
+
+TEST(BackingStore, OverwriteTakesLatest)
+{
+    BackingStore s(64);
+    s.writeStamp(0x0, 1);
+    s.writeStamp(0x0, 2);
+    EXPECT_EQ(s.readStamp(0x0), 2u);
+    EXPECT_EQ(s.allocatedBlocks(), 1u);
+}
+
+TEST(BackingStore, StampsAreIndependentAcrossBlocks)
+{
+    BackingStore s(64);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        s.writeStamp(i * 64, i + 1);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(s.readStamp(i * 64), i + 1);
+    EXPECT_EQ(s.allocatedBlocks(), 100u);
+}
+
+TEST(BackingStore, CustomBlockSize)
+{
+    BackingStore s(32);
+    EXPECT_EQ(s.blockBytes(), 32u);
+    s.writeStamp(0x20, 9);
+    EXPECT_EQ(s.readStamp(0x3f), 9u);
+    EXPECT_EQ(s.readStamp(0x40), 0u);
+}

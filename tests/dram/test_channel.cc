@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Channel tests: one command per cycle on the command bus, data bus
+ * occupancy and the rank/direction turnaround gaps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/channel.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+const Timing kT = Timing::ddr2_800();
+}
+
+TEST(Channel, OneCommandPerCycle)
+{
+    Channel ch(2, 4);
+    EXPECT_TRUE(ch.cmdBusFree(5));
+    ch.useCmdBus(5);
+    EXPECT_FALSE(ch.cmdBusFree(5));
+    EXPECT_TRUE(ch.cmdBusFree(6));
+}
+
+TEST(ChannelDeath, DoubleCommandPanics)
+{
+    Channel ch(2, 4);
+    ch.useCmdBus(5);
+    EXPECT_DEATH(ch.useCmdBus(5), "two commands");
+}
+
+TEST(Channel, CmdBusyCyclesCount)
+{
+    Channel ch(1, 1);
+    ch.useCmdBus(1);
+    ch.useCmdBus(2);
+    ch.useCmdBus(9);
+    EXPECT_EQ(ch.cmdBusyCycles(), 3u);
+}
+
+TEST(Channel, DataBusFreeInitially)
+{
+    Channel ch(2, 4);
+    EXPECT_EQ(ch.earliestDataStart(0, false, kT), 0u);
+    EXPECT_FALSE(ch.dataBusUsedYet());
+}
+
+TEST(Channel, DataBusOccupiedForBurst)
+{
+    Channel ch(2, 4);
+    ch.useDataBus(10, 0, false, kT);
+    EXPECT_EQ(ch.dataBusFreeAt(), 10 + kT.dataCycles());
+    EXPECT_EQ(ch.dataBusyCycles(), kT.dataCycles());
+    // Same rank, same direction: back to back is legal.
+    EXPECT_EQ(ch.earliestDataStart(0, false, kT), 10 + kT.dataCycles());
+}
+
+TEST(Channel, RankToRankTurnaround)
+{
+    Channel ch(2, 4);
+    ch.useDataBus(10, 0, false, kT);
+    EXPECT_EQ(ch.earliestDataStart(1, false, kT),
+              10 + kT.dataCycles() + kT.tRTRS);
+}
+
+TEST(Channel, ReadToWriteTurnaround)
+{
+    Channel ch(2, 4);
+    ch.useDataBus(10, 0, false, kT);
+    EXPECT_EQ(ch.earliestDataStart(0, true, kT),
+              10 + kT.dataCycles() + kT.tRTW);
+}
+
+TEST(Channel, WriteToReadSameRankHasNoExtraBusGap)
+{
+    // W->R same rank is governed by the rank's tWTR, not the bus.
+    Channel ch(2, 4);
+    ch.useDataBus(10, 0, true, kT);
+    EXPECT_EQ(ch.earliestDataStart(0, false, kT), 10 + kT.dataCycles());
+}
+
+TEST(ChannelDeath, OverlappingDataPanics)
+{
+    Channel ch(2, 4);
+    ch.useDataBus(10, 0, false, kT);
+    EXPECT_DEATH(ch.useDataBus(11, 0, false, kT), "data bus conflict");
+}
+
+TEST(Channel, LastDataRankTracked)
+{
+    Channel ch(4, 4);
+    ch.useDataBus(0, 2, false, kT);
+    EXPECT_EQ(ch.lastDataRank(), 2u);
+    EXPECT_TRUE(ch.dataBusUsedYet());
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Command log and ASCII timeline tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dram/command_log.hh"
+#include "dram/memory_system.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+
+DramConfig
+tinyConfig()
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 16;
+    cfg.blocksPerRow = 32;
+    cfg.timing.tREFI = 0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CommandLog, RecordsIssuedCommands)
+{
+    MemorySystem mem(tinyConfig());
+    CommandLog log;
+    mem.attachLog(&log);
+
+    const Coords c{0, 0, 0, 3, 0};
+    mem.issue({CmdType::Activate, c, 7}, 0);
+    Tick now = mem.timing().tRCD;
+    mem.issue({CmdType::Read, c, 7}, now);
+
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.records()[0].type, CmdType::Activate);
+    EXPECT_EQ(log.records()[0].at, 0u);
+    EXPECT_EQ(log.records()[0].accessId, 7u);
+    EXPECT_EQ(log.records()[1].type, CmdType::Read);
+    EXPECT_EQ(log.records()[1].dataStart, now + mem.timing().tCL);
+}
+
+TEST(CommandLog, DetachStopsRecording)
+{
+    MemorySystem mem(tinyConfig());
+    CommandLog log;
+    mem.attachLog(&log);
+    mem.issue({CmdType::Activate, {0, 0, 0, 3, 0}, 1}, 0);
+    mem.attachLog(nullptr);
+    mem.issue({CmdType::Activate, {0, 0, 1, 3, 0}, 2}, 10); // past tRRD
+    EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(CommandLog, CapacityBoundsDropOldest)
+{
+    CommandLog log(2);
+    for (Tick t = 0; t < 5; ++t)
+        log.record({t, CmdType::Precharge, {}, t, 0, 0});
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.totalRecorded(), 5u);
+    EXPECT_EQ(log.records()[0].at, 3u);
+    EXPECT_EQ(log.records()[1].at, 4u);
+}
+
+TEST(CommandLog, ClearResets)
+{
+    CommandLog log;
+    log.record({0, CmdType::Precharge, {}, 1, 0, 0});
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.totalRecorded(), 0u);
+}
+
+TEST(CommandLog, TimelineShowsCommandsAndData)
+{
+    MemorySystem mem(tinyConfig());
+    CommandLog log;
+    mem.attachLog(&log);
+
+    const Coords c{0, 0, 0, 3, 0};
+    mem.issue({CmdType::Activate, c, 1}, 0);
+    mem.issue({CmdType::Read, c, 1}, mem.timing().tRCD);
+
+    std::ostringstream os;
+    log.renderTimeline(os, 0, 30);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("ch0 r0 b0"), std::string::npos);
+    EXPECT_NE(out.find("ch0 data bus"), std::string::npos);
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('R'), std::string::npos);
+    EXPECT_NE(out.find('='), std::string::npos);
+    // The activate glyph sits at column 0 of its lane.
+    const auto lane_pos = out.find("ch0 r0 b0");
+    const auto lane = out.substr(lane_pos, 17 + 30);
+    EXPECT_EQ(lane[17], 'A');
+}
+
+TEST(CommandLog, TimelineDataOccupancyMatchesBurst)
+{
+    MemorySystem mem(tinyConfig());
+    CommandLog log;
+    mem.attachLog(&log);
+    const Coords c{0, 0, 0, 3, 0};
+    mem.issue({CmdType::Activate, c, 1}, 0);
+    mem.issue({CmdType::Read, c, 1}, mem.timing().tRCD);
+
+    std::ostringstream os;
+    log.renderTimeline(os, 0, 30);
+    const std::string out = os.str();
+    // Count '=' on the data-bus lane only (the legend also contains one).
+    const auto pos = out.find("ch0 data bus");
+    ASSERT_NE(pos, std::string::npos);
+    const auto line_end = out.find('\n', pos);
+    std::size_t eq = 0;
+    for (std::size_t i = pos; i < line_end; ++i)
+        eq += out[i] == '=';
+    EXPECT_EQ(eq, mem.timing().dataCycles());
+}
+
+TEST(CommandLog, TimelineTruncatesLongWindows)
+{
+    CommandLog log;
+    log.record({0, CmdType::Precharge, {}, 1, 0, 0});
+    std::ostringstream os;
+    log.renderTimeline(os, 0, 10'000, 50);
+    EXPECT_NE(os.str().find("truncated"), std::string::npos);
+}
+
+TEST(CommandLog, EmptyWindowHandled)
+{
+    CommandLog log;
+    std::ostringstream os;
+    log.renderTimeline(os, 10, 10);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Integration tests of the full timing engine: canIssue/issue semantics,
+ * derived next commands, refresh, policies and bus statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/memory_system.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+
+DramConfig
+smallConfig()
+{
+    DramConfig cfg;
+    cfg.channels = 2;
+    cfg.ranksPerChannel = 2;
+    cfg.banksPerRank = 2;
+    cfg.rowsPerBank = 64;
+    cfg.blocksPerRow = 32;
+    cfg.timing = Timing::ddr2_800();
+    cfg.timing.tREFI = 0;
+    return cfg;
+}
+
+/** Advance until @p cmd can issue, then issue it. */
+IssueResult
+issueWhenReady(MemorySystem &mem, const Command &cmd, Tick &now)
+{
+    while (!mem.canIssue(cmd, now))
+        ++now;
+    return mem.issue(cmd, now);
+}
+
+} // namespace
+
+TEST(MemorySystem, NextCmdDerivation)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    EXPECT_EQ(mem.nextCmdFor(c, AccessType::Read), CmdType::Activate);
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    EXPECT_EQ(mem.nextCmdFor(c, AccessType::Read), CmdType::Read);
+    EXPECT_EQ(mem.nextCmdFor(c, AccessType::Write), CmdType::Write);
+    Coords other = c;
+    other.row = 9;
+    EXPECT_EQ(mem.nextCmdFor(other, AccessType::Read), CmdType::Precharge);
+}
+
+TEST(MemorySystem, ReadDataTiming)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    const Tick rd_at = now + mem.timing().tRCD; // will be ready then
+    Tick t = rd_at;
+    const IssueResult r = issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+    EXPECT_EQ(r.dataStart, t + mem.timing().tCL);
+    EXPECT_EQ(r.dataEnd, r.dataStart + mem.timing().dataCycles());
+}
+
+TEST(MemorySystem, WriteDataTiming)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    Tick t = now;
+    const IssueResult r = issueWhenReady(mem, {CmdType::Write, c, 1}, t);
+    EXPECT_EQ(r.dataStart, t + mem.timing().tWL);
+    EXPECT_EQ(r.dataEnd, r.dataStart + mem.timing().dataCycles());
+}
+
+TEST(MemorySystem, CommandBusSerializesPerChannel)
+{
+    MemorySystem mem(smallConfig());
+    const Coords a{0, 0, 0, 1, 0};
+    const Coords b{0, 0, 1, 1, 0}; // same channel, other bank
+    Tick now = 0;
+    mem.issue({CmdType::Activate, a, 1}, now);
+    EXPECT_FALSE(mem.canIssue({CmdType::Activate, b, 2}, now));
+    // Other channel is independent.
+    const Coords c{1, 0, 0, 1, 0};
+    EXPECT_TRUE(mem.canIssue({CmdType::Activate, c, 3}, now));
+}
+
+TEST(MemorySystem, SameCycleCommandsOnBothChannels)
+{
+    MemorySystem mem(smallConfig());
+    mem.issue({CmdType::Activate, {0, 0, 0, 1, 0}, 1}, 0);
+    mem.issue({CmdType::Activate, {1, 0, 0, 1, 0}, 2}, 0);
+    EXPECT_EQ(mem.cmdBusyCycles(), 2u);
+}
+
+TEST(MemorySystem, BackToBackRowHitsSaturateDataBus)
+{
+    // The property burst scheduling exploits: row hits within a bank can
+    // stream data back to back.
+    MemorySystem mem(smallConfig());
+    Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    Tick first_start = 0, prev_end = 0;
+    for (int i = 0; i < 4; ++i) {
+        c.col = std::uint32_t(i);
+        Tick t = now;
+        const IssueResult r = issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+        if (i == 0) {
+            first_start = r.dataStart;
+        } else {
+            EXPECT_EQ(r.dataStart, prev_end); // no bubbles
+        }
+        prev_end = r.dataEnd;
+        now = t + 1;
+    }
+    EXPECT_EQ(prev_end - first_start, 4 * mem.timing().dataCycles());
+}
+
+TEST(MemorySystem, RankTurnaroundForcesGap)
+{
+    MemorySystem mem(smallConfig());
+    const Coords a{0, 0, 0, 5, 0};
+    const Coords b{0, 1, 0, 5, 0}; // other rank, same channel
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, a, 1}, now);
+    ++now;
+    issueWhenReady(mem, {CmdType::Activate, b, 2}, now);
+    ++now;
+    Tick t = now;
+    const IssueResult ra = issueWhenReady(mem, {CmdType::Read, a, 1}, t);
+    ++t;
+    const IssueResult rb = issueWhenReady(mem, {CmdType::Read, b, 2}, t);
+    EXPECT_GE(rb.dataStart, ra.dataEnd + mem.timing().tRTRS);
+}
+
+TEST(MemorySystem, RefreshAllBlocksRank)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    EXPECT_TRUE(mem.canIssue({CmdType::RefreshAll, c, 0}, now));
+    mem.issue({CmdType::RefreshAll, c, 0}, now);
+    EXPECT_FALSE(mem.canIssue({CmdType::Activate, c, 1},
+                              now + mem.timing().tRFC - 1));
+    EXPECT_TRUE(mem.canIssue({CmdType::Activate, c, 1},
+                             now + mem.timing().tRFC));
+}
+
+TEST(MemorySystem, RefreshNeedsClosedBanks)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    EXPECT_FALSE(mem.canIssue({CmdType::RefreshAll, c, 0}, now + 1));
+}
+
+TEST(MemorySystem, ClosePagePolicyAutoprecharges)
+{
+    DramConfig cfg = smallConfig();
+    cfg.pagePolicy = PagePolicy::ClosePageAuto;
+    MemorySystem mem(cfg);
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    Tick t = now;
+    issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+    EXPECT_FALSE(mem.bank(c).isOpen());
+    EXPECT_EQ(mem.classify(c), RowOutcome::Empty);
+}
+
+TEST(MemorySystem, BusUtilizationAccounting)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    Tick t = now;
+    issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+    EXPECT_EQ(mem.cmdBusyCycles(), 2u);
+    EXPECT_EQ(mem.dataBusyCycles(), mem.timing().dataCycles());
+    // Utilization normalizes over channels and elapsed time.
+    EXPECT_DOUBLE_EQ(mem.addressBusUtilization(100), 2.0 / 200.0);
+    EXPECT_DOUBLE_EQ(mem.dataBusUtilization(100),
+                     double(mem.timing().dataCycles()) / 200.0);
+    EXPECT_DOUBLE_EQ(mem.addressBusUtilization(0), 0.0);
+}
+
+TEST(MemorySystemDeath, IllegalIssuePanics)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    EXPECT_DEATH(mem.issue({CmdType::Read, c, 1}, 0), "illegal RD issue");
+}
+
+TEST(MemorySystem, WriteToReadTurnaroundAcrossBanks)
+{
+    // tWTR is rank-wide: a write in bank 0 delays a read in bank 1 of
+    // the same rank.
+    MemorySystem mem(smallConfig());
+    const Coords w{0, 0, 0, 5, 0};
+    const Coords r{0, 0, 1, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, w, 1}, now);
+    ++now;
+    issueWhenReady(mem, {CmdType::Activate, r, 2}, now);
+    ++now;
+    Tick t = now;
+    const IssueResult wr = issueWhenReady(mem, {CmdType::Write, w, 1}, t);
+    ++t;
+    Tick rd_t = t;
+    issueWhenReady(mem, {CmdType::Read, r, 2}, rd_t);
+    EXPECT_GE(rd_t, wr.dataEnd + mem.timing().tWTR);
+}
+
+TEST(MemorySystemPredictive, StreamingKeepsRowsOpen)
+{
+    // Row hits train the predictor toward "stay open": a streaming
+    // pattern must behave like open page.
+    DramConfig cfg = smallConfig();
+    cfg.pagePolicy = PagePolicy::Predictive;
+    MemorySystem mem(cfg);
+    Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+        c.col = i;
+        Tick t = now;
+        issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+        now = t + 1;
+        EXPECT_TRUE(mem.bank(c).isOpen()) << "access " << i;
+    }
+    EXPECT_DOUBLE_EQ(mem.predictedCloseRate(), 0.0);
+}
+
+TEST(MemorySystemPredictive, ConflictsTrainTowardClose)
+{
+    DramConfig cfg = smallConfig();
+    cfg.pagePolicy = PagePolicy::Predictive;
+    MemorySystem mem(cfg);
+    Tick now = 0;
+    // Alternate rows in one bank: every access conflicts.
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        Coords c{0, 0, 0, 5 + (i % 2), 0};
+        for (;;) {
+            const CmdType cmd = mem.nextCmdFor(c, AccessType::Read);
+            Tick t = now;
+            issueWhenReady(mem, {cmd, c, i + 1}, t);
+            now = t + 1;
+            if (cmd == CmdType::Read)
+                break;
+        }
+    }
+    // After the conflicts, the predictor closes rows after access.
+    EXPECT_GT(mem.predictedCloseRate(), 0.0);
+    const Coords last{0, 0, 0, 5, 0};
+    EXPECT_FALSE(mem.bank(last).isOpen())
+        << "trained predictor should auto-precharge";
+}
+
+TEST(MemorySystemPredictive, StaticPoliciesReportZeroRate)
+{
+    MemorySystem mem(smallConfig());
+    const Coords c{0, 0, 0, 5, 0};
+    Tick now = 0;
+    issueWhenReady(mem, {CmdType::Activate, c, 1}, now);
+    ++now;
+    Tick t = now;
+    issueWhenReady(mem, {CmdType::Read, c, 1}, t);
+    EXPECT_DOUBLE_EQ(mem.predictedCloseRate(), 0.0);
+}

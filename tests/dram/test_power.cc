@@ -1,0 +1,129 @@
+/**
+ * @file
+ * DRAM energy model tests: per-term accounting and the qualitative
+ * property the model exists for (row hits cut activate energy).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/power.hh"
+#include "sim/experiment.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+
+DramConfig
+baselineDram()
+{
+    return DramConfig{};
+}
+
+} // namespace
+
+TEST(Power, ZeroCountsOnlyBackground)
+{
+    const EnergyBreakdown e = estimateEnergy(
+        {}, 1000, baselineDram(), PowerParams::ddr2_800(), 2.5);
+    EXPECT_DOUBLE_EQ(e.actPre, 0.0);
+    EXPECT_DOUBLE_EQ(e.readBurst, 0.0);
+    EXPECT_DOUBLE_EQ(e.writeBurst, 0.0);
+    EXPECT_DOUBLE_EQ(e.refresh, 0.0);
+    EXPECT_GT(e.background, 0.0);
+    EXPECT_DOUBLE_EQ(e.total(), e.background);
+}
+
+TEST(Power, TermsScaleLinearlyWithCounts)
+{
+    CommandCounts one;
+    one.activates = 1;
+    one.reads = 1;
+    one.writes = 1;
+    one.refreshes = 1;
+    CommandCounts ten = one;
+    ten.activates = 10;
+    ten.reads = 10;
+    ten.writes = 10;
+    ten.refreshes = 10;
+    const auto p = PowerParams::ddr2_800();
+    const auto e1 = estimateEnergy(one, 0, baselineDram(), p, 2.5);
+    const auto e10 = estimateEnergy(ten, 0, baselineDram(), p, 2.5);
+    EXPECT_NEAR(e10.actPre, 10 * e1.actPre, 1e-12);
+    EXPECT_NEAR(e10.readBurst, 10 * e1.readBurst, 1e-12);
+    EXPECT_NEAR(e10.writeBurst, 10 * e1.writeBurst, 1e-12);
+    EXPECT_NEAR(e10.refresh, 10 * e1.refresh, 1e-12);
+}
+
+TEST(Power, ActivateDominatesSingleBurst)
+{
+    // An ACT/PRE pair costs more than one data burst — the physical fact
+    // that makes row hits an energy optimization.
+    CommandCounts c;
+    c.activates = 1;
+    c.reads = 1;
+    const auto e = estimateEnergy(c, 0, baselineDram(),
+                                  PowerParams::ddr2_800(), 2.5);
+    EXPECT_GT(e.actPre, e.readBurst);
+}
+
+TEST(Power, AveragePowerSane)
+{
+    CommandCounts c;
+    c.activates = 1000;
+    c.reads = 3000;
+    c.writes = 1000;
+    c.refreshes = 10;
+    const auto e = estimateEnergy(c, 100000, baselineDram(),
+                                  PowerParams::ddr2_800(), 2.5);
+    const double seconds = 100000 * 2.5e-9;
+    const double watts = e.averagePower(seconds);
+    // A 16-device-rank x 8-rank DDR2 system idles at a few watts and
+    // peaks in the tens; sanity-band the estimate.
+    EXPECT_GT(watts, 1.0);
+    EXPECT_LT(watts, 100.0);
+    EXPECT_DOUBLE_EQ(e.averagePower(0.0), 0.0);
+}
+
+TEST(Power, PerByteHandlesZero)
+{
+    EnergyBreakdown e;
+    e.actPre = 1.0;
+    EXPECT_DOUBLE_EQ(e.perByte(0), 0.0);
+    EXPECT_DOUBLE_EQ(e.perByte(2), 0.5);
+}
+
+TEST(Power, EndToEndEnergyPopulated)
+{
+    sim::ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 15000;
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    const auto r = sim::runExperiment(cfg);
+    EXPECT_GT(r.energy.total(), 0.0);
+    EXPECT_GT(r.avgPowerW, 0.0);
+    EXPECT_GT(r.dramCommands.activates, 0u);
+    EXPECT_GE(r.dramCommands.precharges + r.dramCommands.refreshes,
+              r.dramCommands.activates / 2)
+        << "activates must eventually be matched by precharges";
+}
+
+TEST(Power, RowHitsReduceActivateEnergyPerByte)
+{
+    // The qualitative claim: a mechanism with a higher row hit rate
+    // spends less activate/precharge energy per transferred byte.
+    sim::ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 40000;
+    cfg.mechanism = ctrl::Mechanism::BkInOrder;
+    const auto base = sim::runExperiment(cfg);
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    const auto th = sim::runExperiment(cfg);
+    ASSERT_GT(th.ctrl.rowHitRate(), base.ctrl.rowHitRate());
+    const double base_act_per_byte =
+        base.energy.actPre / double(base.ctrl.bytesTransferred);
+    const double th_act_per_byte =
+        th.energy.actPre / double(th.ctrl.bytesTransferred);
+    EXPECT_LT(th_act_per_byte, base_act_per_byte);
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Rank-level constraint tests: tRRD, tFAW, the rank-wide write-to-read
+ * turnaround, and refresh preconditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/rank.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+
+namespace
+{
+const Timing kT = Timing::ddr2_800();
+}
+
+TEST(Rank, TrrdSpacesActivates)
+{
+    Rank r(4);
+    EXPECT_TRUE(r.canActivate(0, kT));
+    r.noteActivate(10, kT);
+    EXPECT_FALSE(r.canActivate(10 + kT.tRRD - 1, kT));
+    EXPECT_TRUE(r.canActivate(10 + kT.tRRD, kT));
+}
+
+TEST(Rank, FawLimitsFourActivates)
+{
+    Rank r(8);
+    // Four activates spaced exactly tRRD apart.
+    Tick t = 100;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(r.canActivate(t, kT));
+        r.noteActivate(t, kT);
+        t += kT.tRRD;
+    }
+    // The fifth must wait until tFAW past the first.
+    EXPECT_FALSE(r.canActivate(t, kT));
+    EXPECT_TRUE(r.canActivate(100 + kT.tFAW, kT));
+}
+
+TEST(Rank, FawDisabledWhenZero)
+{
+    Timing t = kT;
+    t.tFAW = 0;
+    t.tRRD = 0;
+    Rank r(8);
+    Tick now = 50;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(r.canActivate(now, t));
+        r.noteActivate(now, t);
+        now += 1;
+    }
+}
+
+TEST(Rank, WriteToReadTurnaround)
+{
+    Rank r(4);
+    EXPECT_TRUE(r.canRead(0));
+    const Tick data_end = 40;
+    r.noteWrite(data_end, kT);
+    EXPECT_FALSE(r.canRead(data_end + kT.tWTR - 1));
+    EXPECT_TRUE(r.canRead(data_end + kT.tWTR));
+}
+
+TEST(Rank, RefreshRequiresAllBanksClosed)
+{
+    Rank r(2);
+    r.bank(0).activate(1, 0, kT);
+    EXPECT_FALSE(r.allBanksClosed());
+    EXPECT_FALSE(r.canRefresh(1000));
+    r.bank(0).precharge(kT.tRAS, kT);
+    EXPECT_TRUE(r.allBanksClosed());
+    EXPECT_TRUE(r.canRefresh(1000));
+}
+
+TEST(Rank, RefreshWaitsForPrechargeSettle)
+{
+    Rank r(1);
+    r.bank(0).activate(1, 0, kT);
+    r.bank(0).precharge(kT.tRAS, kT);
+    // Precharge completes at tRAS + tRP.
+    EXPECT_FALSE(r.canRefresh(kT.tRAS + kT.tRP - 1));
+    EXPECT_TRUE(r.canRefresh(kT.tRAS + kT.tRP));
+}
+
+TEST(Rank, RefreshBlocksAllBanksForTrfc)
+{
+    Rank r(4);
+    r.refresh(200, kT);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        EXPECT_FALSE(r.bank(b).canActivate(200 + kT.tRFC - 1));
+        EXPECT_TRUE(r.bank(b).canActivate(200 + kT.tRFC));
+    }
+}
+
+TEST(Rank, ActivateAtTickZeroCounted)
+{
+    Rank r(4);
+    r.noteActivate(0, kT);
+    EXPECT_FALSE(r.canActivate(1, kT));
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the DDR timing presets and their internal consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/timing.hh"
+
+using namespace bsim::dram;
+
+TEST(Timing, Ddr2PresetMatchesTable3)
+{
+    const Timing t = Timing::ddr2_800();
+    // Table 3: DDR2 PC2-6400 (5-5-5), burst length 8.
+    EXPECT_EQ(t.tCL, 5u);
+    EXPECT_EQ(t.tRCD, 5u);
+    EXPECT_EQ(t.tRP, 5u);
+    EXPECT_EQ(t.burstLength, 8u);
+    EXPECT_EQ(t.dataCycles(), 4u);
+    EXPECT_NO_FATAL_FAILURE(t.validate());
+}
+
+TEST(Timing, Ddr266PresetMatchesSection6)
+{
+    const Timing t = Timing::ddr_266();
+    // Section 6: DDR PC-2100 (133 MHz) typical 2-2-2.
+    EXPECT_EQ(t.tCL, 2u);
+    EXPECT_EQ(t.tRCD, 2u);
+    EXPECT_EQ(t.tRP, 2u);
+    EXPECT_EQ(t.burstLength, 4u);
+    EXPECT_EQ(t.dataCycles(), 2u);
+    EXPECT_NO_FATAL_FAILURE(t.validate());
+}
+
+TEST(Timing, Section6RowConflictTrend)
+{
+    // Section 6: row conflict latency grows from 6 cycles (DDR-266) to
+    // 15 cycles (DDR2-800) although nanoseconds barely improve.
+    const Timing old_t = Timing::ddr_266();
+    const Timing new_t = Timing::ddr2_800();
+    EXPECT_EQ(old_t.idleLatency(true, true), 6u);
+    EXPECT_EQ(new_t.idleLatency(true, true), 15u);
+}
+
+TEST(Timing, IdleLatencyMatrix)
+{
+    const Timing t = Timing::ddr2_800();
+    EXPECT_EQ(t.idleLatency(false, false), t.tCL);
+    EXPECT_EQ(t.idleLatency(false, true), t.tRCD + t.tCL);
+    EXPECT_EQ(t.idleLatency(true, true), t.tRP + t.tRCD + t.tCL);
+}
+
+TEST(Timing, TrcCoversTras)
+{
+    EXPECT_GE(Timing::ddr2_800().tRC, Timing::ddr2_800().tRAS);
+    EXPECT_GE(Timing::ddr_266().tRC, Timing::ddr_266().tRAS);
+}
+
+TEST(Timing, Figure1ExampleKeepsCore3Tuple)
+{
+    const Timing t = Timing::figure1Example();
+    EXPECT_EQ(t.tCL, 2u);
+    EXPECT_EQ(t.tRCD, 2u);
+    EXPECT_EQ(t.tRP, 2u);
+    EXPECT_EQ(t.tREFI, 0u);
+    EXPECT_NO_FATAL_FAILURE(t.validate());
+}
+
+TEST(TimingDeath, RejectsOddBurstLength)
+{
+    Timing t = Timing::ddr2_800();
+    t.burstLength = 5;
+    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "burstLength");
+}
+
+TEST(TimingDeath, RejectsZeroCoreTiming)
+{
+    Timing t = Timing::ddr2_800();
+    t.tCL = 0;
+    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tCL");
+}
+
+TEST(TimingDeath, RejectsTrcBelowTras)
+{
+    Timing t = Timing::ddr2_800();
+    t.tRC = t.tRAS - 1;
+    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tRC");
+}
+
+TEST(TimingDeath, RejectsRefreshLongerThanInterval)
+{
+    Timing t = Timing::ddr2_800();
+    t.tRFC = t.tREFI + 1;
+    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tRFC");
+}
+
+TEST(TimingDeath, RejectsWriteLatencyAboveCl)
+{
+    Timing t = Timing::ddr2_800();
+    t.tWL = t.tCL + 1;
+    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tWL");
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fuzz / stress tests. The timing engine panics on any protocol
+ * violation (double-booked bus, premature command, refresh over open
+ * rows), so simply surviving a long randomized run is a meaningful
+ * whole-system invariant check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "ctrl/controller.hh"
+#include "dram/memory_system.hh"
+#include "sim/experiment.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+dram::DramConfig
+fuzzDram(std::uint64_t seed)
+{
+    // Random (power-of-two) geometry per seed.
+    Rng rng(seed);
+    dram::DramConfig cfg;
+    cfg.channels = 1u << rng.below(2);        // 1..2
+    cfg.ranksPerChannel = 1u << rng.below(3); // 1..4
+    cfg.banksPerRank = 1u << (1 + rng.below(2)); // 2..4
+    cfg.rowsPerBank = 64;
+    cfg.blocksPerRow = 32;
+    cfg.timing = dram::Timing::ddr2_800();
+    if (rng.chance(0.3))
+        cfg.timing = dram::Timing::ddr_266();
+    if (rng.chance(0.3))
+        cfg.pagePolicy = dram::PagePolicy::ClosePageAuto;
+    return cfg;
+}
+
+} // namespace
+
+class FuzzGeometry : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzGeometry, RandomTrafficNeverViolatesProtocolAndDrains)
+{
+    const std::uint64_t seed = GetParam();
+    dram::MemorySystem mem(fuzzDram(seed));
+    Rng rng(seed * 977 + 3);
+
+    ctrl::ControllerConfig ccfg;
+    ccfg.mechanism =
+        ctrl::kAllMechanisms[rng.below(std::size(ctrl::kAllMechanisms))];
+    ccfg.poolCap = 24;
+    ccfg.writeCap = 6;
+    ccfg.threshold = rng.below(7);
+    ccfg.dynamicThreshold = rng.chance(0.3);
+    ccfg.sortBurstsBySize = rng.chance(0.3);
+    ccfg.criticalFirst = rng.chance(0.3);
+    ccfg.rankAware = rng.chance(0.8);
+    ctrl::MemoryController controller(mem, ccfg);
+
+    std::uint64_t responses = 0, reads = 0;
+    controller.setReadCallback(
+        [&](const ctrl::MemAccess &, Tick) { responses += 1; });
+
+    const std::uint64_t capacity_blocks = 512;
+    Tick now = 0;
+    std::uint64_t submitted = 0;
+    while (submitted < 2000 || controller.busy()) {
+        ASSERT_LT(now, 2'000'000u)
+            << "no forward progress (seed " << seed << ", mechanism "
+            << ctrl::mechanismName(ccfg.mechanism) << ")";
+        while (submitted < 2000 && controller.canAccept() &&
+               rng.chance(0.6)) {
+            const bool w = rng.chance(0.4);
+            if (!w)
+                reads += 1;
+            controller.submit(w ? AccessType::Write : AccessType::Read,
+                              rng.below(capacity_blocks) * 64, now,
+                              nullptr, 0, rng.chance(0.2));
+            submitted += 1;
+        }
+        controller.tick(now++);
+    }
+    EXPECT_EQ(responses, reads);
+    EXPECT_EQ(controller.stats().reads + controller.stats().writes,
+              submitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzGeometry,
+                         testing::Range<std::uint64_t>(1, 25));
+
+TEST(FuzzSystem, AllMechanismsAllWorkloadsSmallRuns)
+{
+    // End-to-end stress: 4 workloads x 8 mechanisms at tiny scale; a
+    // hang or panic anywhere in the stack fails the test.
+    for (const char *w : {"swim", "mcf", "gzip", "lucas"}) {
+        for (ctrl::Mechanism m : ctrl::kAllMechanisms) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = w;
+            cfg.mechanism = m;
+            cfg.instructions = 8000;
+            const auto r = sim::runExperiment(cfg);
+            EXPECT_GT(r.execCpuCycles, 0u)
+                << w << "/" << ctrl::mechanismName(m);
+        }
+    }
+}
+
+TEST(FuzzSystem, ExtremeThresholdsAreSafe)
+{
+    for (std::size_t th : {std::size_t(0), std::size_t(1),
+                           std::size_t(63), std::size_t(64)}) {
+        sim::ExperimentConfig cfg;
+        cfg.workload = "swim";
+        cfg.mechanism = ctrl::Mechanism::BurstTH;
+        cfg.threshold = th;
+        cfg.instructions = 8000;
+        const auto r = sim::runExperiment(cfg);
+        EXPECT_GT(r.execCpuCycles, 0u) << "threshold " << th;
+    }
+}
+
+TEST(FuzzSystem, RefreshHeavyDeviceStillDrains)
+{
+    // A pathologically frequent refresh (tREFI barely above tRFC) must
+    // not deadlock any mechanism.
+    for (ctrl::Mechanism m :
+         {ctrl::Mechanism::BkInOrder, ctrl::Mechanism::BurstTH}) {
+        dram::DramConfig dcfg;
+        dcfg.channels = 1;
+        dcfg.ranksPerChannel = 2;
+        dcfg.banksPerRank = 2;
+        dcfg.rowsPerBank = 64;
+        dcfg.blocksPerRow = 32;
+        dcfg.timing.tREFI = dcfg.timing.tRFC + 40;
+        dram::MemorySystem mem(dcfg);
+        ctrl::ControllerConfig ccfg;
+        ccfg.mechanism = m;
+        ccfg.poolCap = 16;
+        ccfg.writeCap = 4;
+        ctrl::MemoryController controller(mem, ccfg);
+
+        Rng rng(4);
+        Tick now = 0;
+        std::uint64_t submitted = 0;
+        while (submitted < 400 || controller.busy()) {
+            ASSERT_LT(now, 1'000'000u) << ctrl::mechanismName(m);
+            if (submitted < 400 && controller.canAccept() &&
+                rng.chance(0.4)) {
+                controller.submit(rng.chance(0.3) ? AccessType::Write
+                                                  : AccessType::Read,
+                                  rng.below(256) * 64, now);
+                submitted += 1;
+            }
+            controller.tick(now++);
+        }
+        EXPECT_GT(controller.stats().refreshes, 10u);
+    }
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Integration tests asserting the paper's qualitative claims on
+ * scaled-down runs. These are the guardrails that keep the reproduction
+ * honest: if a refactor breaks one of the paper's orderings, these fail.
+ *
+ * Runs are small (tens of thousands of instructions) so thresholds are
+ * generous; the bench binaries reproduce the full-scale numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+namespace
+{
+
+RunResult
+run(const std::string &wl, ctrl::Mechanism m, std::uint64_t instr = 60000)
+{
+    ExperimentConfig cfg;
+    cfg.workload = wl;
+    cfg.mechanism = m;
+    cfg.instructions = instr;
+    return runExperiment(cfg);
+}
+
+} // namespace
+
+TEST(PaperClaims, BurstThBeatsBaselineOnStreaming)
+{
+    // The headline (Section 5.3): burst scheduling with threshold
+    // substantially reduces execution time vs bank-in-order.
+    const auto base = run("swim", ctrl::Mechanism::BkInOrder);
+    const auto th = run("swim", ctrl::Mechanism::BurstTH);
+    EXPECT_LT(double(th.execCpuCycles), 0.85 * double(base.execCpuCycles));
+}
+
+TEST(PaperClaims, OutOfOrderMechanismsReduceReadLatency)
+{
+    // Figure 7(a): every OoO mechanism cuts read latency vs BkInOrder.
+    const auto base = run("swim", ctrl::Mechanism::BkInOrder);
+    for (auto m : {ctrl::Mechanism::RowHit, ctrl::Mechanism::Intel,
+                   ctrl::Mechanism::Burst, ctrl::Mechanism::BurstTH}) {
+        const auto r = run("swim", m);
+        EXPECT_LT(r.ctrl.readLatency.mean(), base.ctrl.readLatency.mean())
+            << ctrl::mechanismName(m);
+    }
+}
+
+TEST(PaperClaims, PostponingMechanismsRaiseWriteLatency)
+{
+    // Figure 7(b): Intel and Burst postpone writes; RowHit does not.
+    const auto base = run("swim", ctrl::Mechanism::BkInOrder);
+    const auto rowhit = run("swim", ctrl::Mechanism::RowHit);
+    const auto intel = run("swim", ctrl::Mechanism::Intel);
+    const auto burst = run("swim", ctrl::Mechanism::Burst);
+    EXPECT_GT(intel.ctrl.writeLatency.mean(),
+              2.0 * base.ctrl.writeLatency.mean());
+    EXPECT_GT(burst.ctrl.writeLatency.mean(),
+              2.0 * base.ctrl.writeLatency.mean());
+    EXPECT_LT(rowhit.ctrl.writeLatency.mean(),
+              1.5 * base.ctrl.writeLatency.mean());
+}
+
+TEST(PaperClaims, PiggybackingCutsWriteLatencyAndSaturation)
+{
+    // Section 5.1: Burst_WP nearly eliminates write queue saturation;
+    // write piggybacking reduces write latency vs Burst_RP.
+    const auto rp = run("swim", ctrl::Mechanism::BurstRP);
+    const auto wp = run("swim", ctrl::Mechanism::BurstWP);
+    EXPECT_LT(wp.ctrl.writeLatency.mean(), rp.ctrl.writeLatency.mean());
+    EXPECT_LT(wp.ctrl.writeSaturationRate(),
+              rp.ctrl.writeSaturationRate());
+}
+
+TEST(PaperClaims, ThresholdInterpolatesSaturation)
+{
+    // Figure 11: saturation grows with the threshold.
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.instructions = 60000;
+    cfg.threshold = 8;
+    const auto low = runExperiment(cfg);
+    cfg.threshold = 64;
+    const auto high = runExperiment(cfg);
+    EXPECT_LE(low.ctrl.writeSaturationRate(),
+              high.ctrl.writeSaturationRate());
+}
+
+TEST(PaperClaims, OutOfOrderRaisesRowHitRate)
+{
+    // Figure 9(a): reordering turns conflicts into hits.
+    const auto base = run("swim", ctrl::Mechanism::BkInOrder);
+    const auto rowhit = run("swim", ctrl::Mechanism::RowHit);
+    const auto th = run("swim", ctrl::Mechanism::BurstTH);
+    EXPECT_GT(rowhit.ctrl.rowHitRate(), base.ctrl.rowHitRate() + 0.05);
+    EXPECT_GT(th.ctrl.rowHitRate(), base.ctrl.rowHitRate() + 0.05);
+}
+
+TEST(PaperClaims, PiggybackingRaisesRowHitRateOverPlainBurst)
+{
+    // Figure 9(a): Burst_WP/Burst_TH exploit row hits in writes that
+    // plain Burst misses.
+    const auto burst = run("swim", ctrl::Mechanism::Burst);
+    const auto wp = run("swim", ctrl::Mechanism::BurstWP);
+    EXPECT_GT(wp.ctrl.rowHitRate(), burst.ctrl.rowHitRate());
+}
+
+TEST(PaperClaims, BurstThRaisesDataBusUtilization)
+{
+    // Figure 9(b) / Section 5.2: effective bandwidth improves.
+    const auto base = run("swim", ctrl::Mechanism::BkInOrder);
+    const auto th = run("swim", ctrl::Mechanism::BurstTH);
+    EXPECT_GT(th.dataBusUtil, base.dataBusUtil);
+    EXPECT_GT(th.bandwidthGBs, base.bandwidthGBs);
+}
+
+TEST(PaperClaims, PreemptionHelpsPointerChasing)
+{
+    // Section 5.3: read preemption gives mcf-class benchmarks more than
+    // write piggybacking does.
+    const auto rp = run("mcf", ctrl::Mechanism::BurstRP);
+    const auto wp = run("mcf", ctrl::Mechanism::BurstWP);
+    EXPECT_LT(rp.execCpuCycles, wp.execCpuCycles);
+}
+
+TEST(PaperClaims, ReadPreemptionRaisesRowEmptyRate)
+{
+    // Section 5.2: preempting reads often find a precharged bank.
+    const auto burst = run("swim", ctrl::Mechanism::Burst);
+    const auto rp = run("swim", ctrl::Mechanism::BurstRP);
+    EXPECT_GT(rp.ctrl.rowEmptyRate(), burst.ctrl.rowEmptyRate());
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * System- and core-level edge cases: degenerate traces, narrow cores,
+ * FSB latency accounting and response-path ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/trace_file.hh"
+#include "trace/trace_gen.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+using trace::TraceInstr;
+
+namespace
+{
+
+trace::VectorTrace
+makeTrace(std::vector<TraceInstr> v)
+{
+    return trace::VectorTrace(std::move(v));
+}
+
+TraceInstr
+load(Addr a)
+{
+    return {TraceInstr::Op::Load, a, false, 0};
+}
+
+TraceInstr
+store(Addr a)
+{
+    return {TraceInstr::Op::Store, a, false, 0};
+}
+
+TraceInstr
+compute()
+{
+    return {TraceInstr::Op::Compute, 0, false, 0};
+}
+
+} // namespace
+
+TEST(SystemEdge, EmptyTraceFinishesImmediately)
+{
+    auto t = makeTrace({});
+    System sys(SystemConfig::baseline(), t);
+    sys.run(1000);
+    EXPECT_TRUE(sys.done());
+    EXPECT_EQ(sys.core().retired(), 0u);
+}
+
+TEST(SystemEdge, SingleLoadRoundTripLatency)
+{
+    auto t = makeTrace({load(0x100000)});
+    SystemConfig cfg = SystemConfig::baseline();
+    System sys(cfg, t);
+    sys.run(100000);
+    ASSERT_TRUE(sys.done());
+    // Lower bound: FSB there and back plus the idle-device row-empty
+    // access, all in CPU cycles.
+    const auto &tm = cfg.dram.timing;
+    const Tick mem_min =
+        2 * cfg.fsbLatency + tm.tRCD + tm.tCL + tm.dataCycles();
+    EXPECT_GE(sys.execCpuCycles(), mem_min * cfg.cpuCyclesPerMemCycle);
+}
+
+TEST(SystemEdge, StoreOnlyTraceDrains)
+{
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 64; ++i)
+        v.push_back(store(Addr(0x200000 + 64 * i)));
+    auto t = makeTrace(std::move(v));
+    System sys(SystemConfig::baseline(), t);
+    sys.run(3'000'000);
+    ASSERT_TRUE(sys.done());
+    EXPECT_EQ(sys.core().stores(), 64u);
+    // Store misses write-allocate: fills happened.
+    EXPECT_GE(sys.caches().memReads(), 1u);
+}
+
+TEST(SystemEdge, ComputeOnlyTraceTouchesNoMemory)
+{
+    std::vector<TraceInstr> v(500, compute());
+    auto t = makeTrace(std::move(v));
+    System sys(SystemConfig::baseline(), t);
+    sys.run(100000);
+    ASSERT_TRUE(sys.done());
+    EXPECT_EQ(sys.controller().stats().reads, 0u);
+    EXPECT_EQ(sys.controller().stats().writes, 0u);
+}
+
+TEST(SystemEdge, NarrowCoreIsSlower)
+{
+    auto mk = [] {
+        std::vector<TraceInstr> v;
+        for (int i = 0; i < 400; ++i) {
+            v.push_back(compute());
+            if (i % 8 == 0)
+                v.push_back(load(Addr(0x300000 + 64 * i)));
+        }
+        return v;
+    };
+    SystemConfig wide = SystemConfig::baseline();
+    SystemConfig narrow = SystemConfig::baseline();
+    narrow.core.issueWidth = 1;
+    auto t1 = makeTrace(mk());
+    auto t2 = makeTrace(mk());
+    System a(wide, t1), b(narrow, t2);
+    a.run(3'000'000);
+    b.run(3'000'000);
+    ASSERT_TRUE(a.done());
+    ASSERT_TRUE(b.done());
+    EXPECT_LT(a.execCpuCycles(), b.execCpuCycles());
+}
+
+TEST(SystemEdge, FsbLatencyAddsRoundTripDelay)
+{
+    auto mk = [] {
+        return std::vector<TraceInstr>{load(0x400000)};
+    };
+    SystemConfig fast = SystemConfig::baseline();
+    fast.fsbLatency = 0;
+    SystemConfig slow = SystemConfig::baseline();
+    slow.fsbLatency = 10;
+    auto t1 = makeTrace(mk());
+    auto t2 = makeTrace(mk());
+    System a(fast, t1), b(slow, t2);
+    a.run(100000);
+    b.run(100000);
+    ASSERT_TRUE(a.done() && b.done());
+    // 10 cycles each way, in CPU cycles.
+    EXPECT_GE(b.execCpuCycles(),
+              a.execCpuCycles() + 2 * 10 * 10 - 20 /*batch slack*/);
+}
+
+TEST(SystemEdge, TinyRobStillCompletes)
+{
+    SystemConfig cfg = SystemConfig::baseline();
+    cfg.core.robSize = 2;
+    cfg.core.lsqSize = 2;
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 50; ++i)
+        v.push_back(load(Addr(0x500000 + 64 * i)));
+    auto t = makeTrace(std::move(v));
+    System sys(cfg, t);
+    sys.run(5'000'000);
+    ASSERT_TRUE(sys.done());
+    EXPECT_EQ(sys.core().retired(), 50u);
+}
+
+TEST(SystemEdge, RepeatLoadsHitCacheAfterFirstMiss)
+{
+    std::vector<TraceInstr> v;
+    for (int i = 0; i < 32; ++i)
+        v.push_back(load(0x600000)); // same block every time
+    auto t = makeTrace(std::move(v));
+    System sys(SystemConfig::baseline(), t);
+    sys.run(1'000'000);
+    ASSERT_TRUE(sys.done());
+    // One fill (plus possible MSHR merges), not 32.
+    EXPECT_LE(sys.controller().stats().reads, 2u);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Experiment harness tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+TEST(Experiment, ProducesPopulatedResult)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "gzip";
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.instructions = 20000;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_EQ(r.workload, "gzip");
+    EXPECT_EQ(r.mechanism, ctrl::Mechanism::BurstTH);
+    EXPECT_EQ(r.instructions, 20000u);
+    EXPECT_GT(r.execCpuCycles, 0u);
+    EXPECT_GT(r.memCycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.ctrl.reads, 0u);
+    EXPECT_GT(r.ctrl.writes, 0u);
+    EXPECT_GT(r.dataBusUtil, 0.0);
+    EXPECT_LT(r.dataBusUtil, 1.0);
+    EXPECT_GT(r.bandwidthGBs, 0.0);
+    EXPECT_TRUE(r.sched.count("bursts_formed"));
+}
+
+TEST(Experiment, DeterministicForSeed)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 15000;
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    EXPECT_EQ(a.execCpuCycles, b.execCpuCycles);
+    EXPECT_EQ(a.ctrl.reads, b.ctrl.reads);
+}
+
+TEST(Experiment, SeedChangesResult)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 15000;
+    const RunResult a = runExperiment(cfg);
+    cfg.seed += 1;
+    const RunResult b = runExperiment(cfg);
+    EXPECT_NE(a.execCpuCycles, b.execCpuCycles);
+}
+
+TEST(Experiment, MechanismSweepCoversAll)
+{
+    const auto results = runMechanismSweep(
+        "gzip",
+        {ctrl::Mechanism::BkInOrder, ctrl::Mechanism::BurstTH}, 15000);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].mechanism, ctrl::Mechanism::BkInOrder);
+    EXPECT_EQ(results[1].mechanism, ctrl::Mechanism::BurstTH);
+}
+
+TEST(Experiment, PagePolicyOverride)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "gzip";
+    cfg.instructions = 15000;
+    cfg.pagePolicy = dram::PagePolicy::ClosePageAuto;
+    const RunResult r = runExperiment(cfg);
+    // Close-page-autoprecharge: no access can ever be a row hit or a
+    // row conflict.
+    EXPECT_DOUBLE_EQ(r.ctrl.rowHitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.ctrl.rowConflictRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.ctrl.rowEmptyRate(), 1.0);
+}
+
+TEST(Experiment, AddressMapOverride)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "gzip";
+    cfg.instructions = 15000;
+    cfg.addressMap = dram::AddressMapKind::BitReversal;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_GT(r.execCpuCycles, 0u);
+}
+
+TEST(Experiment, DefaultInstructionsEnvOverride)
+{
+    ::setenv("BURSTSIM_INSTR", "1234", 1);
+    EXPECT_EQ(defaultInstructions(), 1234u);
+    ::setenv("BURSTSIM_INSTR", "garbage", 1);
+    EXPECT_EQ(defaultInstructions(), 150000u);
+    ::unsetenv("BURSTSIM_INSTR");
+    EXPECT_EQ(defaultInstructions(), 150000u);
+}
+
+TEST(Experiment, ThresholdOverrideChangesBehaviour)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.instructions = 25000;
+    cfg.threshold = 0;
+    const RunResult wp = runExperiment(cfg);
+    cfg.threshold = 64;
+    const RunResult rp = runExperiment(cfg);
+    // TH0 behaves like pure piggybacking: far lower write latency than
+    // TH64 (pure preemption).
+    EXPECT_LT(wp.ctrl.writeLatency.mean(), rp.ctrl.writeLatency.mean());
+}
+
+TEST(Experiment, DeviceGenerationOverride)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "gzip";
+    cfg.instructions = 15000;
+    cfg.device = DeviceGen::DDR_266;
+    const RunResult old_dev = runExperiment(cfg);
+    cfg.device = DeviceGen::DDR2_800;
+    const RunResult new_dev = runExperiment(cfg);
+    // The old device's bus runs at a third of the clock: with the same
+    // workload it needs fewer memory cycles per CPU cycle but more CPU
+    // cycles overall (less bandwidth).
+    EXPECT_GT(old_dev.execCpuCycles, new_dev.execCpuCycles);
+}
+
+TEST(Experiment, OrganizationOverride)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 15000;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 2;
+    const RunResult small = runExperiment(cfg);
+    cfg.channels = 4;
+    cfg.ranksPerChannel = 4;
+    cfg.banksPerRank = 4;
+    const RunResult big = runExperiment(cfg);
+    EXPECT_GT(small.execCpuCycles, big.execCpuCycles)
+        << "richer organization must not be slower";
+}
+
+TEST(Experiment, ExtendedMechanismSweepIncludesHistory)
+{
+    bool found = false;
+    for (auto m : ctrl::kExtendedMechanisms)
+        found = found || m == ctrl::Mechanism::AdaptiveHistory;
+    EXPECT_TRUE(found);
+    // The paper's Table 4 list stays at eight entries.
+    EXPECT_EQ(std::size(ctrl::kAllMechanisms), 8u);
+    EXPECT_EQ(std::size(ctrl::kExtendedMechanisms), 9u);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-benchmark property tests, parameterized over all 16 SPEC CPU2000
+ * profiles: every profile must generate deterministically, stay inside
+ * its footprint, respect its declared mixes, and run end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/spec_profiles.hh"
+#include "trace/trace_gen.hh"
+
+using namespace bsim;
+using namespace bsim::trace;
+
+class EveryProfile : public testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadProfile &profile() const
+    {
+        return profileByName(GetParam());
+    }
+};
+
+TEST_P(EveryProfile, ParametersAreSane)
+{
+    const WorkloadProfile &p = profile();
+    EXPECT_GT(p.memFraction, 0.0);
+    EXPECT_LE(p.memFraction, 1.0);
+    EXPECT_GE(p.writeFraction, 0.0);
+    EXPECT_LE(p.writeFraction, 1.0);
+    EXPECT_GE(p.hotFraction, 0.0);
+    EXPECT_LE(p.hotFraction, 1.0);
+    EXPECT_LE(p.seqFraction + p.chaseFraction, 1.0);
+    EXPECT_GE(p.numStreams, 1u);
+    EXPECT_GE(p.numWriteStreams, 1u);
+    EXPECT_GE(p.numChains, 1u);
+    EXPECT_GE(p.clusterBlocks, 1u);
+    EXPECT_GT(p.footprintBytes, p.hotBytes);
+    EXPECT_EQ(p.streamStride % 64, 0u);
+}
+
+TEST_P(EveryProfile, GeneratesDeterministically)
+{
+    SyntheticGenerator a(profile(), 3000, 7);
+    SyntheticGenerator b(profile(), 3000, 7);
+    TraceInstr ia, ib;
+    while (a.next(ia)) {
+        ASSERT_TRUE(b.next(ib));
+        ASSERT_EQ(ia.op, ib.op);
+        ASSERT_EQ(ia.addr, ib.addr);
+    }
+    EXPECT_FALSE(b.next(ib));
+}
+
+TEST_P(EveryProfile, StaysInsideFootprint)
+{
+    const WorkloadProfile &p = profile();
+    SyntheticGenerator g(p, 10000, 11);
+    TraceInstr in;
+    while (g.next(in)) {
+        if (in.op == TraceInstr::Op::Compute)
+            continue;
+        EXPECT_GE(in.addr, p.regionBase);
+        EXPECT_LT(in.addr, p.regionBase + p.footprintBytes);
+    }
+}
+
+TEST_P(EveryProfile, MemoryMixRoughlyMatchesDeclaration)
+{
+    const WorkloadProfile &p = profile();
+    SyntheticGenerator g(p, 40000, 13);
+    TraceInstr in;
+    std::uint64_t mem = 0, writes = 0, chase = 0;
+    while (g.next(in)) {
+        if (in.op == TraceInstr::Op::Compute)
+            continue;
+        mem += 1;
+        writes += in.op == TraceInstr::Op::Store;
+        chase += in.depChain;
+    }
+    ASSERT_GT(mem, 0u);
+    // Clusters amplify memory ops, so the observed fraction is at least
+    // the declared one and bounded well below 1.
+    EXPECT_GE(double(mem) / 40000.0, p.memFraction * 0.8);
+    // Write share: store clusters can skew, allow a generous band.
+    EXPECT_NEAR(double(writes) / double(mem), p.writeFraction,
+                std::max(0.20, p.writeFraction * 0.75));
+    if (p.chaseFraction == 0.0)
+        EXPECT_EQ(chase, 0u);
+    else
+        EXPECT_GT(chase, 0u);
+}
+
+TEST_P(EveryProfile, ChainIdsWithinDeclaredRange)
+{
+    const WorkloadProfile &p = profile();
+    SyntheticGenerator g(p, 20000, 17);
+    TraceInstr in;
+    while (g.next(in))
+        if (in.depChain) {
+            ASSERT_LT(in.chainId, p.numChains);
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(Spec2000, EveryProfile,
+                         testing::ValuesIn(specProfileNames()),
+                         [](const auto &info) { return info.param; });

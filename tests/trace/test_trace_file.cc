@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Trace file format tests: round trip, parsing and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace_file.hh"
+#include "trace/trace_gen.hh"
+
+using namespace bsim;
+using namespace bsim::trace;
+
+TEST(TraceFile, WriteReadRoundTrip)
+{
+    WorkloadProfile p;
+    p.memFraction = 0.5;
+    p.chaseFraction = 0.3;
+    p.seqFraction = 0.3;
+    SyntheticGenerator gen(p, 500, 21);
+    std::stringstream ss;
+    EXPECT_EQ(writeTrace(ss, gen, 500), 500u);
+
+    const auto parsed = readTrace(ss);
+    ASSERT_EQ(parsed.size(), 500u);
+
+    SyntheticGenerator gen2(p, 500, 21);
+    TraceInstr ref;
+    for (const auto &in : parsed) {
+        ASSERT_TRUE(gen2.next(ref));
+        EXPECT_EQ(in.op, ref.op);
+        if (in.op != TraceInstr::Op::Compute) {
+            EXPECT_EQ(in.addr, ref.addr);
+        }
+        EXPECT_EQ(in.depChain, ref.depChain);
+    }
+}
+
+TEST(TraceFile, WriteStopsAtCount)
+{
+    WorkloadProfile p;
+    SyntheticGenerator gen(p, 1000, 3);
+    std::stringstream ss;
+    EXPECT_EQ(writeTrace(ss, gen, 10), 10u);
+    EXPECT_EQ(readTrace(ss).size(), 10u);
+}
+
+TEST(TraceFile, ParsesAllRecordKinds)
+{
+    std::stringstream ss("C\nL 1a40\nD ff80\nS 2000\n");
+    const auto t = readTrace(ss);
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0].op, TraceInstr::Op::Compute);
+    EXPECT_EQ(t[1].op, TraceInstr::Op::Load);
+    EXPECT_EQ(t[1].addr, 0x1a40u);
+    EXPECT_FALSE(t[1].depChain);
+    EXPECT_EQ(t[2].op, TraceInstr::Op::Load);
+    EXPECT_TRUE(t[2].depChain);
+    EXPECT_EQ(t[2].addr, 0xff80u);
+    EXPECT_EQ(t[3].op, TraceInstr::Op::Store);
+    EXPECT_EQ(t[3].addr, 0x2000u);
+}
+
+TEST(TraceFile, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\nC\n# mid\nL 40\n");
+    EXPECT_EQ(readTrace(ss).size(), 2u);
+}
+
+TEST(TraceFileDeath, UnknownRecordFatal)
+{
+    std::stringstream ss("X 1234\n");
+    EXPECT_EXIT(readTrace(ss), testing::ExitedWithCode(1),
+                "unknown record");
+}
+
+TEST(TraceFileDeath, MissingAddressFatal)
+{
+    std::stringstream ss("L\n");
+    EXPECT_EXIT(readTrace(ss), testing::ExitedWithCode(1),
+                "missing address");
+}
+
+TEST(VectorTrace, ReplaysAndRewinds)
+{
+    VectorTrace v({{TraceInstr::Op::Compute, 0, false, 0},
+                   {TraceInstr::Op::Load, 64, false, 0}});
+    TraceInstr in;
+    EXPECT_TRUE(v.next(in));
+    EXPECT_TRUE(v.next(in));
+    EXPECT_EQ(in.addr, 64u);
+    EXPECT_FALSE(v.next(in));
+    v.rewind();
+    EXPECT_TRUE(v.next(in));
+    EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(TraceFileDeath, MissingFileFatal)
+{
+    EXPECT_EXIT(loadTraceFile("/nonexistent/path/trace.txt"),
+                testing::ExitedWithCode(1), "cannot open");
+}

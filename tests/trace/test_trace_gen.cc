@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Synthetic workload generator tests: determinism, mix fractions,
+ * cluster structure, footprint confinement and the SPEC profile set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/spec_profiles.hh"
+#include "trace/trace_gen.hh"
+
+using namespace bsim;
+using namespace bsim::trace;
+
+namespace
+{
+
+WorkloadProfile
+simpleProfile()
+{
+    WorkloadProfile p;
+    p.name = "test";
+    p.memFraction = 0.4;
+    p.writeFraction = 0.3;
+    p.hotFraction = 0.5;
+    p.seqFraction = 0.5;
+    p.chaseFraction = 0.2;
+    p.numStreams = 2;
+    p.numWriteStreams = 1;
+    p.numChains = 2;
+    p.footprintBytes = 64ULL << 20;
+    p.hotBytes = 1ULL << 20;
+    p.clusterBlocks = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(TraceGen, DeterministicForSeed)
+{
+    SyntheticGenerator a(simpleProfile(), 10000, 5);
+    SyntheticGenerator b(simpleProfile(), 10000, 5);
+    TraceInstr ia, ib;
+    while (true) {
+        const bool ra = a.next(ia);
+        const bool rb = b.next(ib);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        ASSERT_EQ(ia.op, ib.op);
+        ASSERT_EQ(ia.addr, ib.addr);
+        ASSERT_EQ(ia.depChain, ib.depChain);
+        ASSERT_EQ(ia.chainId, ib.chainId);
+    }
+}
+
+TEST(TraceGen, DifferentSeedsDiffer)
+{
+    SyntheticGenerator a(simpleProfile(), 1000, 5);
+    SyntheticGenerator b(simpleProfile(), 1000, 6);
+    TraceInstr ia, ib;
+    int diff = 0;
+    for (int i = 0; i < 1000; ++i) {
+        a.next(ia);
+        b.next(ib);
+        diff += ia.op != ib.op || ia.addr != ib.addr;
+    }
+    EXPECT_GT(diff, 100);
+}
+
+TEST(TraceGen, ProducesExactlyLimit)
+{
+    SyntheticGenerator g(simpleProfile(), 777, 1);
+    TraceInstr in;
+    std::uint64_t n = 0;
+    while (g.next(in))
+        ++n;
+    EXPECT_EQ(n, 777u);
+    EXPECT_EQ(g.produced(), 777u);
+    EXPECT_FALSE(g.next(in)); // stays exhausted
+}
+
+TEST(TraceGen, MemFractionApproximatelyHonored)
+{
+    // Clusters amplify memory ops: the fraction must be at least
+    // memFraction and well below 1 for this profile.
+    SyntheticGenerator g(simpleProfile(), 50000, 3);
+    TraceInstr in;
+    std::uint64_t mem = 0;
+    while (g.next(in))
+        mem += in.op != TraceInstr::Op::Compute;
+    const double frac = double(mem) / 50000.0;
+    EXPECT_GT(frac, 0.35);
+    EXPECT_LT(frac, 0.75);
+}
+
+TEST(TraceGen, WriteFractionApproximatelyHonored)
+{
+    SyntheticGenerator g(simpleProfile(), 50000, 3);
+    TraceInstr in;
+    std::uint64_t mem = 0, writes = 0;
+    while (g.next(in)) {
+        if (in.op == TraceInstr::Op::Compute)
+            continue;
+        mem += 1;
+        writes += in.op == TraceInstr::Op::Store;
+    }
+    const double frac = double(writes) / double(mem);
+    EXPECT_GT(frac, 0.15);
+    EXPECT_LT(frac, 0.45);
+}
+
+TEST(TraceGen, AddressesStayInFootprint)
+{
+    const WorkloadProfile p = simpleProfile();
+    SyntheticGenerator g(p, 20000, 9);
+    TraceInstr in;
+    while (g.next(in)) {
+        if (in.op == TraceInstr::Op::Compute)
+            continue;
+        EXPECT_GE(in.addr, p.regionBase);
+        EXPECT_LT(in.addr, p.regionBase + p.footprintBytes);
+    }
+}
+
+TEST(TraceGen, ClustersAreStrideContiguous)
+{
+    WorkloadProfile p = simpleProfile();
+    p.hotFraction = 0.0;
+    p.seqFraction = 1.0;
+    p.chaseFraction = 0.0;
+    p.writeFraction = 0.0;
+    p.memFraction = 1.0;
+    SyntheticGenerator g(p, 64, 11);
+    TraceInstr in;
+    std::vector<Addr> addrs;
+    while (g.next(in))
+        addrs.push_back(in.addr);
+    // Every group of clusterBlocks is stride-contiguous.
+    for (std::size_t i = 0; i + 1 < addrs.size(); ++i) {
+        if (i % p.clusterBlocks == p.clusterBlocks - 1)
+            continue; // cluster boundary
+        EXPECT_EQ(addrs[i + 1], addrs[i] + p.streamStride)
+            << "at index " << i;
+    }
+}
+
+TEST(TraceGen, ChaseLoadsCycleThroughChains)
+{
+    WorkloadProfile p = simpleProfile();
+    p.hotFraction = 0.0;
+    p.seqFraction = 0.0;
+    p.chaseFraction = 1.0;
+    p.writeFraction = 0.0;
+    p.memFraction = 1.0;
+    p.numChains = 3;
+    SyntheticGenerator g(p, 30, 13);
+    TraceInstr in;
+    std::map<std::uint8_t, int> chains;
+    while (g.next(in)) {
+        ASSERT_TRUE(in.depChain);
+        chains[in.chainId] += 1;
+    }
+    EXPECT_EQ(chains.size(), 3u);
+    EXPECT_EQ(chains[0], 10);
+    EXPECT_EQ(chains[1], 10);
+    EXPECT_EQ(chains[2], 10);
+}
+
+TEST(TraceGen, StoresNeverMarkedDepChain)
+{
+    WorkloadProfile p = simpleProfile();
+    p.chaseFraction = 1.0;
+    p.seqFraction = 0.0;
+    p.hotFraction = 0.0;
+    p.writeFraction = 1.0;
+    p.storeStreamBias = 0.0;
+    p.memFraction = 1.0;
+    SyntheticGenerator g(p, 100, 17);
+    TraceInstr in;
+    while (g.next(in)) {
+        EXPECT_EQ(in.op, TraceInstr::Op::Store);
+        EXPECT_FALSE(in.depChain);
+    }
+}
+
+TEST(TraceGen, BlockAlignedStreamAddresses)
+{
+    WorkloadProfile p = simpleProfile();
+    SyntheticGenerator g(p, 5000, 19);
+    TraceInstr in;
+    while (g.next(in)) {
+        if (in.op == TraceInstr::Op::Compute)
+            continue;
+        EXPECT_EQ(in.addr % 64, 0u);
+    }
+}
+
+TEST(TraceGenDeath, RejectsBadFractions)
+{
+    WorkloadProfile p = simpleProfile();
+    p.seqFraction = 0.8;
+    p.chaseFraction = 0.5;
+    EXPECT_EXIT(SyntheticGenerator(p, 10, 1), testing::ExitedWithCode(1),
+                "fractions");
+}
+
+TEST(TraceGenDeath, RejectsBadMemFraction)
+{
+    WorkloadProfile p = simpleProfile();
+    p.memFraction = 1.5;
+    EXPECT_EXIT(SyntheticGenerator(p, 10, 1), testing::ExitedWithCode(1),
+                "memFraction");
+}
+
+TEST(SpecProfiles, SixteenBenchmarksInFigureOrder)
+{
+    const auto names = specProfileNames();
+    ASSERT_EQ(names.size(), 16u);
+    EXPECT_EQ(names.front(), "gzip");
+    EXPECT_EQ(names.back(), "apsi");
+    // Figure 8/11's running example must be present.
+    EXPECT_NO_FATAL_FAILURE(profileByName("swim"));
+}
+
+TEST(SpecProfiles, AllProfilesGenerateCleanly)
+{
+    for (const auto &p : specProfiles()) {
+        SyntheticGenerator g(p, 2000, 42);
+        TraceInstr in;
+        std::uint64_t mem = 0;
+        while (g.next(in))
+            mem += in.op != TraceInstr::Op::Compute;
+        EXPECT_GT(mem, 100u) << p.name;
+    }
+}
+
+TEST(SpecProfiles, PointerBenchmarksHaveChains)
+{
+    EXPECT_GT(profileByName("mcf").chaseFraction, 0.3);
+    EXPECT_GT(profileByName("mcf").numChains, 1u);
+    EXPECT_GT(profileByName("parser").chaseFraction, 0.3);
+    EXPECT_DOUBLE_EQ(profileByName("swim").chaseFraction +
+                         profileByName("swim").seqFraction,
+                     0.80);
+}
+
+TEST(SpecProfilesDeath, UnknownNameFatal)
+{
+    EXPECT_EXIT(profileByName("doom3"), testing::ExitedWithCode(1),
+                "unknown workload");
+}
