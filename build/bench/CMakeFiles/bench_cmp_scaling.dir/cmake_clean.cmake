@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmp_scaling.dir/bench_cmp_scaling.cc.o"
+  "CMakeFiles/bench_cmp_scaling.dir/bench_cmp_scaling.cc.o.d"
+  "bench_cmp_scaling"
+  "bench_cmp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_outstanding.dir/bench_fig08_outstanding.cc.o"
+  "CMakeFiles/bench_fig08_outstanding.dir/bench_fig08_outstanding.cc.o.d"
+  "bench_fig08_outstanding"
+  "bench_fig08_outstanding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_outstanding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

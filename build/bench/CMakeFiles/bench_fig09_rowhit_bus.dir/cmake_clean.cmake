@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_rowhit_bus.dir/bench_fig09_rowhit_bus.cc.o"
+  "CMakeFiles/bench_fig09_rowhit_bus.dir/bench_fig09_rowhit_bus.cc.o.d"
+  "bench_fig09_rowhit_bus"
+  "bench_fig09_rowhit_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_rowhit_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

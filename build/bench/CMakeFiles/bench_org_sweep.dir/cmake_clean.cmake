@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_org_sweep.dir/bench_org_sweep.cc.o"
+  "CMakeFiles/bench_org_sweep.dir/bench_org_sweep.cc.o.d"
+  "bench_org_sweep"
+  "bench_org_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_org_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

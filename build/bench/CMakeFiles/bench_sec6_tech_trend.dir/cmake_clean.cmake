@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6_tech_trend.dir/bench_sec6_tech_trend.cc.o"
+  "CMakeFiles/bench_sec6_tech_trend.dir/bench_sec6_tech_trend.cc.o.d"
+  "bench_sec6_tech_trend"
+  "bench_sec6_tech_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_tech_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

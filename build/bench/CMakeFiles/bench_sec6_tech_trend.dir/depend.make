@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec6_tech_trend.
+# This may be replaced when dependencies are built.

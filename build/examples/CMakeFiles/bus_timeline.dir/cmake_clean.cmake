@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_timeline.dir/bus_timeline.cpp.o"
+  "CMakeFiles/bus_timeline.dir/bus_timeline.cpp.o.d"
+  "bus_timeline"
+  "bus_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

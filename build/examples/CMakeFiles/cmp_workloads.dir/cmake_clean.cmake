@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_workloads.dir/cmp_workloads.cpp.o"
+  "CMakeFiles/cmp_workloads.dir/cmp_workloads.cpp.o.d"
+  "cmp_workloads"
+  "cmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

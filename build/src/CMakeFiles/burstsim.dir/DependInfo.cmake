@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/args.cc" "src/CMakeFiles/burstsim.dir/common/args.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/common/args.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/burstsim.dir/common/json.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/common/json.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/burstsim.dir/common/log.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/burstsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/burstsim.dir/common/table.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/common/table.cc.o.d"
+  "/root/repo/src/cpu/cache.cc" "src/CMakeFiles/burstsim.dir/cpu/cache.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/cpu/cache.cc.o.d"
+  "/root/repo/src/cpu/cache_hierarchy.cc" "src/CMakeFiles/burstsim.dir/cpu/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/cpu/cache_hierarchy.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/burstsim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/ctrl/access.cc" "src/CMakeFiles/burstsim.dir/ctrl/access.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/access.cc.o.d"
+  "/root/repo/src/ctrl/controller.cc" "src/CMakeFiles/burstsim.dir/ctrl/controller.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/controller.cc.o.d"
+  "/root/repo/src/ctrl/scheduler.cc" "src/CMakeFiles/burstsim.dir/ctrl/scheduler.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/scheduler.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/bk_in_order.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/bk_in_order.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/bk_in_order.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/burst.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/burst.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/burst.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/factory.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/factory.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/factory.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/history.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/history.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/history.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/intel.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/intel.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/intel.cc.o.d"
+  "/root/repo/src/ctrl/schedulers/row_hit.cc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/row_hit.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/ctrl/schedulers/row_hit.cc.o.d"
+  "/root/repo/src/dram/address_map.cc" "src/CMakeFiles/burstsim.dir/dram/address_map.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/address_map.cc.o.d"
+  "/root/repo/src/dram/backing_store.cc" "src/CMakeFiles/burstsim.dir/dram/backing_store.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/backing_store.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/burstsim.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/channel.cc" "src/CMakeFiles/burstsim.dir/dram/channel.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/channel.cc.o.d"
+  "/root/repo/src/dram/command_log.cc" "src/CMakeFiles/burstsim.dir/dram/command_log.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/command_log.cc.o.d"
+  "/root/repo/src/dram/memory_system.cc" "src/CMakeFiles/burstsim.dir/dram/memory_system.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/memory_system.cc.o.d"
+  "/root/repo/src/dram/power.cc" "src/CMakeFiles/burstsim.dir/dram/power.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/power.cc.o.d"
+  "/root/repo/src/dram/rank.cc" "src/CMakeFiles/burstsim.dir/dram/rank.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/rank.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "src/CMakeFiles/burstsim.dir/dram/timing.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/dram/timing.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/burstsim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/burstsim.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/burstsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/trace/spec_profiles.cc" "src/CMakeFiles/burstsim.dir/trace/spec_profiles.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/trace/spec_profiles.cc.o.d"
+  "/root/repo/src/trace/trace_file.cc" "src/CMakeFiles/burstsim.dir/trace/trace_file.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/trace/trace_file.cc.o.d"
+  "/root/repo/src/trace/trace_gen.cc" "src/CMakeFiles/burstsim.dir/trace/trace_gen.cc.o" "gcc" "src/CMakeFiles/burstsim.dir/trace/trace_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bk_in_order.dir/ctrl/test_bk_in_order.cc.o"
+  "CMakeFiles/test_bk_in_order.dir/ctrl/test_bk_in_order.cc.o.d"
+  "test_bk_in_order"
+  "test_bk_in_order.pdb"
+  "test_bk_in_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bk_in_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

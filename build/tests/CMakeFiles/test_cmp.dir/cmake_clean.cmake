@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmp.dir/sim/test_cmp.cc.o"
+  "CMakeFiles/test_cmp.dir/sim/test_cmp.cc.o.d"
+  "test_cmp"
+  "test_cmp.pdb"
+  "test_cmp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

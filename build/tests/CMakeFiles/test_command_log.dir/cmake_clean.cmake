@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_command_log.dir/dram/test_command_log.cc.o"
+  "CMakeFiles/test_command_log.dir/dram/test_command_log.cc.o.d"
+  "test_command_log"
+  "test_command_log.pdb"
+  "test_command_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_command_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_interplay.dir/ctrl/test_policy_interplay.cc.o"
+  "CMakeFiles/test_policy_interplay.dir/ctrl/test_policy_interplay.cc.o.d"
+  "test_policy_interplay"
+  "test_policy_interplay.pdb"
+  "test_policy_interplay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

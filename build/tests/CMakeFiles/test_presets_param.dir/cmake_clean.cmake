@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presets_param.dir/dram/test_presets_param.cc.o"
+  "CMakeFiles/test_presets_param.dir/dram/test_presets_param.cc.o.d"
+  "test_presets_param"
+  "test_presets_param.pdb"
+  "test_presets_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presets_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiles_param.dir/trace/test_profiles_param.cc.o"
+  "CMakeFiles/test_profiles_param.dir/trace/test_profiles_param.cc.o.d"
+  "test_profiles_param"
+  "test_profiles_param.pdb"
+  "test_profiles_param[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiles_param.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rank.dir/dram/test_rank.cc.o"
+  "CMakeFiles/test_rank.dir/dram/test_rank.cc.o.d"
+  "test_rank"
+  "test_rank.pdb"
+  "test_rank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

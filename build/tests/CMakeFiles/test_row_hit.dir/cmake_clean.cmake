@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_hit.dir/ctrl/test_row_hit.cc.o"
+  "CMakeFiles/test_row_hit.dir/ctrl/test_row_hit.cc.o.d"
+  "test_row_hit"
+  "test_row_hit.pdb"
+  "test_row_hit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

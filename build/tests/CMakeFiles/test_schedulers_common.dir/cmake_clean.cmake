@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedulers_common.dir/ctrl/test_schedulers_common.cc.o"
+  "CMakeFiles/test_schedulers_common.dir/ctrl/test_schedulers_common.cc.o.d"
+  "test_schedulers_common"
+  "test_schedulers_common.pdb"
+  "test_schedulers_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedulers_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

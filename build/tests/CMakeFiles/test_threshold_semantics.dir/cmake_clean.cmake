@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_semantics.dir/ctrl/test_threshold_semantics.cc.o"
+  "CMakeFiles/test_threshold_semantics.dir/ctrl/test_threshold_semantics.cc.o.d"
+  "test_threshold_semantics"
+  "test_threshold_semantics.pdb"
+  "test_threshold_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burstsim_cli.dir/burstsim_cli.cc.o"
+  "CMakeFiles/burstsim_cli.dir/burstsim_cli.cc.o.d"
+  "burstsim"
+  "burstsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burstsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
