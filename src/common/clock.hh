@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Clock-domain helper: conversions between memory-bus cycles and wall
+ * time for a given bus frequency. The simulator ticks in memory bus
+ * cycles (see common/types.hh); exporters that talk to outside tools
+ * (Chrome trace events use microseconds, bandwidth reports use seconds)
+ * convert through one of these instead of hand-rolling the arithmetic.
+ */
+
+#ifndef BURSTSIM_COMMON_CLOCK_HH
+#define BURSTSIM_COMMON_CLOCK_HH
+
+#include "common/types.hh"
+
+namespace bsim
+{
+
+/** A fixed-frequency clock domain (e.g. the 400 MHz DDR2-800 bus). */
+struct ClockDomain
+{
+    double mhz = 400.0;
+
+    /** Cycle period in nanoseconds. */
+    double periodNs() const { return 1e3 / mhz; }
+
+    /** Microseconds spanned by @p cycles (Chrome trace ts/dur unit). */
+    double usOf(Tick cycles) const { return double(cycles) / mhz; }
+
+    /** Nanoseconds spanned by @p cycles. */
+    double nsOf(Tick cycles) const { return double(cycles) * periodNs(); }
+
+    /** Seconds spanned by @p cycles. */
+    double secondsOf(Tick cycles) const
+    {
+        return double(cycles) / (mhz * 1e6);
+    }
+
+    /** Cycles (rounded down) in @p us microseconds. */
+    Tick cyclesInUs(double us) const { return Tick(us * mhz); }
+};
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_CLOCK_HH

@@ -1,6 +1,8 @@
 #include "common/json.hh"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 #include "common/log.hh"
@@ -181,6 +183,272 @@ bool
 JsonWriter::complete() const
 {
     return stack_.empty() && rootWritten_ && !afterKey_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    switch (kind) {
+      case Kind::Array: return array.size();
+      case Kind::Object: return members.size();
+      default: return 0;
+    }
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a complete in-memory document. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    std::optional<JsonValue>
+    parse()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after document");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err_ && err_->empty())
+            *err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(const char *word, JsonValue &out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail("invalid literal");
+        pos_ += n;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't': return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool, false);
+          case 'n': return literal("null", out, JsonValue::Kind::Null, false);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        ++pos_; // '{'
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return false;
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        ++pos_; // '['
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.array.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("invalid \\u escape");
+                }
+                // Encode the BMP code point as UTF-8 (surrogate pairs are
+                // not combined; the writer never emits them).
+                if (cp < 0x80) {
+                    out.push_back(char(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(char(0xc0 | (cp >> 6)));
+                    out.push_back(char(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(char(0xe0 | (cp >> 12)));
+                    out.push_back(char(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(char(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default: return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid number");
+        pos_ += std::size_t(end - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *err)
+{
+    return JsonParser(text, err).parse();
 }
 
 } // namespace bsim

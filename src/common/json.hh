@@ -16,7 +16,9 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bsim
@@ -79,6 +81,51 @@ class JsonWriter
     bool afterKey_ = false;
     bool rootWritten_ = false;
 };
+
+/**
+ * Parsed JSON document node.
+ *
+ * The counterpart of JsonWriter: a small recursive value type that can
+ * hold anything the writer emits, so outputs (reports, metrics, Chrome
+ * traces) can be round-tripped in tests and post-processing tools
+ * without an external dependency. Object member order is preserved.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null, Bool, Number, String, Array, Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;                           //!< Kind::Array
+    std::vector<std::pair<std::string, JsonValue>> members; //!< Kind::Object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup in an object; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number of array elements / object members. */
+    std::size_t size() const;
+};
+
+/**
+ * Parse a complete JSON document. Returns std::nullopt on malformed
+ * input and, when @p err is non-null, stores a one-line description
+ * with the byte offset of the failure.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *err = nullptr);
 
 } // namespace bsim
 

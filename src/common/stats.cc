@@ -32,6 +32,21 @@ Histogram::mean() const
     return sum / double(total_);
 }
 
+std::size_t
+Histogram::percentile(double p) const
+{
+    if (!total_)
+        return 0;
+    const double target = p * double(total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        cum += buckets_[i];
+        if (double(cum) >= target)
+            return i;
+    }
+    return buckets_.size() - 1;
+}
+
 void
 Histogram::reset()
 {

@@ -107,6 +107,14 @@ class Histogram
     /** Mean of the sampled values. */
     double mean() const;
 
+    /**
+     * Smallest bucket value whose cumulative fraction reaches @p p
+     * (0 < p <= 1). 0 when the histogram is empty. Note that samples
+     * above the range were clamped into the final bucket, so high
+     * percentiles saturate at size() - 1.
+     */
+    std::size_t percentile(double p) const;
+
     /** Discard all samples. */
     void reset();
 

@@ -72,9 +72,18 @@ struct MemAccess
     Addr addr = 0; //!< block-aligned byte address
     dram::Coords coords;
 
+    // Lifecycle timestamps, stamped as the access advances. Together
+    // they partition the total latency into the contiguous phases the
+    // observability layer reports (obs/latency_breakdown.hh); stamping
+    // is unconditional because a store into this already-hot struct is
+    // free compared to the scheduling work around it.
     Tick arrival = 0;         //!< tick admitted into the controller
+    Tick pickedAt = kTickMax; //!< bank arbiter selected it (schedulers
+                              //!< without an explicit pick leave this to
+                              //!< default to firstCmdAt)
     Tick firstCmdAt = kTickMax; //!< first transaction issue tick
     Tick colIssuedAt = kTickMax; //!< column access issue tick
+    Tick dataStart = 0;       //!< first cycle of the data burst
     Tick dataEnd = 0;         //!< end of data transfer
 
     /** Device state found at first service (row hit/empty/conflict). */

@@ -2,6 +2,7 @@
 
 #include "common/log.hh"
 #include "ctrl/schedulers/factory.hh"
+#include "obs/observability.hh"
 
 namespace bsim::ctrl
 {
@@ -194,6 +195,9 @@ MemoryController::tick(Tick now)
     }
 
     stats_.ticks += 1;
+
+    if (sampler_ && sampler_->epochEnd(now))
+        sampleMetrics(now);
 }
 
 void
@@ -212,6 +216,8 @@ MemoryController::completeReads(Tick now)
         }
         counts_.readsOutstanding -= 1;
 
+        if (lat_)
+            lat_->record(*a);
         if (readCb_)
             readCb_(*a, now);
         finishAccess(a);
@@ -296,6 +302,8 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
         stats_.writeLatency.sample(double(a->dataEnd - a->arrival));
         stats_.bytesTransferred += mem_.config().blockBytes;
         counts_.writesOutstanding -= 1;
+        if (lat_)
+            lat_->record(*a);
         finishAccess(a);
     }
 }
@@ -319,6 +327,55 @@ MemoryController::busy() const
         if (s->hasWork())
             return true;
     return false;
+}
+
+void
+MemoryController::attachObservability(obs::Observability *o)
+{
+    lat_ = o ? o->latency() : nullptr;
+    sampler_ = o ? o->sampler() : nullptr;
+}
+
+void
+MemoryController::sampleMetrics(Tick now)
+{
+    obs::MetricsSnapshot s;
+    s.now = now;
+    s.dataBusyCycles = mem_.dataBusyCycles();
+    s.cmdBusyCycles = mem_.cmdBusyCycles();
+    s.rowHits = stats_.rowHits;
+    s.rowEmpties = stats_.rowEmpties;
+    s.rowConflicts = stats_.rowConflicts;
+    s.readsCompleted = stats_.reads;
+    s.writesCompleted = stats_.writes;
+
+    const auto sched = schedulerStats();
+    if (auto it = sched.find("bursts_formed"); it != sched.end())
+        s.burstsFormed = it->second;
+    if (auto it = sched.find("burst_joins"); it != sched.end())
+        s.burstJoins = it->second;
+
+    s.channels = mem_.numChannels();
+    s.readsOutstanding = counts_.readsOutstanding;
+    s.writesOutstanding = counts_.writesOutstanding;
+    const SchedulerParams params = cfg_.schedulerParams();
+    s.rpActive = params.readPreemption &&
+                 counts_.writesOutstanding < params.threshold;
+    s.wpActive = params.writePiggyback &&
+                 counts_.writesOutstanding > params.threshold;
+
+    for (const auto &sc : schedulers_)
+        sc->queueOccupancy(s.bankReadQ, s.bankWriteQ);
+
+    sampler_->sample(s);
+}
+
+void
+MemoryController::flushMetrics(Tick end)
+{
+    if (!sampler_ || end == 0)
+        return;
+    sampleMetrics(end - 1);
 }
 
 std::map<std::string, double>

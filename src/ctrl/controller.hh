@@ -29,6 +29,13 @@
 #include "ctrl/scheduler.hh"
 #include "dram/memory_system.hh"
 
+namespace bsim::obs
+{
+class LatencyBreakdown;
+class MetricsSampler;
+class Observability;
+} // namespace bsim::obs
+
 namespace bsim::ctrl
 {
 
@@ -157,6 +164,22 @@ class MemoryController
         return counts_.readsOutstanding;
     }
 
+    /**
+     * Attach (or detach, with nullptr) the run's observability pillars.
+     * The controller caches raw pointers to the latency breakdown and
+     * metrics sampler; when both are off the hot paths degrade to one
+     * null check each.
+     */
+    void attachObservability(obs::Observability *o);
+
+    /**
+     * Commit the trailing partial epoch at end-of-run tick @p end
+     * (exclusive). A no-op without a sampler or when the run ended on
+     * an epoch boundary, so every run yields exactly
+     * ceil(cycles / interval) rows.
+     */
+    void flushMetrics(Tick end);
+
   private:
     /** Per-(channel,rank) refresh engine state. */
     struct RefreshState
@@ -167,6 +190,8 @@ class MemoryController
 
     void completeReads(Tick now);
     void sampleOccupancy();
+    /** Snapshot counters/queues at the end of tick @p now. */
+    void sampleMetrics(Tick now);
     /** Run the refresh engine for @p channel; true if it used the slot. */
     bool refreshTick(std::uint32_t channel, Tick now);
     void handleIssued(const Scheduler::Issued &issued);
@@ -184,6 +209,10 @@ class MemoryController
     std::multimap<Tick, MemAccess *> pendingReads_;
     std::vector<RefreshState> refresh_; //!< channel-major [ch*ranks + r]
     std::uint64_t nextId_ = 1;
+
+    // Observability hooks; null when the respective pillar is off.
+    obs::LatencyBreakdown *lat_ = nullptr;
+    obs::MetricsSampler *sampler_ = nullptr;
 };
 
 } // namespace bsim::ctrl

@@ -11,6 +11,8 @@ Scheduler::issueFor(MemAccess *a, Tick now)
     const dram::CmdType type = nextCmd(a);
     if (a->firstCmdAt == kTickMax) {
         a->firstCmdAt = now;
+        if (a->pickedAt == kTickMax)
+            a->pickedAt = now; // no explicit arbitration step
         a->outcome = ctx_.mem->classify(a->coords);
         a->outcomeValid = true;
     }
@@ -25,6 +27,7 @@ Scheduler::issueFor(MemAccess *a, Tick now)
         out.columnAccess = true;
         out.dataEnd = res.dataEnd;
         a->colIssuedAt = now;
+        a->dataStart = res.dataStart;
         a->dataEnd = res.dataEnd;
         if (a->isWrite())
             noteWriteIssued(a);

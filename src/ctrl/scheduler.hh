@@ -17,6 +17,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.hh"
 #include "ctrl/access.hh"
@@ -125,6 +126,21 @@ class Scheduler
 
     /** Policy-specific statistics (e.g. preemption/piggyback counts). */
     virtual std::map<std::string, double> extraStats() const { return {}; }
+
+    /**
+     * Append this channel's per-bank queued access counts (waiting or
+     * in service) to @p reads / @p writes — numBanks() entries each, in
+     * flat rank-major bank order. Called by the metrics sampler once
+     * per epoch, never on the issue path. The default reports zeros so
+     * external policies need not implement it.
+     */
+    virtual void
+    queueOccupancy(std::vector<std::uint32_t> &reads,
+                   std::vector<std::uint32_t> &writes) const
+    {
+        reads.insert(reads.end(), numBanks(), 0);
+        writes.insert(writes.end(), numBanks(), 0);
+    }
 
   protected:
     /** Banks on this channel (rank-major flat index). */

@@ -52,4 +52,17 @@ BkInOrderScheduler::hasWork() const
     return reads_ + writes_ > 0;
 }
 
+void
+BkInOrderScheduler::queueOccupancy(std::vector<std::uint32_t> &reads,
+                                   std::vector<std::uint32_t> &writes) const
+{
+    for (const auto &q : queues_) {
+        std::uint32_t r = 0, w = 0;
+        for (const MemAccess *a : q)
+            (a->isWrite() ? w : r) += 1;
+        reads.push_back(r);
+        writes.push_back(w);
+    }
+}
+
 } // namespace bsim::ctrl

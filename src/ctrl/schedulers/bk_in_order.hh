@@ -28,6 +28,8 @@ class BkInOrderScheduler : public Scheduler
     std::size_t readCount() const override { return reads_; }
     std::size_t writeCount() const override { return writes_; }
     bool hasWork() const override;
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
 
   private:
     std::vector<std::deque<MemAccess *>> queues_; //!< one FIFO per bank

@@ -219,6 +219,10 @@ BurstScheduler::tick(Tick now)
     for (std::uint32_t b = 0; b < banks_.size(); ++b) {
         maybePreempt(b);
         arbitrate(b);
+        // A preempted write keeps its original pick time.
+        if (MemAccess *a = banks_[b].ongoing;
+            a && a->pickedAt == kTickMax)
+            a->pickedAt = now;
     }
 
     // Transaction scheduler (Figure 6 with the Table 2 priorities):
@@ -305,6 +309,22 @@ BurstScheduler::extraStats() const
         {"bursts_formed", double(burstsFormed_)},
         {"burst_joins", double(burstJoinCount_)},
     };
+}
+
+void
+BurstScheduler::queueOccupancy(std::vector<std::uint32_t> &reads,
+                               std::vector<std::uint32_t> &writes) const
+{
+    for (const BankState &bs : banks_) {
+        std::uint32_t r = 0;
+        for (const Burst &burst : bs.bursts)
+            r += std::uint32_t(burst.reads.size());
+        std::uint32_t w = std::uint32_t(bs.writeQ.size());
+        if (bs.ongoing)
+            (bs.ongoing->isWrite() ? w : r) += 1;
+        reads.push_back(r);
+        writes.push_back(w);
+    }
 }
 
 } // namespace bsim::ctrl

@@ -48,6 +48,8 @@ class BurstScheduler : public Scheduler
     std::size_t writeCount() const override { return writes_; }
     bool hasWork() const override;
     std::map<std::string, double> extraStats() const override;
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
 
     /** A cluster of same-row reads within one bank (for tests). */
     struct Burst

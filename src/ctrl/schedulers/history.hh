@@ -39,6 +39,8 @@ class AdaptiveHistoryScheduler : public Scheduler
     std::size_t writeCount() const override { return writes_; }
     bool hasWork() const override;
     std::map<std::string, double> extraStats() const override;
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
 
   private:
     /** Select a candidate for bank @p b (row hit first in a window). */

@@ -162,4 +162,23 @@ IntelScheduler::extraStats() const
     return {{"preemptions", double(preemptions_)}};
 }
 
+void
+IntelScheduler::queueOccupancy(std::vector<std::uint32_t> &reads,
+                               std::vector<std::uint32_t> &writes) const
+{
+    const std::size_t base = reads.size();
+    for (std::uint32_t b = 0; b < readQ_.size(); ++b) {
+        std::uint32_t r = std::uint32_t(readQ_[b].size());
+        std::uint32_t w = 0;
+        if (const MemAccess *a = ongoing_[b])
+            (a->isWrite() ? w : r) += 1;
+        reads.push_back(r);
+        writes.push_back(w);
+    }
+    // The single write queue serves all banks; attribute entries to the
+    // bank they target.
+    for (const MemAccess *a : writeQ_)
+        writes[base + bankIndex(a->coords)] += 1;
+}
+
 } // namespace bsim::ctrl

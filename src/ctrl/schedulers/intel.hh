@@ -40,6 +40,8 @@ class IntelScheduler : public Scheduler
     std::size_t writeCount() const override { return writes_; }
     bool hasWork() const override;
     std::map<std::string, double> extraStats() const override;
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
 
   private:
     /** Select ongoing accesses for idle banks; handle preemption. */

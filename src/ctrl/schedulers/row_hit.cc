@@ -74,4 +74,19 @@ RowHitScheduler::hasWork() const
     return reads_ + writes_ > 0;
 }
 
+void
+RowHitScheduler::queueOccupancy(std::vector<std::uint32_t> &reads,
+                                std::vector<std::uint32_t> &writes) const
+{
+    for (std::uint32_t b = 0; b < queues_.size(); ++b) {
+        std::uint32_t r = 0, w = 0;
+        for (const MemAccess *a : queues_[b])
+            (a->isWrite() ? w : r) += 1;
+        if (const MemAccess *a = ongoing_[b])
+            (a->isWrite() ? w : r) += 1;
+        reads.push_back(r);
+        writes.push_back(w);
+    }
+}
+
 } // namespace bsim::ctrl

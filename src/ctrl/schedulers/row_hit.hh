@@ -29,6 +29,8 @@ class RowHitScheduler : public Scheduler
     std::size_t readCount() const override { return reads_; }
     std::size_t writeCount() const override { return writes_; }
     bool hasWork() const override;
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
 
   private:
     /** Pick the next ongoing access for bank @p b (row hit first). */

@@ -13,15 +13,29 @@ CommandLog::record(const CommandRecord &rec)
     total_ += 1;
     if (capacity_ == 0)
         return;
-    if (records_.size() >= capacity_)
-        records_.erase(records_.begin());
-    records_.push_back(rec);
+    if (buf_.size() < capacity_) {
+        buf_.push_back(rec);
+        return;
+    }
+    buf_[head_] = rec;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+}
+
+std::vector<CommandRecord>
+CommandLog::records() const
+{
+    std::vector<CommandRecord> out;
+    out.reserve(buf_.size());
+    for (std::size_t i = 0; i < buf_.size(); ++i)
+        out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
 }
 
 void
 CommandLog::clear()
 {
-    records_.clear();
+    buf_.clear();
+    head_ = 0;
     total_ = 0;
 }
 
@@ -68,7 +82,7 @@ CommandLog::renderTimeline(std::ostream &os, Tick from, Tick to,
     std::map<std::uint64_t, std::string> bank_lanes;
     std::map<std::uint32_t, std::string> data_lanes;
 
-    for (const auto &rec : records_) {
+    for (const auto &rec : records()) {
         if (rec.type == CmdType::RefreshAll) {
             // Refresh covers the whole rank; draw on every known lane of
             // that rank later — simply ensure a lane exists for bank 0.

@@ -34,7 +34,14 @@ struct CommandRecord
     Tick dataEnd = 0;   //!< column accesses only
 };
 
-/** Bounded in-order record of issued commands. */
+/**
+ * Bounded in-order record of issued commands.
+ *
+ * Retention is a ring buffer: once @p capacity records are held, each
+ * new record overwrites the oldest in O(1). (An earlier version evicted
+ * with vector::erase(begin()), which made every record O(capacity) once
+ * the log filled — ruinous when tracing long runs.)
+ */
 class CommandLog
 {
   public:
@@ -43,14 +50,17 @@ class CommandLog
         : capacity_(capacity)
     {}
 
-    /** Append a record (drops the oldest beyond capacity). */
+    /** Append a record (overwrites the oldest beyond capacity). */
     void record(const CommandRecord &rec);
 
-    /** All retained records, oldest first. */
-    const std::vector<CommandRecord> &records() const { return records_; }
+    /** Snapshot of all retained records, oldest first. */
+    std::vector<CommandRecord> records() const;
 
     /** Number of retained records. */
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const { return buf_.size(); }
+
+    /** Retention capacity. */
+    std::size_t capacity() const { return capacity_; }
 
     /** Total records ever offered (including dropped ones). */
     std::uint64_t totalRecorded() const { return total_; }
@@ -71,7 +81,8 @@ class CommandLog
 
   private:
     std::size_t capacity_;
-    std::vector<CommandRecord> records_;
+    std::vector<CommandRecord> buf_; //!< ring once size() == capacity
+    std::size_t head_ = 0;           //!< index of the oldest record
     std::uint64_t total_ = 0;
 };
 

@@ -1,0 +1,160 @@
+#include "obs/chrome_trace.hh"
+
+#include <ostream>
+#include <string>
+
+#include "common/json.hh"
+#include "obs/metrics.hh"
+
+namespace bsim::obs
+{
+
+namespace
+{
+
+constexpr int kTidScheduler = 0;
+constexpr int kTidDataBus = 1;
+constexpr int kTidBankBase = 2;
+
+/** Emit one metadata event naming a process or thread. */
+void
+nameEvent(JsonWriter &w, const char *what, int pid, int tid,
+          const std::string &name)
+{
+    w.beginObject();
+    w.key("ph").value("M");
+    w.key("name").value(what);
+    w.key("pid").value(pid);
+    if (tid >= 0)
+        w.key("tid").value(tid);
+    w.key("args").beginObject().key("name").value(name).endObject();
+    w.endObject();
+}
+
+void
+eventHeader(JsonWriter &w, const char *ph, const char *name, int pid,
+            int tid, double ts)
+{
+    w.beginObject();
+    w.key("ph").value(ph);
+    w.key("name").value(name);
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("ts").value(ts);
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
+                 const dram::DramConfig &cfg, const MetricsSampler *sampler,
+                 const ChromeTraceOptions &opts)
+{
+    const ClockDomain &clk = opts.busClock;
+    const int ctrl_pid = int(cfg.channels); // counter tracks live here
+
+    JsonWriter w(os, /*pretty=*/false);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("otherData").beginObject();
+    w.key("generator").value("burstsim");
+    w.key("bus_mhz").value(clk.mhz);
+    w.key("commands_recorded").value(log.totalRecorded());
+    w.key("commands_retained").value(std::uint64_t(log.size()));
+    w.endObject();
+
+    w.key("traceEvents").beginArray();
+
+    // Track naming metadata.
+    for (std::uint32_t ch = 0; ch < cfg.channels; ++ch) {
+        const int pid = int(ch);
+        nameEvent(w, "process_name", pid, -1,
+                  "channel " + std::to_string(ch));
+        nameEvent(w, "thread_name", pid, kTidScheduler, "scheduler");
+        nameEvent(w, "thread_name", pid, kTidDataBus, "data bus");
+        for (std::uint32_t r = 0; r < cfg.ranksPerChannel; ++r)
+            for (std::uint32_t b = 0; b < cfg.banksPerRank; ++b)
+                nameEvent(w, "thread_name", pid,
+                          kTidBankBase + int(r * cfg.banksPerRank + b),
+                          "rank " + std::to_string(r) + " bank " +
+                              std::to_string(b));
+    }
+    if (sampler)
+        nameEvent(w, "process_name", ctrl_pid, -1, "controller");
+
+    for (const auto &rec : log.records()) {
+        const int pid = int(rec.coords.channel);
+        const int bank_tid =
+            kTidBankBase +
+            int(rec.coords.rank * cfg.banksPerRank + rec.coords.bank);
+        const double ts = clk.usOf(rec.at);
+        const char *name = dram::cmdName(rec.type);
+
+        // Scheduler decision stream: every issued command, in order.
+        eventHeader(w, "i", name, pid, kTidScheduler, ts);
+        w.key("s").value("t");
+        w.key("args").beginObject();
+        w.key("access").value(rec.accessId);
+        w.key("bank").value(int(rec.coords.bank));
+        w.key("rank").value(int(rec.coords.rank));
+        w.endObject();
+        w.endObject();
+
+        if (dram::isColumnAccess(rec.type)) {
+            // Bank lane: command issue to end of data (CAS/WL + burst).
+            eventHeader(w, "X", name, pid, bank_tid, ts);
+            w.key("dur").value(clk.usOf(rec.dataEnd - rec.at));
+            w.key("args").beginObject();
+            w.key("access").value(rec.accessId);
+            w.key("row").value(std::uint64_t(rec.coords.row));
+            w.key("col").value(std::uint64_t(rec.coords.col));
+            w.endObject();
+            w.endObject();
+
+            // Data bus lane: the burst itself.
+            eventHeader(w, "X",
+                        rec.type == dram::CmdType::Read ? "data RD"
+                                                        : "data WR",
+                        pid, kTidDataBus, clk.usOf(rec.dataStart));
+            w.key("dur").value(clk.usOf(rec.dataEnd - rec.dataStart));
+            w.key("args").beginObject();
+            w.key("access").value(rec.accessId);
+            w.endObject();
+            w.endObject();
+        } else {
+            // Precharge / activate / refresh: instant on the bank lane
+            // (refresh covers the rank; it is drawn on bank 0's lane).
+            eventHeader(w, "i", name, pid, bank_tid, ts);
+            w.key("s").value("t");
+            w.key("args").beginObject();
+            w.key("row").value(std::uint64_t(rec.coords.row));
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    if (sampler) {
+        for (const auto &row : sampler->rows()) {
+            const double ts = clk.usOf(row.tickStart);
+            eventHeader(w, "C", "queue occupancy", ctrl_pid, 0, ts);
+            w.key("args").beginObject();
+            w.key("reads").value(std::uint64_t(row.readsOutstanding));
+            w.key("writes").value(std::uint64_t(row.writesOutstanding));
+            w.endObject();
+            w.endObject();
+
+            eventHeader(w, "C", "bus utilization", ctrl_pid, 0, ts);
+            w.key("args").beginObject();
+            w.key("data").value(row.dataBusUtil);
+            w.key("addr").value(row.addrBusUtil);
+            w.endObject();
+            w.endObject();
+        }
+    }
+
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace bsim::obs

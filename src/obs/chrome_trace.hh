@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Chrome trace-event exporter.
+ *
+ * Converts a CommandLog (and optionally the epoch metrics time series)
+ * into the Trace Event JSON format that chrome://tracing and Perfetto
+ * load directly — the zoomable replacement for the ASCII waterfall of
+ * CommandLog::renderTimeline on runs longer than a screenful.
+ *
+ * Track layout: one process per channel, whose threads are
+ *
+ *     tid 0            "scheduler"  — one instant event per issued
+ *                                     command (the decision stream)
+ *     tid 1            "data bus"   — complete events spanning each
+ *                                     data burst
+ *     tid 2 + flat     "rank R bank B" — complete events for column
+ *                                     accesses (issue to end of data),
+ *                                     instants for PRE/ACT/REF
+ *
+ * plus, when a metrics sampler is supplied, counter tracks for queue
+ * occupancy and bus utilization on a separate "controller" process.
+ * Timestamps are microseconds (the format's unit), converted from
+ * memory cycles through the bus clock domain.
+ */
+
+#ifndef BURSTSIM_OBS_CHROME_TRACE_HH
+#define BURSTSIM_OBS_CHROME_TRACE_HH
+
+#include <iosfwd>
+
+#include "common/clock.hh"
+#include "dram/command_log.hh"
+#include "dram/config.hh"
+
+namespace bsim::obs
+{
+
+class MetricsSampler;
+
+/** Exporter knobs. */
+struct ChromeTraceOptions
+{
+    ClockDomain busClock{400.0}; //!< memory bus frequency
+};
+
+/**
+ * Write @p log as a Chrome trace JSON document. @p sampler may be null;
+ * when present its rows become counter tracks.
+ */
+void writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
+                      const dram::DramConfig &cfg,
+                      const MetricsSampler *sampler,
+                      const ChromeTraceOptions &opts = {});
+
+} // namespace bsim::obs
+
+#endif // BURSTSIM_OBS_CHROME_TRACE_HH

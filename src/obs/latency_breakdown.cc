@@ -1,0 +1,66 @@
+#include "obs/latency_breakdown.hh"
+
+#include "common/log.hh"
+
+namespace bsim::obs
+{
+
+const char *
+accessClassName(AccessClass c)
+{
+    switch (c) {
+      case AccessClass::ReadHit: return "read_hit";
+      case AccessClass::ReadMiss: return "read_miss";
+      case AccessClass::WriteHit: return "write_hit";
+      case AccessClass::WriteMiss: return "write_miss";
+    }
+    return "?";
+}
+
+void
+LatencyBreakdown::record(const ctrl::MemAccess &a)
+{
+    if (a.forwarded) {
+        const Tick total = a.dataEnd - a.arrival;
+        forwarded_.sample(total);
+        forwardedMean_.sample(double(total));
+        return;
+    }
+
+    // pickedAt falls back to firstCmdAt for schedulers without an
+    // explicit arbitration step (their pick phase is then 0 by
+    // definition); both are always stamped before a column access.
+    const Tick picked = a.pickedAt != kTickMax ? a.pickedAt : a.firstCmdAt;
+    if (a.firstCmdAt == kTickMax || a.dataStart < a.firstCmdAt ||
+        picked < a.arrival || a.firstCmdAt < picked ||
+        a.dataEnd < a.dataStart) {
+        panic("latency breakdown: non-monotonic timestamps on access %llu",
+              static_cast<unsigned long long>(a.id));
+    }
+
+    const bool hit = a.outcome == dram::RowOutcome::Hit;
+    const AccessClass c =
+        a.isRead() ? (hit ? AccessClass::ReadHit : AccessClass::ReadMiss)
+                   : (hit ? AccessClass::WriteHit : AccessClass::WriteMiss);
+    PhaseStats &ps = classes_[std::size_t(c)];
+
+    const Tick queue = picked - a.arrival;
+    const Tick pick = a.firstCmdAt - picked;
+    const Tick prep = a.dataStart - a.firstCmdAt;
+    const Tick data = a.dataEnd - a.dataStart;
+    const Tick total = a.dataEnd - a.arrival;
+
+    ps.queue.sample(queue);
+    ps.pick.sample(pick);
+    ps.prep.sample(prep);
+    ps.data.sample(data);
+    ps.total.sample(total);
+    ps.queueMean.sample(double(queue));
+    ps.pickMean.sample(double(pick));
+    ps.prepMean.sample(double(prep));
+    ps.dataMean.sample(double(data));
+    ps.totalMean.sample(double(total));
+    recorded_ += 1;
+}
+
+} // namespace bsim::obs

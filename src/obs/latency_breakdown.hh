@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Per-access latency decomposition.
+ *
+ * Every access carries five timestamps (ctrl/access.hh): arrival into
+ * the controller, the tick its bank arbiter picked it, first SDRAM
+ * transaction issue, first data beat, and end of data. The breakdown
+ * splits the total latency into four contiguous phases
+ *
+ *     queue : arrival  -> picked      (waiting behind other accesses)
+ *     pick  : picked   -> first cmd   (picked but transactions blocked)
+ *     prep  : first cmd-> data start  (precharge/activate + CAS/WL)
+ *     data  : data start -> data end  (the burst itself)
+ *
+ * which by construction sum to the access's total latency — the
+ * property the paper's Figure 7 discussion reasons about when it
+ * attributes Burst's wins to queue-wait reduction rather than device
+ * time. Histograms are kept per access class (read/write x row
+ * hit/miss); reads satisfied by write-queue forwarding never touch the
+ * device and are tallied separately.
+ */
+
+#ifndef BURSTSIM_OBS_LATENCY_BREAKDOWN_HH
+#define BURSTSIM_OBS_LATENCY_BREAKDOWN_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "ctrl/access.hh"
+
+namespace bsim::obs
+{
+
+/** Read/write crossed with the row outcome of the first service. */
+enum class AccessClass : std::uint8_t
+{
+    ReadHit,   //!< read, row open on the target row
+    ReadMiss,  //!< read, row empty or conflict
+    WriteHit,
+    WriteMiss,
+};
+
+inline constexpr std::size_t kNumAccessClasses = 4;
+
+/** Reporting name, e.g. "read_hit". */
+const char *accessClassName(AccessClass c);
+
+/** Phase statistics of one access class. */
+struct PhaseStats
+{
+    /** Histogram bound: latencies above clamp into the last bucket. */
+    static constexpr std::size_t kHistMax = 512;
+
+    Histogram queue{kHistMax};
+    Histogram pick{kHistMax};
+    Histogram prep{kHistMax};
+    Histogram data{kHistMax};
+    Histogram total{kHistMax};
+
+    // Means are kept separately from the histograms because histogram
+    // samples clamp at kHistMax; the sums below stay exact, which is
+    // what makes the phases-sum-to-total invariant testable.
+    RunningMean queueMean;
+    RunningMean pickMean;
+    RunningMean prepMean;
+    RunningMean dataMean;
+    RunningMean totalMean;
+
+    /** Accesses recorded in this class. */
+    std::uint64_t count() const { return totalMean.count(); }
+};
+
+/** Accumulates the per-phase latency decomposition of a run. */
+class LatencyBreakdown
+{
+  public:
+    /** Record a completed access (call once, after dataEnd is final). */
+    void record(const ctrl::MemAccess &a);
+
+    /** Statistics of @p c. */
+    const PhaseStats &of(AccessClass c) const
+    {
+        return classes_[std::size_t(c)];
+    }
+
+    /** Total latency of write-queue-forwarded reads. */
+    const Histogram &forwarded() const { return forwarded_; }
+
+    /** Mean latency of forwarded reads (exact, unclamped). */
+    const RunningMean &forwardedMean() const { return forwardedMean_; }
+
+    /** DRAM-serviced accesses recorded (excludes forwarded reads). */
+    std::uint64_t recorded() const { return recorded_; }
+
+  private:
+    PhaseStats classes_[kNumAccessClasses];
+    Histogram forwarded_{PhaseStats::kHistMax};
+    RunningMean forwardedMean_;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace bsim::obs
+
+#endif // BURSTSIM_OBS_LATENCY_BREAKDOWN_HH

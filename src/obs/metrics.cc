@@ -1,0 +1,132 @@
+#include "obs/metrics.hh"
+
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+
+namespace bsim::obs
+{
+
+MetricsSampler::MetricsSampler(Tick interval,
+                               std::vector<std::string> bank_labels)
+    : interval_(interval), labels_(std::move(bank_labels))
+{
+    if (!interval_)
+        fatal("metrics sampler: interval must be nonzero");
+}
+
+void
+MetricsSampler::sample(const MetricsSnapshot &s)
+{
+    const Tick end = s.now + 1;
+    if (end <= lastEnd_)
+        return; // boundary already emitted (e.g. flush after a full epoch)
+
+    MetricsRow row;
+    row.epoch = rows_.size();
+    row.tickStart = lastEnd_;
+    row.tickEnd = end;
+
+    const double elapsed = double(end - lastEnd_);
+    const double lanes = elapsed * double(s.channels);
+    row.dataBusUtil =
+        ratio(double(s.dataBusyCycles - prev_.dataBusyCycles), lanes);
+    row.addrBusUtil =
+        ratio(double(s.cmdBusyCycles - prev_.cmdBusyCycles), lanes);
+
+    const std::uint64_t hits = s.rowHits - prev_.rowHits;
+    const std::uint64_t classified = hits +
+                                     (s.rowEmpties - prev_.rowEmpties) +
+                                     (s.rowConflicts - prev_.rowConflicts);
+    row.rowHitRate = ratio(double(hits), double(classified));
+    row.epochReads = s.readsCompleted - prev_.readsCompleted;
+    row.epochWrites = s.writesCompleted - prev_.writesCompleted;
+
+    const double formed = s.burstsFormed - prev_.burstsFormed;
+    const double joins = s.burstJoins - prev_.burstJoins;
+    row.avgBurstLen = formed > 0.0 ? (formed + joins) / formed : 0.0;
+
+    row.readsOutstanding = s.readsOutstanding;
+    row.writesOutstanding = s.writesOutstanding;
+    row.rpActive = s.rpActive;
+    row.wpActive = s.wpActive;
+    row.bankReadQ = s.bankReadQ;
+    row.bankWriteQ = s.bankWriteQ;
+
+    rows_.push_back(std::move(row));
+    prev_ = s;
+    lastEnd_ = end;
+}
+
+void
+MetricsSampler::writeCsv(std::ostream &os) const
+{
+    os << "epoch,tick_start,tick_end,data_bus_util,addr_bus_util,"
+          "row_hit_rate,epoch_reads,epoch_writes,avg_burst_len,"
+          "reads_outstanding,writes_outstanding,rp_active,wp_active";
+    for (const auto &l : labels_)
+        os << ",rq_" << l;
+    for (const auto &l : labels_)
+        os << ",wq_" << l;
+    os << '\n';
+
+    for (const auto &r : rows_) {
+        os << r.epoch << ',' << r.tickStart << ',' << r.tickEnd << ','
+           << r.dataBusUtil << ',' << r.addrBusUtil << ',' << r.rowHitRate
+           << ',' << r.epochReads << ',' << r.epochWrites << ','
+           << r.avgBurstLen << ',' << r.readsOutstanding << ','
+           << r.writesOutstanding << ',' << int(r.rpActive) << ','
+           << int(r.wpActive);
+        for (std::size_t i = 0; i < labels_.size(); ++i)
+            os << ',' << (i < r.bankReadQ.size() ? r.bankReadQ[i] : 0);
+        for (std::size_t i = 0; i < labels_.size(); ++i)
+            os << ',' << (i < r.bankWriteQ.size() ? r.bankWriteQ[i] : 0);
+        os << '\n';
+    }
+}
+
+void
+MetricsSampler::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("interval").value(std::uint64_t(interval_));
+    w.key("bank_labels").beginArray();
+    for (const auto &l : labels_)
+        w.value(l);
+    w.endArray();
+    w.key("rows").beginArray();
+    for (const auto &r : rows_) {
+        w.beginObject();
+        w.key("epoch").value(r.epoch);
+        w.key("tick_start").value(std::uint64_t(r.tickStart));
+        w.key("tick_end").value(std::uint64_t(r.tickEnd));
+        w.key("data_bus_util").value(r.dataBusUtil);
+        w.key("addr_bus_util").value(r.addrBusUtil);
+        w.key("row_hit_rate").value(r.rowHitRate);
+        w.key("epoch_reads").value(r.epochReads);
+        w.key("epoch_writes").value(r.epochWrites);
+        w.key("avg_burst_len").value(r.avgBurstLen);
+        w.key("reads_outstanding").value(std::uint64_t(r.readsOutstanding));
+        w.key("writes_outstanding")
+            .value(std::uint64_t(r.writesOutstanding));
+        w.key("rp_active").value(r.rpActive);
+        w.key("wp_active").value(r.wpActive);
+        w.key("bank_read_q").beginArray();
+        for (auto v : r.bankReadQ)
+            w.value(std::uint64_t(v));
+        w.endArray();
+        w.key("bank_write_q").beginArray();
+        for (auto v : r.bankWriteQ)
+            w.value(std::uint64_t(v));
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace bsim::obs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Observability configuration. Kept in its own tiny header so that
+ * SystemConfig / ExperimentConfig can embed it without dragging the
+ * whole obs subsystem into every translation unit.
+ *
+ * All three pillars default to off; the instrumented hot paths reduce
+ * to a single null-pointer check per hook when nothing is enabled.
+ */
+
+#ifndef BURSTSIM_OBS_OBS_CONFIG_HH
+#define BURSTSIM_OBS_OBS_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace bsim::obs
+{
+
+/** Which observability pillars to enable for a run. */
+struct ObsConfig
+{
+    /** Per-access latency phase histograms (queue / pick / prep / data). */
+    bool latencyBreakdown = false;
+
+    /** Epoch metrics sampler period in memory cycles; 0 disables it. */
+    Tick metricsInterval = 0;
+
+    /** Record the full command history for Chrome trace export. */
+    bool commandTrace = false;
+
+    /** Command records retained while tracing (ring buffer). */
+    std::size_t traceCapacity = 1u << 20;
+
+    /** Is any pillar enabled? */
+    bool
+    any() const
+    {
+        return latencyBreakdown || metricsInterval != 0 || commandTrace;
+    }
+};
+
+} // namespace bsim::obs
+
+#endif // BURSTSIM_OBS_OBS_CONFIG_HH

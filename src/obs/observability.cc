@@ -1,0 +1,69 @@
+#include "obs/observability.hh"
+
+#include <string>
+
+#include "common/log.hh"
+
+namespace bsim::obs
+{
+
+namespace
+{
+
+std::vector<std::string>
+bankLabels(const dram::DramConfig &cfg)
+{
+    std::vector<std::string> labels;
+    labels.reserve(std::size_t(cfg.channels) * cfg.ranksPerChannel *
+                   cfg.banksPerRank);
+    for (std::uint32_t ch = 0; ch < cfg.channels; ++ch)
+        for (std::uint32_t r = 0; r < cfg.ranksPerChannel; ++r)
+            for (std::uint32_t b = 0; b < cfg.banksPerRank; ++b)
+                labels.push_back("ch" + std::to_string(ch) + "_r" +
+                                 std::to_string(r) + "_b" +
+                                 std::to_string(b));
+    return labels;
+}
+
+} // namespace
+
+Observability::Observability(const ObsConfig &cfg,
+                             const dram::DramConfig &dram, double bus_mhz)
+    : cfg_(cfg), dram_(dram), busMHz_(bus_mhz)
+{
+    if (cfg_.latencyBreakdown)
+        latency_ = std::make_unique<LatencyBreakdown>();
+    if (cfg_.metricsInterval)
+        sampler_ = std::make_unique<MetricsSampler>(cfg_.metricsInterval,
+                                                    bankLabels(dram_));
+    if (cfg_.commandTrace)
+        log_ = std::make_unique<dram::CommandLog>(cfg_.traceCapacity);
+}
+
+void
+Observability::writeChromeTrace(std::ostream &os) const
+{
+    if (!log_)
+        fatal("observability: chrome trace requested without commandTrace");
+    ChromeTraceOptions opts;
+    opts.busClock.mhz = busMHz_;
+    obs::writeChromeTrace(os, *log_, dram_, sampler_.get(), opts);
+}
+
+void
+Observability::writeMetricsCsv(std::ostream &os) const
+{
+    if (!sampler_)
+        fatal("observability: metrics requested without a sampler");
+    sampler_->writeCsv(os);
+}
+
+void
+Observability::writeMetricsJson(std::ostream &os) const
+{
+    if (!sampler_)
+        fatal("observability: metrics requested without a sampler");
+    sampler_->writeJson(os);
+}
+
+} // namespace bsim::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Observability facade: owns whichever pillars a run enabled (latency
+ * breakdown, metrics sampler, command trace) and knows how to export
+ * them. The System wires it to the memory controller and device; the
+ * experiment harness hands it to the RunResult so reports and the CLI
+ * can write the outputs after the run.
+ */
+
+#ifndef BURSTSIM_OBS_OBSERVABILITY_HH
+#define BURSTSIM_OBS_OBSERVABILITY_HH
+
+#include <iosfwd>
+#include <memory>
+
+#include "dram/command_log.hh"
+#include "dram/config.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/latency_breakdown.hh"
+#include "obs/metrics.hh"
+#include "obs/obs_config.hh"
+
+namespace bsim::obs
+{
+
+/** Owns the enabled observability pillars of one run. */
+class Observability
+{
+  public:
+    /**
+     * Build the pillars @p cfg enables for a machine with the SDRAM
+     * organization @p dram and a @p bus_mhz memory bus.
+     */
+    Observability(const ObsConfig &cfg, const dram::DramConfig &dram,
+                  double bus_mhz);
+
+    const ObsConfig &config() const { return cfg_; }
+
+    /** Latency pillar; nullptr when disabled. */
+    LatencyBreakdown *latency() { return latency_.get(); }
+    const LatencyBreakdown *latency() const { return latency_.get(); }
+
+    /** Metrics pillar; nullptr when disabled. */
+    MetricsSampler *sampler() { return sampler_.get(); }
+    const MetricsSampler *sampler() const { return sampler_.get(); }
+
+    /** Trace pillar; nullptr when disabled. */
+    dram::CommandLog *commandLog() { return log_.get(); }
+    const dram::CommandLog *commandLog() const { return log_.get(); }
+
+    /** Export the command trace as Chrome trace JSON (trace pillar on). */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Export the metrics time series (sampler pillar on). */
+    void writeMetricsCsv(std::ostream &os) const;
+    void writeMetricsJson(std::ostream &os) const;
+
+  private:
+    ObsConfig cfg_;
+    dram::DramConfig dram_;
+    double busMHz_;
+    std::unique_ptr<LatencyBreakdown> latency_;
+    std::unique_ptr<MetricsSampler> sampler_;
+    std::unique_ptr<dram::CommandLog> log_;
+};
+
+} // namespace bsim::obs
+
+#endif // BURSTSIM_OBS_OBSERVABILITY_HH

@@ -6,6 +6,7 @@
 #include "common/rng.hh"
 
 #include "common/log.hh"
+#include "obs/observability.hh"
 #include "trace/spec_profiles.hh"
 
 namespace bsim::sim
@@ -103,6 +104,7 @@ runExperiment(const ExperimentConfig &cfg)
         sys_cfg.core.issueWidth = cfg.issueWidth;
     sys_cfg.dram.pagePolicy = cfg.pagePolicy;
     sys_cfg.dram.addressMap = cfg.addressMap;
+    sys_cfg.obs = cfg.obs;
     if (cfg.channels)
         sys_cfg.dram.channels = cfg.channels;
     if (cfg.ranksPerChannel)
@@ -137,7 +139,11 @@ runExperiment(const ExperimentConfig &cfg)
               cfg.workload.c_str(), ctrl::mechanismName(cfg.mechanism),
               static_cast<unsigned long long>(cap));
 
+    // Commit the trailing partial metrics epoch before detaching.
+    sys.controller().flushMetrics(sys.memCycles());
+
     RunResult r;
+    r.obs = sys.releaseObservability();
     r.workload = cfg.workload;
     r.mechanism = cfg.mechanism;
     r.instructions = instructions;

@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ctrl/controller.hh"
 #include "dram/config.hh"
+#include "obs/obs_config.hh"
 #include "sim/system.hh"
 #include "trace/trace_gen.hh"
 
@@ -58,6 +60,9 @@ struct ExperimentConfig
      *  issueWidth 1 approximates a blocking in-order core. */
     std::uint32_t robSize = 0;
     std::uint32_t issueWidth = 0;
+
+    /** Observability pillars (latency breakdown, metrics, trace). */
+    obs::ObsConfig obs;
 };
 
 /** Metrics of one run (the quantities behind Figures 7-12). */
@@ -86,6 +91,10 @@ struct RunResult
     dram::EnergyBreakdown energy;
     double avgPowerW = 0.0;
     dram::CommandCounts dramCommands;
+
+    /** Observability data collected during the run; null when all
+     *  pillars were off. Shared so RunResult stays copyable. */
+    std::shared_ptr<obs::Observability> obs;
 };
 
 /**

@@ -4,12 +4,39 @@
 
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/observability.hh"
 
 namespace bsim::sim
 {
 
 namespace
 {
+
+void
+writeLatencyBreakdownJson(JsonWriter &w, const obs::LatencyBreakdown &lat)
+{
+    w.key("latency_breakdown").beginObject();
+    for (std::size_t i = 0; i < obs::kNumAccessClasses; ++i) {
+        const auto c = obs::AccessClass(i);
+        const obs::PhaseStats &ps = lat.of(c);
+        w.key(obs::accessClassName(c)).beginObject();
+        w.key("count").value(ps.count());
+        w.key("queue_mean").value(ps.queueMean.mean());
+        w.key("pick_mean").value(ps.pickMean.mean());
+        w.key("prep_mean").value(ps.prepMean.mean());
+        w.key("data_mean").value(ps.dataMean.mean());
+        w.key("total_mean").value(ps.totalMean.mean());
+        w.key("total_p50").value(ps.total.percentile(0.50));
+        w.key("total_p95").value(ps.total.percentile(0.95));
+        w.key("total_p99").value(ps.total.percentile(0.99));
+        w.endObject();
+    }
+    w.key("forwarded").beginObject();
+    w.key("count").value(lat.forwardedMean().count());
+    w.key("total_mean").value(lat.forwardedMean().mean());
+    w.endObject();
+    w.endObject();
+}
 
 void
 writeControllerStats(JsonWriter &w, const ctrl::ControllerStats &st)
@@ -65,6 +92,8 @@ writeResultJson(std::ostream &os, const RunResult &r)
     w.key("background_joules").value(r.energy.background);
     w.key("average_watts").value(r.avgPowerW);
     w.endObject();
+    if (r.obs && r.obs->latency())
+        writeLatencyBreakdownJson(w, *r.obs->latency());
     w.endObject();
     os << '\n';
 }
@@ -125,6 +154,31 @@ writeResultText(std::ostream &os, const RunResult &r)
     for (const auto &[k, v] : r.sched)
         t.row({"scheduler: " + k, Table::num(v, 0)});
     t.print(os);
+
+    if (r.obs && r.obs->latency()) {
+        const obs::LatencyBreakdown &lat = *r.obs->latency();
+        os << "\nlatency breakdown (mem cycles, means per phase)\n";
+        Table lt;
+        lt.header({"class", "count", "queue", "pick", "prep", "data",
+                   "total", "p95"});
+        for (std::size_t i = 0; i < obs::kNumAccessClasses; ++i) {
+            const auto c = obs::AccessClass(i);
+            const obs::PhaseStats &ps = lat.of(c);
+            lt.row({obs::accessClassName(c),
+                    std::to_string(ps.count()),
+                    Table::num(ps.queueMean.mean(), 1),
+                    Table::num(ps.pickMean.mean(), 1),
+                    Table::num(ps.prepMean.mean(), 1),
+                    Table::num(ps.dataMean.mean(), 1),
+                    Table::num(ps.totalMean.mean(), 1),
+                    std::to_string(ps.total.percentile(0.95))});
+        }
+        lt.row({"forwarded",
+                std::to_string(lat.forwardedMean().count()), "-", "-",
+                "-", "-", Table::num(lat.forwardedMean().mean(), 1),
+                std::to_string(lat.forwarded().percentile(0.95))});
+        lt.print(os);
+    }
 }
 
 } // namespace bsim::sim

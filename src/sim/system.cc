@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include "common/log.hh"
+#include "obs/observability.hh"
 
 namespace bsim::sim
 {
@@ -74,6 +75,14 @@ System::build(const std::vector<trace::TraceSource *> &traces)
     mem_ = std::make_unique<dram::MemorySystem>(cfg_.dram);
     ctrl_ = std::make_unique<ctrl::MemoryController>(*mem_, cfg_.ctrl);
 
+    if (cfg_.obs.any()) {
+        obs_ = std::make_unique<obs::Observability>(cfg_.obs, cfg_.dram,
+                                                    cfg_.busMHz);
+        if (obs_->commandLog())
+            mem_->attachLog(obs_->commandLog());
+        ctrl_->attachObservability(obs_.get());
+    }
+
     cores_.resize(traces.size());
     for (std::uint32_t i = 0; i < traces.size(); ++i) {
         CoreNode &node = cores_[i];
@@ -90,6 +99,16 @@ System::build(const std::vector<trace::TraceSource *> &traces)
                            std::make_pair(a.addr,
                                           std::uint32_t(a.tag)));
     });
+}
+
+std::unique_ptr<obs::Observability>
+System::releaseObservability()
+{
+    if (obs_) {
+        mem_->attachLog(nullptr);
+        ctrl_->attachObservability(nullptr);
+    }
+    return std::move(obs_);
 }
 
 bool

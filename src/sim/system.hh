@@ -26,7 +26,13 @@
 #include "cpu/core.hh"
 #include "ctrl/controller.hh"
 #include "dram/memory_system.hh"
+#include "obs/obs_config.hh"
 #include "trace/instr.hh"
+
+namespace bsim::obs
+{
+class Observability;
+} // namespace bsim::obs
 
 namespace bsim::sim
 {
@@ -47,6 +53,9 @@ struct SystemConfig
     Tick fsbLatency = 2;
     /** Memory bus clock in MHz (for bandwidth reporting). */
     double busMHz = 400.0;
+
+    /** Observability pillars to enable (all off by default). */
+    obs::ObsConfig obs;
 
     /** The baseline machine of Table 3. */
     static SystemConfig baseline();
@@ -110,6 +119,16 @@ class System
     dram::MemorySystem &mem() { return *mem_; }
     const SystemConfig &config() const { return cfg_; }
 
+    /** Observability pillars of this run; nullptr when all disabled. */
+    obs::Observability *observability() { return obs_.get(); }
+
+    /**
+     * Detach the observability pillars from the machine and transfer
+     * ownership to the caller (so collected data can outlive the
+     * System). Returns nullptr when observability was off.
+     */
+    std::unique_ptr<obs::Observability> releaseObservability();
+
     // Single-core MemPort convenience (routes to core 0's FSB queue);
     // primarily for tests exercising the queue discipline.
     bool canSend(unsigned n) const;
@@ -143,6 +162,7 @@ class System
     SystemConfig cfg_;
     std::unique_ptr<dram::MemorySystem> mem_;
     std::unique_ptr<ctrl::MemoryController> ctrl_;
+    std::unique_ptr<obs::Observability> obs_;
     std::vector<CoreNode> cores_;
 
     /** Read data in flight back to a core: tick -> (addr, core id). */

@@ -145,3 +145,77 @@ TEST(JsonDeath, TwoRootsPanic)
     w.value(1);
     EXPECT_DEATH(w.value(2), "root");
 }
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_EQ(parseJson("true")->boolean, true);
+    EXPECT_EQ(parseJson("false")->boolean, false);
+    EXPECT_DOUBLE_EQ(parseJson("42")->number, 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-1.5e3")->number, -1500.0);
+    EXPECT_EQ(parseJson(R"("hi")")->string, "hi");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto v = parseJson(R"("a\"b\\c\nd\teA")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string, "a\"b\\c\nd\teA");
+}
+
+TEST(JsonParse, NestedContainers)
+{
+    const auto v =
+        parseJson(R"({"arr":[1,2,3],"obj":{"k":true},"s":"x"})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+    const JsonValue *arr = v->find("arr");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_EQ(arr->size(), 3u);
+    EXPECT_DOUBLE_EQ(arr->array[1].number, 2.0);
+    const JsonValue *obj = v->find("obj");
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->find("k")->boolean, true);
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesMemberOrder)
+{
+    const auto v = parseJson(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_EQ(v->members.size(), 3u);
+    EXPECT_EQ(v->members[0].first, "z");
+    EXPECT_EQ(v->members[1].first, "a");
+    EXPECT_EQ(v->members[2].first, "m");
+}
+
+TEST(JsonParse, RejectsMalformed)
+{
+    std::string err;
+    EXPECT_FALSE(parseJson("{", &err).has_value());
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(parseJson("[1,]").has_value());
+    EXPECT_FALSE(parseJson(R"({"a" 1})").has_value());
+    EXPECT_FALSE(parseJson("1 2").has_value()); // trailing garbage
+    EXPECT_FALSE(parseJson("").has_value());
+    EXPECT_FALSE(parseJson("nul").has_value());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    std::ostringstream os;
+    JsonWriter w(os, /*pretty*/ true);
+    w.beginObject();
+    w.key("n").value(-7);
+    w.key("f").value(0.25);
+    w.key("s").value("quote \" and \\ tab\t");
+    w.key("arr").beginArray().value(1).value(true).endArray();
+    w.endObject();
+
+    const auto v = parseJson(os.str());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->find("n")->number, -7.0);
+    EXPECT_DOUBLE_EQ(v->find("f")->number, 0.25);
+    EXPECT_EQ(v->find("s")->string, "quote \" and \\ tab\t");
+    EXPECT_EQ(v->find("arr")->array[1].boolean, true);
+}

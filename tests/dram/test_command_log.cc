@@ -72,6 +72,36 @@ TEST(CommandLog, CapacityBoundsDropOldest)
     EXPECT_EQ(log.records()[1].at, 4u);
 }
 
+TEST(CommandLog, RingBufferWrapsManyTimesInOrder)
+{
+    // Regression: eviction used to erase() the vector head (O(n) per
+    // record); the ring buffer must keep the newest `capacity` records
+    // in oldest-first order across many wraparounds.
+    CommandLog log(3);
+    for (Tick t = 0; t < 1000; ++t)
+        log.record({t, CmdType::Precharge, {}, t, 0, 0});
+    EXPECT_EQ(log.size(), 3u);
+    EXPECT_EQ(log.capacity(), 3u);
+    EXPECT_EQ(log.totalRecorded(), 1000u);
+    const auto recs = log.records();
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[0].at, 997u);
+    EXPECT_EQ(recs[1].at, 998u);
+    EXPECT_EQ(recs[2].at, 999u);
+}
+
+TEST(CommandLog, ClearResetsRingHead)
+{
+    CommandLog log(2);
+    for (Tick t = 0; t < 5; ++t)
+        log.record({t, CmdType::Precharge, {}, t, 0, 0});
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    log.record({7, CmdType::Activate, {}, 7, 0, 0});
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.records()[0].at, 7u);
+}
+
 TEST(CommandLog, ClearResets)
 {
     CommandLog log;

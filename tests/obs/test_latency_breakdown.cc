@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Latency breakdown tests: phase arithmetic, class routing, and the
+ * phases-sum-to-total invariant over full simulated runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/latency_breakdown.hh"
+#include "obs/observability.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+
+using namespace bsim;
+using namespace bsim::obs;
+
+namespace
+{
+
+ctrl::MemAccess
+access(AccessType type, Tick arrival, Tick picked, Tick first_cmd,
+       Tick data_start, Tick data_end, dram::RowOutcome outcome)
+{
+    ctrl::MemAccess a;
+    a.id = 1;
+    a.type = type;
+    a.arrival = arrival;
+    a.pickedAt = picked;
+    a.firstCmdAt = first_cmd;
+    a.dataStart = data_start;
+    a.dataEnd = data_end;
+    a.outcome = outcome;
+    return a;
+}
+
+} // namespace
+
+TEST(LatencyBreakdown, SplitsPhasesOfOneAccess)
+{
+    LatencyBreakdown lat;
+    lat.record(access(AccessType::Read, 10, 15, 22, 30, 34,
+                      dram::RowOutcome::Hit));
+
+    const PhaseStats &ps = lat.of(AccessClass::ReadHit);
+    EXPECT_EQ(ps.count(), 1u);
+    EXPECT_DOUBLE_EQ(ps.queueMean.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(ps.pickMean.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(ps.prepMean.mean(), 8.0);
+    EXPECT_DOUBLE_EQ(ps.dataMean.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(ps.totalMean.mean(), 24.0);
+    EXPECT_EQ(ps.total.total(), 1u);
+    EXPECT_EQ(lat.recorded(), 1u);
+}
+
+TEST(LatencyBreakdown, RoutesClasses)
+{
+    LatencyBreakdown lat;
+    lat.record(access(AccessType::Read, 0, 1, 2, 3, 7,
+                      dram::RowOutcome::Hit));
+    lat.record(access(AccessType::Read, 0, 1, 2, 3, 7,
+                      dram::RowOutcome::Conflict));
+    lat.record(access(AccessType::Write, 0, 1, 2, 3, 7,
+                      dram::RowOutcome::Hit));
+    lat.record(access(AccessType::Write, 0, 1, 2, 3, 7,
+                      dram::RowOutcome::Empty));
+
+    EXPECT_EQ(lat.of(AccessClass::ReadHit).count(), 1u);
+    EXPECT_EQ(lat.of(AccessClass::ReadMiss).count(), 1u);
+    EXPECT_EQ(lat.of(AccessClass::WriteHit).count(), 1u);
+    EXPECT_EQ(lat.of(AccessClass::WriteMiss).count(), 1u);
+}
+
+TEST(LatencyBreakdown, PickFallsBackToFirstCmd)
+{
+    // Schedulers without an explicit arbitration step never stamp
+    // pickedAt; the pick phase is then 0 and queue absorbs the wait.
+    LatencyBreakdown lat;
+    lat.record(access(AccessType::Read, 10, kTickMax, 22, 30, 34,
+                      dram::RowOutcome::Hit));
+    const PhaseStats &ps = lat.of(AccessClass::ReadHit);
+    EXPECT_DOUBLE_EQ(ps.queueMean.mean(), 12.0);
+    EXPECT_DOUBLE_EQ(ps.pickMean.mean(), 0.0);
+}
+
+TEST(LatencyBreakdown, ForwardedReadsTalliedSeparately)
+{
+    LatencyBreakdown lat;
+    ctrl::MemAccess a;
+    a.type = AccessType::Read;
+    a.forwarded = true;
+    a.arrival = 5;
+    a.dataEnd = 7;
+    lat.record(a);
+
+    EXPECT_EQ(lat.recorded(), 0u);
+    EXPECT_EQ(lat.forwardedMean().count(), 1u);
+    EXPECT_DOUBLE_EQ(lat.forwardedMean().mean(), 2.0);
+    for (std::size_t i = 0; i < kNumAccessClasses; ++i)
+        EXPECT_EQ(lat.of(AccessClass(i)).count(), 0u);
+}
+
+TEST(LatencyBreakdownDeath, NonMonotonicTimestampsPanic)
+{
+    LatencyBreakdown lat;
+    EXPECT_DEATH(lat.record(access(AccessType::Read, 10, 8, 6, 4, 2,
+                                   dram::RowOutcome::Hit)),
+                 "non-monotonic");
+}
+
+namespace
+{
+
+/** Phase sums must telescope to the total, class by class. */
+void
+expectPhasesSumToTotal(const LatencyBreakdown &lat)
+{
+    std::uint64_t recorded = 0;
+    for (std::size_t i = 0; i < kNumAccessClasses; ++i) {
+        const PhaseStats &ps = lat.of(AccessClass(i));
+        recorded += ps.count();
+        const double phase_sum = ps.queueMean.sum() + ps.pickMean.sum() +
+                                 ps.prepMean.sum() + ps.dataMean.sum();
+        EXPECT_DOUBLE_EQ(phase_sum, ps.totalMean.sum())
+            << "class " << accessClassName(AccessClass(i));
+        EXPECT_EQ(ps.queueMean.count(), ps.count());
+        EXPECT_EQ(ps.total.total(), ps.count());
+    }
+    EXPECT_EQ(recorded, lat.recorded());
+}
+
+} // namespace
+
+class LatencyRunTest : public ::testing::TestWithParam<ctrl::Mechanism>
+{
+};
+
+TEST_P(LatencyRunTest, PhasesSumToTotalOverFullRun)
+{
+    sim::ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = GetParam();
+    cfg.instructions = 20'000;
+    cfg.obs.latencyBreakdown = true;
+
+    const sim::RunResult r = sim::runExperiment(cfg);
+    ASSERT_NE(r.obs, nullptr);
+    ASSERT_NE(r.obs->latency(), nullptr);
+    const LatencyBreakdown &lat = *r.obs->latency();
+
+    expectPhasesSumToTotal(lat);
+
+    // Every completed DRAM-serviced access is recorded exactly once, and
+    // every forwarded read lands in the forwarded tally.
+    EXPECT_EQ(lat.recorded() + lat.forwardedMean().count(),
+              r.ctrl.reads + r.ctrl.writes);
+    EXPECT_EQ(lat.forwardedMean().count(), r.ctrl.forwardedReads);
+    EXPECT_GT(lat.recorded(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mechanisms, LatencyRunTest,
+    ::testing::Values(ctrl::Mechanism::BkInOrder, ctrl::Mechanism::RowHit,
+                      ctrl::Mechanism::Intel, ctrl::Mechanism::BurstTH,
+                      ctrl::Mechanism::AdaptiveHistory),
+    [](const auto &info) {
+        return std::string(ctrl::mechanismName(info.param));
+    });
+
+TEST(LatencyBreakdown, DisabledRunCarriesNoObservability)
+{
+    sim::ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 5'000;
+    const sim::RunResult r = sim::runExperiment(cfg);
+    EXPECT_EQ(r.obs, nullptr);
+}

@@ -10,6 +10,7 @@
  *   burstsim --list
  */
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -18,6 +19,7 @@
 #include "common/args.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "obs/observability.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
 #include "trace/spec_profiles.hh"
@@ -72,7 +74,30 @@ configFrom(const ArgParser &args)
     cfg.sortBurstsBySize = args.flag("sort-bursts");
     cfg.criticalFirst = args.flag("critical-first");
     cfg.rankAware = !args.flag("no-rank-aware");
+
+    // Observability: each pillar turns on only when requested, so the
+    // default run carries no instrumentation cost.
+    cfg.obs.latencyBreakdown = args.flag("latency-breakdown");
+    if (!args.str("metrics-out").empty()) {
+        cfg.obs.metricsInterval = args.u64("metrics-interval");
+        if (cfg.obs.metricsInterval == 0)
+            fatal("--metrics-interval must be positive");
+    }
+    cfg.obs.commandTrace = !args.str("trace-out").empty();
     return cfg;
+}
+
+/** Write @p path via @p emit, failing loudly on I/O errors. */
+template <typename Fn>
+void
+writeFileOrDie(const std::string &path, Fn emit)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    emit(os);
+    if (!os)
+        fatal("error while writing '%s'", path.c_str());
 }
 
 } // namespace
@@ -108,6 +133,14 @@ main(int argc, char **argv)
                  "extension: critical reads first inside bursts");
     args.addFlag("no-rank-aware",
                  "ablation: ignore rank locality in Table 2 priorities");
+    args.addFlag("latency-breakdown",
+                 "report per-phase access latency histograms");
+    args.addOption("metrics-out", "",
+                   "write epoch metrics time series (.json else CSV)");
+    args.addOption("metrics-interval", "1024",
+                   "metrics epoch length in memory cycles");
+    args.addOption("trace-out", "",
+                   "write Chrome trace-event JSON of SDRAM commands");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -169,5 +202,21 @@ main(int argc, char **argv)
         sim::writeResultJson(std::cout, r);
     else
         sim::writeResultText(std::cout, r);
+
+    if (const std::string &path = args.str("metrics-out"); !path.empty()) {
+        const bool as_json =
+            path.size() >= 5 && path.rfind(".json") == path.size() - 5;
+        writeFileOrDie(path, [&](std::ostream &os) {
+            if (as_json)
+                r.obs->writeMetricsJson(os);
+            else
+                r.obs->writeMetricsCsv(os);
+        });
+    }
+    if (const std::string &path = args.str("trace-out"); !path.empty()) {
+        writeFileOrDie(path, [&](std::ostream &os) {
+            r.obs->writeChromeTrace(os);
+        });
+    }
     return 0;
 }
