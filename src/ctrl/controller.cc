@@ -88,6 +88,10 @@ MemoryController::MemoryController(dram::MemorySystem &mem,
               cfg_.writeCap, cfg_.poolCap);
 
     const auto &dcfg = mem_.config();
+    stats_.bankRowHits.assign(std::size_t(dcfg.channels) *
+                                  dcfg.ranksPerChannel * dcfg.banksPerRank,
+                              0);
+    stats_.bankRowAccesses.assign(stats_.bankRowHits.size(), 0);
     for (std::uint32_t ch = 0; ch < dcfg.channels; ++ch) {
         SchedulerContext ctx;
         ctx.mem = &mem_;
@@ -187,9 +191,25 @@ MemoryController::tick(Tick now)
     sampleOccupancy();
 
     for (std::uint32_t ch = 0; ch < mem_.numChannels(); ++ch) {
-        if (refreshTick(ch, now))
-            continue; // refresh engine used this channel's command slot
+        if (refreshTick(ch, now)) {
+            // Refresh engine used this channel's command slot.
+            if (stalls_)
+                stalls_->account(ch, now, true, dram::StallCause::None);
+            continue;
+        }
         Scheduler::Issued issued = schedulers_[ch]->tick(now);
+        if (stalls_) {
+            if (issued.access) {
+                if (issued.columnAccess)
+                    stalls_->noteBurst(ch, issued.dataStart,
+                                       issued.dataEnd);
+                stalls_->account(ch, now, true, dram::StallCause::None);
+            } else {
+                stalls_->account(ch, now, false,
+                                 schedulers_[ch]->stallScan(now,
+                                                            *stalls_));
+            }
+        }
         if (issued.access)
             handleIssued(issued);
     }
@@ -294,6 +314,15 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
       case dram::RowOutcome::Empty: stats_.rowEmpties += 1; break;
       case dram::RowOutcome::Conflict: stats_.rowConflicts += 1; break;
     }
+    const auto &dcfg = mem_.config();
+    const std::size_t flat_bank =
+        (std::size_t(a->coords.channel) * dcfg.ranksPerChannel +
+         a->coords.rank) *
+            dcfg.banksPerRank +
+        a->coords.bank;
+    stats_.bankRowAccesses[flat_bank] += 1;
+    if (a->outcome == dram::RowOutcome::Hit)
+        stats_.bankRowHits[flat_bank] += 1;
 
     if (a->isRead()) {
         pendingReads_.emplace(a->dataEnd, a);
@@ -334,6 +363,10 @@ MemoryController::attachObservability(obs::Observability *o)
 {
     lat_ = o ? o->latency() : nullptr;
     sampler_ = o ? o->sampler() : nullptr;
+    stalls_ = o ? o->stalls() : nullptr;
+    audit_ = o ? o->auditor() : nullptr;
+    for (auto &s : schedulers_)
+        s->setAuditor(audit_);
 }
 
 void
@@ -366,6 +399,13 @@ MemoryController::sampleMetrics(Tick now)
 
     for (const auto &sc : schedulers_)
         sc->queueOccupancy(s.bankReadQ, s.bankWriteQ);
+
+    s.bankRowHits = stats_.bankRowHits;
+    s.bankRowAccesses = stats_.bankRowAccesses;
+    if (stalls_) {
+        const auto totals = stalls_->totals();
+        s.stallCounts.assign(totals.begin(), totals.end());
+    }
 
     sampler_->sample(s);
 }

@@ -34,6 +34,8 @@ namespace bsim::obs
 class LatencyBreakdown;
 class MetricsSampler;
 class Observability;
+class ProtocolAuditor;
+class StallAttribution;
 } // namespace bsim::obs
 
 namespace bsim::ctrl
@@ -85,6 +87,12 @@ struct ControllerStats
     std::uint64_t refreshes = 0;
     std::uint64_t bytesTransferred = 0;
     std::uint64_t coalescedWrites = 0; //!< writes merged into queued ones
+
+    /** Per-bank row outcomes (flat channel-major (ch, rank, bank) index;
+     *  sized by the controller). hits / accesses is the per-bank row hit
+     *  rate exported through the metrics sampler. */
+    std::vector<std::uint64_t> bankRowHits;
+    std::vector<std::uint64_t> bankRowAccesses;
 
     /** Row hit rate among DRAM-serviced accesses. */
     double rowHitRate() const;
@@ -213,6 +221,8 @@ class MemoryController
     // Observability hooks; null when the respective pillar is off.
     obs::LatencyBreakdown *lat_ = nullptr;
     obs::MetricsSampler *sampler_ = nullptr;
+    obs::StallAttribution *stalls_ = nullptr;
+    obs::ProtocolAuditor *audit_ = nullptr;
 };
 
 } // namespace bsim::ctrl

@@ -1,9 +1,19 @@
 #include "ctrl/scheduler.hh"
 
 #include "common/log.hh"
+#include "obs/stall_attribution.hh"
 
 namespace bsim::ctrl
 {
+
+dram::StallCause
+Scheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    (void)now;
+    (void)sink;
+    return hasWork() ? dram::StallCause::ArbLoss
+                     : dram::StallCause::NoWork;
+}
 
 Scheduler::Issued
 Scheduler::issueFor(MemAccess *a, Tick now)
@@ -25,6 +35,7 @@ Scheduler::issueFor(MemAccess *a, Tick now)
     out.cmd = type;
     if (dram::isColumnAccess(type)) {
         out.columnAccess = true;
+        out.dataStart = res.dataStart;
         out.dataEnd = res.dataEnd;
         a->colIssuedAt = now;
         a->dataStart = res.dataStart;

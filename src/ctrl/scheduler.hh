@@ -23,6 +23,12 @@
 #include "ctrl/access.hh"
 #include "dram/memory_system.hh"
 
+namespace bsim::obs
+{
+class ProtocolAuditor;
+class StallAttribution;
+} // namespace bsim::obs
+
 namespace bsim::ctrl
 {
 
@@ -89,6 +95,7 @@ class Scheduler
         MemAccess *access = nullptr; //!< access whose transaction issued
         dram::CmdType cmd = dram::CmdType::Precharge;
         bool columnAccess = false;   //!< access left the queues this tick
+        Tick dataStart = 0;          //!< valid when columnAccess
         Tick dataEnd = 0;            //!< valid when columnAccess
     };
 
@@ -126,6 +133,22 @@ class Scheduler
 
     /** Policy-specific statistics (e.g. preemption/piggyback counts). */
     virtual std::map<std::string, double> extraStats() const { return {}; }
+
+    /**
+     * Explain an idle command slot: called by the controller only on
+     * cycles where tick() issued nothing (and stall attribution is on),
+     * never on the issue path. Returns the channel-level stall cause —
+     * what blocked the access the policy would have served — and may
+     * deepen it with per-bank causes via @p sink.noteBankStall().
+     *
+     * The default cannot see policy queues, so it reports the coarse
+     * split only: ArbLoss when work exists, NoWork otherwise.
+     */
+    virtual dram::StallCause stallScan(Tick now,
+                                       obs::StallAttribution &sink) const;
+
+    /** Burst-invariant audit hook sink; nullptr when auditing is off. */
+    void setAuditor(obs::ProtocolAuditor *auditor) { auditor_ = auditor; }
 
     /**
      * Append this channel's per-bank queued access counts (waiting or
@@ -173,6 +196,14 @@ class Scheduler
         return ctx_.mem->canIssue(cmd, now);
     }
 
+    /** First constraint blocking @p a's next transaction at @p now. */
+    dram::StallCause
+    blockOf(const MemAccess *a, Tick now) const
+    {
+        dram::Command cmd{nextCmd(a), a->coords, a->id};
+        return ctx_.mem->whyBlocked(cmd, now);
+    }
+
     /**
      * Issue @p a's next transaction (must be legal). Classifies the row
      * outcome on the access's first transaction and fills in an Issued
@@ -197,6 +228,7 @@ class Scheduler
     }
 
     SchedulerContext ctx_;
+    obs::ProtocolAuditor *auditor_ = nullptr;
 
   private:
     std::unordered_map<Addr, MemAccess *> latestWrite_;

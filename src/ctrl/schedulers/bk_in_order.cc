@@ -1,5 +1,7 @@
 #include "ctrl/schedulers/bk_in_order.hh"
 
+#include "obs/stall_attribution.hh"
+
 namespace bsim::ctrl
 {
 
@@ -50,6 +52,30 @@ bool
 BkInOrderScheduler::hasWork() const
 {
     return reads_ + writes_ > 0;
+}
+
+dram::StallCause
+BkInOrderScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    // Every non-empty bank FIFO has exactly one candidate: its front.
+    // The channel-level cause is whatever blocks the oldest of them.
+    dram::StallCause channel_cause = dram::StallCause::NoWork;
+    Tick oldest = kTickMax;
+    for (std::uint32_t b = 0; b < std::uint32_t(queues_.size()); ++b) {
+        const auto &q = queues_[b];
+        if (q.empty())
+            continue;
+        const MemAccess *a = q.front();
+        dram::StallCause c = blockOf(a, now);
+        if (c == dram::StallCause::None)
+            c = dram::StallCause::ArbLoss; // issuable, but not picked
+        sink.noteBankStall(ctx_.channel, b, c);
+        if (a->arrival < oldest) {
+            oldest = a->arrival;
+            channel_cause = c;
+        }
+    }
+    return channel_cause;
 }
 
 void

@@ -30,6 +30,8 @@ class BkInOrderScheduler : public Scheduler
     bool hasWork() const override;
     void queueOccupancy(std::vector<std::uint32_t> &reads,
                         std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
 
   private:
     std::vector<std::deque<MemAccess *>> queues_; //!< one FIFO per bank

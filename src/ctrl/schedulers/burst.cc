@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "obs/protocol_audit.hh"
+#include "obs/stall_attribution.hh"
 
 namespace bsim::ctrl
 {
@@ -98,7 +100,7 @@ BurstScheduler::findPiggybackWrite(std::uint32_t b)
 }
 
 void
-BurstScheduler::maybePreempt(std::uint32_t b)
+BurstScheduler::maybePreempt(std::uint32_t b, Tick now)
 {
     // Figure 5 lines 9-11: while the write queue occupancy is below the
     // threshold, a read may interrupt an ongoing write; the write returns
@@ -111,16 +113,19 @@ BurstScheduler::maybePreempt(std::uint32_t b)
         return;
     if (ctx_.global->writesOutstanding >= effectiveThreshold())
         return;
+    if (auditor_)
+        auditor_->notePreemption(now, ctx_.global->writesOutstanding,
+                                 effectiveThreshold());
     bs.writeQ.push_front(a);
     bs.ongoing = nullptr;
     bs.ongoingFromBurst = false;
     preemptions_ += 1;
     // Figure 5 line 11: the first read of the next burst starts now.
-    arbitrate(b);
+    arbitrate(b, now);
 }
 
 void
-BurstScheduler::arbitrate(std::uint32_t b)
+BurstScheduler::arbitrate(std::uint32_t b, Tick now)
 {
     BankState &bs = banks_[b];
     if (bs.ongoing)
@@ -145,6 +150,9 @@ BurstScheduler::arbitrate(std::uint32_t b)
         !bs.writeQ.empty()) {
         auto it = findPiggybackWrite(b);
         if (it != bs.writeQ.end()) {
+            if (auditor_)
+                auditor_->notePiggyback(now, global_writes,
+                                        effectiveThreshold());
             take_write(it);
             piggybacks_ += 1;
             return;
@@ -180,6 +188,7 @@ BurstScheduler::arbitrate(std::uint32_t b)
         bs.ongoing = front.reads.front();
         front.reads.pop_front();
         bs.ongoingFromBurst = true;
+        bs.ongoingFirstOfBurst = !bs.frontStarted;
         bs.frontStarted = true;
         bs.endOfBurst = false;
     }
@@ -217,8 +226,8 @@ BurstScheduler::tick(Tick now)
 {
     // Bank arbiters (Figure 5) including preemption checks.
     for (std::uint32_t b = 0; b < banks_.size(); ++b) {
-        maybePreempt(b);
-        arbitrate(b);
+        maybePreempt(b, now);
+        arbitrate(b, now);
         // A preempted write keeps its original pick time.
         if (MemAccess *a = banks_[b].ongoing;
             a && a->pickedAt == kTickMax)
@@ -269,6 +278,10 @@ BurstScheduler::tick(Tick now)
     Issued out = issueFor(best, now);
     if (out.columnAccess) {
         BankState &bs = banks_[best_bank];
+        if (auditor_ && bs.ongoingFromBurst)
+            auditor_->noteBurstRead(now, best->coords,
+                                    bs.ongoingFirstOfBurst,
+                                    best->outcome);
         if (best->isWrite())
             writes_ -= 1;
         else
@@ -298,6 +311,41 @@ bool
 BurstScheduler::hasWork() const
 {
     return reads_ + writes_ > 0;
+}
+
+dram::StallCause
+BurstScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    // tick() ran every bank arbiter before coming up empty, so ongoing_
+    // reflects this cycle's Figure 5 decisions. Banks whose writes were
+    // postponed (reads outstanding channel-wide, or the piggyback gate
+    // closed) hold queued writes but no ongoing access.
+    dram::StallCause channel_cause = dram::StallCause::NoWork;
+    Tick oldest = kTickMax;
+    bool gated_writes = false;
+    for (std::uint32_t b = 0; b < std::uint32_t(banks_.size()); ++b) {
+        const BankState &bs = banks_[b];
+        const MemAccess *a = bs.ongoing;
+        if (!a) {
+            if (bs.bursts.empty() && !bs.writeQ.empty()) {
+                sink.noteBankStall(ctx_.channel, b,
+                                   dram::StallCause::ThresholdGated);
+                gated_writes = true;
+            }
+            continue;
+        }
+        dram::StallCause c = blockOf(a, now);
+        if (c == dram::StallCause::None)
+            c = dram::StallCause::ArbLoss; // lost the Table 2 pick
+        sink.noteBankStall(ctx_.channel, b, c);
+        if (a->arrival < oldest) {
+            oldest = a->arrival;
+            channel_cause = c;
+        }
+    }
+    if (channel_cause == dram::StallCause::NoWork && gated_writes)
+        channel_cause = dram::StallCause::ThresholdGated;
+    return channel_cause;
 }
 
 std::map<std::string, double>

@@ -50,6 +50,8 @@ class BurstScheduler : public Scheduler
     std::map<std::string, double> extraStats() const override;
     void queueOccupancy(std::vector<std::uint32_t> &reads,
                         std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
 
     /** A cluster of same-row reads within one bank (for tests). */
     struct Burst
@@ -72,15 +74,16 @@ class BurstScheduler : public Scheduler
         std::deque<MemAccess *> writeQ;  //!< writes in arrival order
         MemAccess *ongoing = nullptr;
         bool ongoingFromBurst = false;   //!< ongoing came from front burst
+        bool ongoingFirstOfBurst = false; //!< ongoing opened its burst
         bool endOfBurst = false;         //!< last access ended a burst
         bool frontStarted = false;       //!< front burst partially served
     };
 
     /** Figure 5: pick an ongoing access for bank @p b if it has none. */
-    void arbitrate(std::uint32_t b);
+    void arbitrate(std::uint32_t b, Tick now);
 
     /** Figure 5 lines 9-11: read preemption of an ongoing write. */
-    void maybePreempt(std::uint32_t b);
+    void maybePreempt(std::uint32_t b, Tick now);
 
     /** Oldest write in bank @p b directed to the bank's open row. */
     std::deque<MemAccess *>::iterator findPiggybackWrite(std::uint32_t b);

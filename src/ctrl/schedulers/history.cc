@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stall_attribution.hh"
+
 namespace bsim::ctrl
 {
 
@@ -139,6 +141,29 @@ bool
 AdaptiveHistoryScheduler::hasWork() const
 {
     return reads_ + writes_ > 0;
+}
+
+dram::StallCause
+AdaptiveHistoryScheduler::stallScan(Tick now,
+                                    obs::StallAttribution &sink) const
+{
+    // tick() arbitrated every bank before coming up empty.
+    dram::StallCause channel_cause = dram::StallCause::NoWork;
+    Tick oldest = kTickMax;
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
+        if (!a)
+            continue;
+        dram::StallCause c = blockOf(a, now);
+        if (c == dram::StallCause::None)
+            c = dram::StallCause::ArbLoss;
+        sink.noteBankStall(ctx_.channel, b, c);
+        if (a->arrival < oldest) {
+            oldest = a->arrival;
+            channel_cause = c;
+        }
+    }
+    return channel_cause;
 }
 
 std::map<std::string, double>

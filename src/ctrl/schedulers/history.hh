@@ -41,6 +41,8 @@ class AdaptiveHistoryScheduler : public Scheduler
     std::map<std::string, double> extraStats() const override;
     void queueOccupancy(std::vector<std::uint32_t> &reads,
                         std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
 
   private:
     /** Select a candidate for bank @p b (row hit first in a window). */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stall_attribution.hh"
+
 namespace bsim::ctrl
 {
 
@@ -154,6 +156,43 @@ bool
 IntelScheduler::hasWork() const
 {
     return reads_ + writes_ > 0;
+}
+
+dram::StallCause
+IntelScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    // tick() arbitrated before coming up empty, so ongoing_ is current.
+    dram::StallCause channel_cause = dram::StallCause::NoWork;
+    std::uint64_t oldest_seq = ~std::uint64_t{0};
+    bool any_ongoing = false;
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
+        if (!a) {
+            // Backlog behind the kMaxOngoing reordering cap (or a write
+            // held in the shared queue) is an arbitration loss, not a
+            // device stall.
+            if (!readQ_[b].empty())
+                sink.noteBankStall(ctx_.channel, b,
+                                   dram::StallCause::ArbLoss);
+            continue;
+        }
+        any_ongoing = true;
+        dram::StallCause c = blockOf(a, now);
+        if (c == dram::StallCause::None)
+            c = dram::StallCause::ArbLoss;
+        sink.noteBankStall(ctx_.channel, b, c);
+        if (startSeq_[b] < oldest_seq) {
+            oldest_seq = startSeq_[b];
+            channel_cause = c;
+        }
+    }
+    if (any_ongoing)
+        return channel_cause;
+    if (reads_ > 0)
+        return dram::StallCause::ArbLoss;
+    if (writes_ > 0)
+        return dram::StallCause::ThresholdGated; // waiting for drain mode
+    return dram::StallCause::NoWork;
 }
 
 std::map<std::string, double>

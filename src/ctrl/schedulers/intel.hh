@@ -42,6 +42,8 @@ class IntelScheduler : public Scheduler
     std::map<std::string, double> extraStats() const override;
     void queueOccupancy(std::vector<std::uint32_t> &reads,
                         std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
 
   private:
     /** Select ongoing accesses for idle banks; handle preemption. */

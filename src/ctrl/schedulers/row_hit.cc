@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/stall_attribution.hh"
+
 namespace bsim::ctrl
 {
 
@@ -72,6 +74,30 @@ bool
 RowHitScheduler::hasWork() const
 {
     return reads_ + writes_ > 0;
+}
+
+dram::StallCause
+RowHitScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    // tick() already arbitrated every bank this cycle (it only returns
+    // empty-handed after the full loop), so ongoing_ holds each bank's
+    // chosen access and the queues hold pure backlog.
+    dram::StallCause channel_cause = dram::StallCause::NoWork;
+    Tick oldest = kTickMax;
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
+        if (!a)
+            continue;
+        dram::StallCause c = blockOf(a, now);
+        if (c == dram::StallCause::None)
+            c = dram::StallCause::ArbLoss;
+        sink.noteBankStall(ctx_.channel, b, c);
+        if (a->arrival < oldest) {
+            oldest = a->arrival;
+            channel_cause = c;
+        }
+    }
+    return channel_cause;
 }
 
 void

@@ -31,6 +31,8 @@ class RowHitScheduler : public Scheduler
     bool hasWork() const override;
     void queueOccupancy(std::vector<std::uint32_t> &reads,
                         std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
 
   private:
     /** Pick the next ongoing access for bank @p b (row hit first). */

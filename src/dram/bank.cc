@@ -22,8 +22,10 @@ Bank::activate(std::uint32_t row, Tick now, const Timing &t)
     openRow_ = row;
     rdAllowedAt_ = std::max(rdAllowedAt_, now + t.tRCD);
     wrAllowedAt_ = std::max(wrAllowedAt_, now + t.tRCD);
-    preAllowedAt_ = std::max(preAllowedAt_, now + t.tRAS);
-    actAllowedAt_ = std::max(actAllowedAt_, now + t.tRC);
+    raise(preAllowedAt_, now + t.tRAS, StallCause::TimingTRAS,
+          preBlockCause_);
+    raise(actAllowedAt_, now + t.tRC, StallCause::TimingTRC,
+          actBlockCause_);
 }
 
 void
@@ -37,7 +39,8 @@ Bank::precharge(Tick now, const Timing &t)
               static_cast<unsigned long long>(now),
               static_cast<unsigned long long>(preAllowedAt_));
     open_ = false;
-    actAllowedAt_ = std::max(actAllowedAt_, now + t.tRP);
+    raise(actAllowedAt_, now + t.tRP, StallCause::TimingTRP,
+          actBlockCause_);
 }
 
 void
@@ -51,13 +54,14 @@ Bank::read(Tick now, const Timing &t, bool auto_precharge)
     // dataCycles + tRTP - 2 after the command; never earlier than now + 1.
     const Tick rtp_done =
         now + std::max<Tick>(1, Tick(t.dataCycles()) + t.tRTP - 2);
-    preAllowedAt_ = std::max(preAllowedAt_, rtp_done);
+    raise(preAllowedAt_, rtp_done, StallCause::TimingTRTP, preBlockCause_);
     if (auto_precharge) {
         // Close-page-autoprecharge: the device precharges itself at the
         // earliest legal point; model as an implicit precharge then.
         const Tick pre_at = preAllowedAt_;
         open_ = false;
-        actAllowedAt_ = std::max(actAllowedAt_, pre_at + t.tRP);
+        raise(actAllowedAt_, pre_at + t.tRP, StallCause::TimingTRP,
+              actBlockCause_);
     }
 }
 
@@ -70,11 +74,13 @@ Bank::write(Tick now, const Timing &t, bool auto_precharge)
     // Write recovery: precharge only after the write data has been
     // restored into the array (end of data + tWR).
     const Tick data_end = now + t.tWL + t.dataCycles();
-    preAllowedAt_ = std::max(preAllowedAt_, data_end + t.tWR);
+    raise(preAllowedAt_, data_end + t.tWR, StallCause::TimingTWR,
+          preBlockCause_);
     if (auto_precharge) {
         const Tick pre_at = preAllowedAt_;
         open_ = false;
-        actAllowedAt_ = std::max(actAllowedAt_, pre_at + t.tRP);
+        raise(actAllowedAt_, pre_at + t.tRP, StallCause::TimingTRP,
+              actBlockCause_);
     }
 }
 
@@ -83,7 +89,7 @@ Bank::refreshUntil(Tick ready)
 {
     if (open_)
         panic("refresh with open bank");
-    actAllowedAt_ = std::max(actAllowedAt_, ready);
+    raise(actAllowedAt_, ready, StallCause::TimingTRFC, actBlockCause_);
 }
 
 } // namespace bsim::dram

@@ -15,6 +15,7 @@
 
 #include "common/types.hh"
 #include "dram/command.hh"
+#include "dram/stall.hh"
 #include "dram/timing.hh"
 
 namespace bsim::dram
@@ -59,6 +60,12 @@ class Bank
 
     /** Earliest tick a WRITE column access may issue. */
     Tick wrAllowedAt() const { return wrAllowedAt_; }
+
+    /** Constraint that last raised actAllowedAt() (tRP, tRC or tRFC). */
+    StallCause actBlockCause() const { return actBlockCause_; }
+
+    /** Constraint that last raised preAllowedAt() (tRAS, tRTP or tWR). */
+    StallCause preBlockCause() const { return preBlockCause_; }
 
     /** Can an ACTIVATE of @p row issue at @p now (bank-local rules)? */
     bool
@@ -110,6 +117,16 @@ class Bank
     void refreshUntil(Tick ready);
 
   private:
+    /** Raise @p slot to @p ready, remembering @p why when it advances. */
+    static void
+    raise(Tick &slot, Tick ready, StallCause why, StallCause &slot_cause)
+    {
+        if (ready > slot) {
+            slot = ready;
+            slot_cause = why;
+        }
+    }
+
     bool open_ = false;
     bool hasLastRow_ = false;
     std::uint32_t openRow_ = 0;
@@ -117,6 +134,11 @@ class Bank
     Tick preAllowedAt_ = 0;
     Tick rdAllowedAt_ = 0;
     Tick wrAllowedAt_ = 0;
+    // Which constraint set the current allowed-at ticks, so a blocked
+    // command can be attributed to its binding timing parameter.
+    // rd/wrAllowedAt_ are only ever raised by tRCD and need no tracking.
+    StallCause actBlockCause_ = StallCause::TimingTRP;
+    StallCause preBlockCause_ = StallCause::TimingTRAS;
 };
 
 } // namespace bsim::dram

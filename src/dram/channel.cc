@@ -47,6 +47,19 @@ Channel::earliestDataStart(std::uint32_t rank, bool is_write,
     return start;
 }
 
+StallCause
+Channel::dataStartBlock(Tick want_by, std::uint32_t rank, bool is_write,
+                        const Timing &t) const
+{
+    if (earliestDataStart(rank, is_write, t) <= want_by)
+        return StallCause::None;
+    // Binding constraint: the raw bus occupancy alone, or only the
+    // turnaround gap added on top of it?
+    if (dataFreeAt_ > want_by)
+        return StallCause::TimingDataBus;
+    return StallCause::TimingTurnaround;
+}
+
 void
 Channel::useDataBus(Tick start, std::uint32_t rank, bool is_write,
                     const Timing &t)

@@ -32,6 +32,22 @@ struct CommandRecord
     std::uint64_t accessId = 0;
     Tick dataStart = 0; //!< column accesses only
     Tick dataEnd = 0;   //!< column accesses only
+    /** Column access closed its bank itself (CPA / predictive policy). */
+    bool autoPrecharge = false;
+};
+
+/**
+ * Receives every issued command as it happens (in issue order). Unlike
+ * the CommandLog ring buffer, an observer sees the unbounded stream —
+ * the protocol auditor (obs/protocol_audit.hh) validates it online.
+ */
+class CommandObserver
+{
+  public:
+    virtual ~CommandObserver() = default;
+
+    /** Called once per issued command, after the device applied it. */
+    virtual void onCommand(const CommandRecord &rec) = 0;
 };
 
 /**

@@ -119,12 +119,12 @@ MemorySystem::nextCmdFor(const Coords &c, AccessType type) const
     panic("unreachable row outcome");
 }
 
-bool
-MemorySystem::canIssue(const Command &cmd, Tick now) const
+StallCause
+MemorySystem::whyBlocked(const Command &cmd, Tick now) const
 {
     const Channel &ch = channels_[cmd.at.channel];
     if (!ch.cmdBusFree(now))
-        return false;
+        return StallCause::TimingCmdBus;
 
     const Rank &r = ch.rank(cmd.at.rank);
     const Bank &b = r.bank(cmd.at.bank);
@@ -132,19 +132,41 @@ MemorySystem::canIssue(const Command &cmd, Tick now) const
 
     switch (cmd.type) {
       case CmdType::Precharge:
-        return b.canPrecharge(now);
+        if (!b.isOpen())
+            return StallCause::WrongState;
+        if (now < b.preAllowedAt())
+            return b.preBlockCause();
+        return StallCause::None;
       case CmdType::Activate:
-        return b.canActivate(now) && r.canActivate(now, t);
+        if (b.isOpen())
+            return StallCause::WrongState;
+        if (now < b.actAllowedAt())
+            return b.actBlockCause();
+        return r.activateBlock(now, t);
       case CmdType::Read:
-        return b.canRead(cmd.at.row, now) && r.canRead(now) &&
-               ch.earliestDataStart(cmd.at.rank, false, t) <= now + t.tCL;
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return StallCause::WrongState;
+        if (now < b.rdAllowedAt())
+            return StallCause::TimingTRCD;
+        if (!r.canRead(now))
+            return StallCause::TimingTWTR;
+        return ch.dataStartBlock(now + t.tCL, cmd.at.rank, false, t);
       case CmdType::Write:
-        return b.canWrite(cmd.at.row, now) &&
-               ch.earliestDataStart(cmd.at.rank, true, t) <= now + t.tWL;
-      case CmdType::RefreshAll:
-        return r.canRefresh(now);
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return StallCause::WrongState;
+        if (now < b.wrAllowedAt())
+            return StallCause::TimingTRCD;
+        return ch.dataStartBlock(now + t.tWL, cmd.at.rank, true, t);
+      case CmdType::RefreshAll: {
+        if (!r.allBanksClosed())
+            return StallCause::WrongState;
+        for (std::uint32_t i = 0; i < r.numBanks(); ++i)
+            if (now < r.bank(i).actAllowedAt())
+                return r.bank(i).actBlockCause();
+        return StallCause::None;
+      }
     }
-    return false;
+    return StallCause::WrongState;
 }
 
 IssueResult
@@ -207,7 +229,7 @@ MemorySystem::issue(const Command &cmd, Tick now)
         break;
     }
 
-    if (log_) {
+    if (log_ || observer_) {
         CommandRecord rec;
         rec.at = now;
         rec.type = cmd.type;
@@ -215,7 +237,11 @@ MemorySystem::issue(const Command &cmd, Tick now)
         rec.accessId = cmd.accessId;
         rec.dataStart = res.dataStart;
         rec.dataEnd = res.dataEnd;
-        log_->record(rec);
+        rec.autoPrecharge = auto_pre;
+        if (log_)
+            log_->record(rec);
+        if (observer_)
+            observer_->onCommand(rec);
     }
     return res;
 }

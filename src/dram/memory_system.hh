@@ -20,6 +20,7 @@
 #include "dram/command.hh"
 #include "dram/config.hh"
 #include "dram/power.hh"
+#include "dram/stall.hh"
 
 namespace bsim::dram
 {
@@ -92,7 +93,19 @@ class MemorySystem
     }
 
     /** May @p cmd legally issue at @p now? (includes command bus) */
-    bool canIssue(const Command &cmd, Tick now) const;
+    bool
+    canIssue(const Command &cmd, Tick now) const
+    {
+        return whyBlocked(cmd, now) == StallCause::None;
+    }
+
+    /**
+     * The first constraint blocking @p cmd at @p now, or None when the
+     * command may issue. The checks mirror canIssue()'s historical
+     * branch order exactly, so `whyBlocked(...) == None` is the legality
+     * predicate and the reason costs nothing extra on the issue path.
+     */
+    StallCause whyBlocked(const Command &cmd, Tick now) const;
 
     /** Issue @p cmd at @p now; panics if illegal. */
     IssueResult issue(const Command &cmd, Tick now);
@@ -118,6 +131,11 @@ class MemorySystem
     /** Attach a command log; every subsequent issue() is recorded.
      *  Pass nullptr to detach. The log is not owned. */
     void attachLog(class CommandLog *log) { log_ = log; }
+
+    /** Attach a command-stream observer (e.g. the protocol auditor);
+     *  every subsequent issue() is reported. Pass nullptr to detach.
+     *  The observer is not owned. */
+    void attachObserver(class CommandObserver *obs) { observer_ = obs; }
 
     /** Predictive page policy: fraction of column accesses the predictor
      *  chose to auto-precharge (diagnostics; 0 for static policies). */
@@ -147,6 +165,7 @@ class MemorySystem
     BackingStore store_;
     std::vector<Channel> channels_;
     class CommandLog *log_ = nullptr;
+    class CommandObserver *observer_ = nullptr;
     std::vector<std::uint8_t> predictor_;
     std::uint64_t predCloses_ = 0;
     std::uint64_t predColumns_ = 0;

@@ -3,19 +3,19 @@
 namespace bsim::dram
 {
 
-bool
-Rank::canActivate(Tick now, const Timing &t) const
+StallCause
+Rank::activateBlock(Tick now, const Timing &t) const
 {
     if (anyActYet_ && t.tRRD && now < lastActAt_ + t.tRRD)
-        return false;
+        return StallCause::TimingTRRD;
     if (t.tFAW) {
         // The oldest entry in the 4-deep window is the 4th-last activate;
         // a 5th activate must wait tFAW past it.
         const Tick fourth_last = actWindow_[actWindowPos_];
         if (fourth_last != 0 && now < fourth_last + t.tFAW)
-            return false;
+            return StallCause::TimingTFAW;
     }
-    return true;
+    return StallCause::None;
 }
 
 void

@@ -36,7 +36,17 @@ class Rank
     }
 
     /** Rank-level check: may an ACTIVATE issue at @p now? (tRRD, tFAW) */
-    bool canActivate(Tick now, const Timing &t) const;
+    bool
+    canActivate(Tick now, const Timing &t) const
+    {
+        return activateBlock(now, t) == StallCause::None;
+    }
+
+    /**
+     * Which rank-level constraint blocks an ACTIVATE at @p now:
+     * TimingTRRD, TimingTFAW, or None when unblocked.
+     */
+    StallCause activateBlock(Tick now, const Timing &t) const;
 
     /** Rank-level check: may a READ issue at @p now? (tWTR) */
     bool canRead(Tick now) const { return now >= rdAllowedAt_; }

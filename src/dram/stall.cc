@@ -1,0 +1,35 @@
+#include "dram/stall.hh"
+
+namespace bsim::dram
+{
+
+const char *
+stallCauseName(StallCause c)
+{
+    switch (c) {
+      case StallCause::None: return "none";
+      case StallCause::DataTransfer: return "data_transfer";
+      case StallCause::PrepIssue: return "prep_issue";
+      case StallCause::PendingData: return "pending_data";
+      case StallCause::NoWork: return "no_work";
+      case StallCause::TimingTRCD: return "t_rcd";
+      case StallCause::TimingTRP: return "t_rp";
+      case StallCause::TimingTRC: return "t_rc";
+      case StallCause::TimingTRAS: return "t_ras";
+      case StallCause::TimingTWR: return "t_wr";
+      case StallCause::TimingTRTP: return "t_rtp";
+      case StallCause::TimingTRRD: return "t_rrd";
+      case StallCause::TimingTFAW: return "t_faw";
+      case StallCause::TimingTWTR: return "t_wtr";
+      case StallCause::TimingTRFC: return "t_rfc";
+      case StallCause::TimingTurnaround: return "bus_turnaround";
+      case StallCause::TimingDataBus: return "data_bus_busy";
+      case StallCause::TimingCmdBus: return "cmd_bus_busy";
+      case StallCause::ThresholdGated: return "threshold_gated";
+      case StallCause::ArbLoss: return "arb_loss";
+      case StallCause::WrongState: return "wrong_state";
+    }
+    return "?";
+}
+
+} // namespace bsim::dram

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Stall-cause taxonomy for per-cycle accounting.
+ *
+ * Lives in dram (not obs) so the device timing engine can report *why*
+ * a command is blocked without a layering inversion: dram produces the
+ * causes, ctrl routes them, obs aggregates them. Every memory cycle of
+ * a channel is attributed to exactly one cause (see
+ * obs/stall_attribution.hh for the telescoping invariant).
+ */
+
+#ifndef BURSTSIM_DRAM_STALL_HH
+#define BURSTSIM_DRAM_STALL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bsim::dram
+{
+
+/**
+ * Why a command could not issue — or, lifted to per-cycle accounting,
+ * what a channel's command slot was doing that cycle.
+ *
+ * The first group are cycle categories assigned by the accounting
+ * layer; the Timing* group are the binding device constraints returned
+ * by MemorySystem::whyBlocked(); the policy group is reported by the
+ * schedulers themselves.
+ */
+enum class StallCause : std::uint8_t
+{
+    None = 0,     //!< not blocked: the command may issue
+
+    // Cycle categories (assigned by obs::StallAttribution).
+    DataTransfer, //!< the data bus carried a burst this cycle
+    PrepIssue,    //!< a command issued this cycle, no data on the bus yet
+    PendingData,  //!< burst scheduled; waiting out the CAS / write gap
+    NoWork,       //!< nothing outstanding in this channel
+
+    // Binding timing constraint (from MemorySystem::whyBlocked).
+    TimingTRCD,       //!< activate-to-column delay
+    TimingTRP,        //!< precharge-to-activate delay
+    TimingTRC,        //!< activate-to-activate, same bank
+    TimingTRAS,       //!< minimum row-open time before precharge
+    TimingTWR,        //!< write recovery before precharge
+    TimingTRTP,       //!< read-to-precharge delay
+    TimingTRRD,       //!< activate-to-activate, same rank
+    TimingTFAW,       //!< four-activate window, same rank
+    TimingTWTR,       //!< write-to-read turnaround, same rank
+    TimingTRFC,       //!< refresh cycle time blocks the bank
+    TimingTurnaround, //!< tRTRS / tRTW data-bus gap delays the burst
+    TimingDataBus,    //!< data bus busy with a previous burst
+    TimingCmdBus,     //!< channel command slot already used this cycle
+
+    // Policy causes (reported by Scheduler::stallScan).
+    ThresholdGated, //!< writes postponed by read-priority / RP-WP policy
+    ArbLoss,        //!< issuable (or near), but lost arbitration
+
+    WrongState, //!< bank state does not match the command (defensive)
+};
+
+/** Number of distinct causes (array-index bound). */
+inline constexpr std::size_t kNumStallCauses =
+    std::size_t(StallCause::WrongState) + 1;
+
+/** Stable snake_case cause name (used in reports, CSV and JSON keys). */
+const char *stallCauseName(StallCause c);
+
+} // namespace bsim::dram
+
+#endif // BURSTSIM_DRAM_STALL_HH

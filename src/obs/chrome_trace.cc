@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/json.hh"
+#include "dram/stall.hh"
 #include "obs/metrics.hh"
 
 namespace bsim::obs
@@ -149,6 +150,17 @@ writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
             w.key("addr").value(row.addrBusUtil);
             w.endObject();
             w.endObject();
+
+            if (!row.stallCycles.empty()) {
+                eventHeader(w, "C", "stall causes", ctrl_pid, 0, ts);
+                w.key("args").beginObject();
+                for (std::size_t i = 0; i < row.stallCycles.size(); ++i)
+                    if (row.stallCycles[i])
+                        w.key(dram::stallCauseName(dram::StallCause(i)))
+                            .value(row.stallCycles[i]);
+                w.endObject();
+                w.endObject();
+            }
         }
     }
 

@@ -5,6 +5,7 @@
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "dram/stall.hh"
 
 namespace bsim::obs
 {
@@ -55,6 +56,25 @@ MetricsSampler::sample(const MetricsSnapshot &s)
     row.bankReadQ = s.bankReadQ;
     row.bankWriteQ = s.bankWriteQ;
 
+    // Satellite tracks, emitted only when the controller supplies them.
+    row.bankRowHitRate.reserve(s.bankRowHits.size());
+    for (std::size_t i = 0; i < s.bankRowHits.size(); ++i) {
+        const std::uint64_t prev_hits =
+            i < prev_.bankRowHits.size() ? prev_.bankRowHits[i] : 0;
+        const std::uint64_t prev_acc = i < prev_.bankRowAccesses.size()
+                                           ? prev_.bankRowAccesses[i]
+                                           : 0;
+        row.bankRowHitRate.push_back(
+            ratio(double(s.bankRowHits[i] - prev_hits),
+                  double(s.bankRowAccesses[i] - prev_acc)));
+    }
+    row.stallCycles.reserve(s.stallCounts.size());
+    for (std::size_t i = 0; i < s.stallCounts.size(); ++i) {
+        const std::uint64_t prev_count =
+            i < prev_.stallCounts.size() ? prev_.stallCounts[i] : 0;
+        row.stallCycles.push_back(s.stallCounts[i] - prev_count);
+    }
+
     rows_.push_back(std::move(row));
     prev_ = s;
     lastEnd_ = end;
@@ -63,6 +83,13 @@ MetricsSampler::sample(const MetricsSnapshot &s)
 void
 MetricsSampler::writeCsv(std::ostream &os) const
 {
+    // Satellite columns appear only when the run produced the data, so
+    // plain runs keep the historical column set.
+    const bool have_rhr =
+        !rows_.empty() && !rows_.front().bankRowHitRate.empty();
+    const bool have_stalls =
+        !rows_.empty() && !rows_.front().stallCycles.empty();
+
     os << "epoch,tick_start,tick_end,data_bus_util,addr_bus_util,"
           "row_hit_rate,epoch_reads,epoch_writes,avg_burst_len,"
           "reads_outstanding,writes_outstanding,rp_active,wp_active";
@@ -70,6 +97,12 @@ MetricsSampler::writeCsv(std::ostream &os) const
         os << ",rq_" << l;
     for (const auto &l : labels_)
         os << ",wq_" << l;
+    if (have_rhr)
+        for (const auto &l : labels_)
+            os << ",rhr_" << l;
+    if (have_stalls)
+        for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
+            os << ",stall_" << dram::stallCauseName(dram::StallCause(i));
     os << '\n';
 
     for (const auto &r : rows_) {
@@ -83,6 +116,15 @@ MetricsSampler::writeCsv(std::ostream &os) const
             os << ',' << (i < r.bankReadQ.size() ? r.bankReadQ[i] : 0);
         for (std::size_t i = 0; i < labels_.size(); ++i)
             os << ',' << (i < r.bankWriteQ.size() ? r.bankWriteQ[i] : 0);
+        if (have_rhr)
+            for (std::size_t i = 0; i < labels_.size(); ++i)
+                os << ','
+                   << (i < r.bankRowHitRate.size() ? r.bankRowHitRate[i]
+                                                   : 0.0);
+        if (have_stalls)
+            for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
+                os << ','
+                   << (i < r.stallCycles.size() ? r.stallCycles[i] : 0);
         os << '\n';
     }
 }
@@ -122,6 +164,20 @@ MetricsSampler::writeJson(std::ostream &os) const
         for (auto v : r.bankWriteQ)
             w.value(std::uint64_t(v));
         w.endArray();
+        if (!r.bankRowHitRate.empty()) {
+            w.key("bank_row_hit_rate").beginArray();
+            for (double v : r.bankRowHitRate)
+                w.value(v);
+            w.endArray();
+        }
+        if (!r.stallCycles.empty()) {
+            w.key("stall_cycles").beginObject();
+            for (std::size_t i = 0; i < r.stallCycles.size(); ++i)
+                if (r.stallCycles[i])
+                    w.key(dram::stallCauseName(dram::StallCause(i)))
+                        .value(r.stallCycles[i]);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();

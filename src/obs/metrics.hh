@@ -40,6 +40,13 @@ struct MetricsSnapshot
     std::uint64_t writesCompleted = 0;
     double burstsFormed = 0.0; //!< burst schedulers only, else 0
     double burstJoins = 0.0;
+    /** Per-bank row hits / classified accesses (channel-major; empty
+     *  when the controller does not supply them). */
+    std::vector<std::uint64_t> bankRowHits;
+    std::vector<std::uint64_t> bankRowAccesses;
+    /** Per-cause stall cycles summed over channels, indexed by
+     *  dram::StallCause; empty without the stall-attribution pillar. */
+    std::vector<std::uint64_t> stallCounts;
 
     // Instantaneous.
     std::uint32_t channels = 1;
@@ -71,6 +78,10 @@ struct MetricsRow
     bool wpActive = false;
     std::vector<std::uint32_t> bankReadQ;
     std::vector<std::uint32_t> bankWriteQ;
+    /** Per-bank row hit rate within the epoch (empty when not fed). */
+    std::vector<double> bankRowHitRate;
+    /** Per-cause stall cycles within the epoch (empty when not fed). */
+    std::vector<std::uint64_t> stallCycles;
 };
 
 /** Collects MetricsRow time series at a fixed cycle interval. */

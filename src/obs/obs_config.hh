@@ -18,6 +18,26 @@
 namespace bsim::obs
 {
 
+/** What the runtime protocol auditor does with a violation. */
+enum class AuditMode
+{
+    Off,   //!< auditor not built; zero cost
+    Warn,  //!< log each violation, keep running
+    Fatal, //!< log and exit non-zero on the first violation
+};
+
+/** Printable audit mode name (matches the --audit CLI values). */
+inline const char *
+auditModeName(AuditMode m)
+{
+    switch (m) {
+      case AuditMode::Off: return "off";
+      case AuditMode::Warn: return "warn";
+      case AuditMode::Fatal: return "fatal";
+    }
+    return "?";
+}
+
 /** Which observability pillars to enable for a run. */
 struct ObsConfig
 {
@@ -33,11 +53,18 @@ struct ObsConfig
     /** Command records retained while tracing (ring buffer). */
     std::size_t traceCapacity = 1u << 20;
 
+    /** Attribute every un-issued scheduler cycle to a stall cause. */
+    bool stallAttribution = false;
+
+    /** Re-validate the issued command stream against DDR2 timing. */
+    AuditMode audit = AuditMode::Off;
+
     /** Is any pillar enabled? */
     bool
     any() const
     {
-        return latencyBreakdown || metricsInterval != 0 || commandTrace;
+        return latencyBreakdown || metricsInterval != 0 || commandTrace ||
+               stallAttribution || audit != AuditMode::Off;
     }
 };
 

@@ -38,6 +38,12 @@ Observability::Observability(const ObsConfig &cfg,
                                                     bankLabels(dram_));
     if (cfg_.commandTrace)
         log_ = std::make_unique<dram::CommandLog>(cfg_.traceCapacity);
+    if (cfg_.stallAttribution)
+        stalls_ = std::make_unique<StallAttribution>(
+            dram_.channels, dram_.ranksPerChannel * dram_.banksPerRank,
+            bankLabels(dram_));
+    if (cfg_.audit != AuditMode::Off)
+        auditor_ = std::make_unique<ProtocolAuditor>(cfg_.audit, dram_);
 }
 
 void
@@ -64,6 +70,22 @@ Observability::writeMetricsJson(std::ostream &os) const
     if (!sampler_)
         fatal("observability: metrics requested without a sampler");
     sampler_->writeJson(os);
+}
+
+void
+Observability::writeStallJson(std::ostream &os) const
+{
+    if (!stalls_)
+        fatal("observability: stall output requested without attribution");
+    stalls_->writeJson(os);
+}
+
+void
+Observability::writeStallText(std::ostream &os) const
+{
+    if (!stalls_)
+        fatal("observability: stall output requested without attribution");
+    stalls_->writeText(os);
 }
 
 } // namespace bsim::obs

@@ -19,6 +19,8 @@
 #include "obs/latency_breakdown.hh"
 #include "obs/metrics.hh"
 #include "obs/obs_config.hh"
+#include "obs/protocol_audit.hh"
+#include "obs/stall_attribution.hh"
 
 namespace bsim::obs
 {
@@ -48,12 +50,24 @@ class Observability
     dram::CommandLog *commandLog() { return log_.get(); }
     const dram::CommandLog *commandLog() const { return log_.get(); }
 
+    /** Stall-attribution pillar; nullptr when disabled. */
+    StallAttribution *stalls() { return stalls_.get(); }
+    const StallAttribution *stalls() const { return stalls_.get(); }
+
+    /** Protocol auditor; nullptr when audit mode is Off. */
+    ProtocolAuditor *auditor() { return auditor_.get(); }
+    const ProtocolAuditor *auditor() const { return auditor_.get(); }
+
     /** Export the command trace as Chrome trace JSON (trace pillar on). */
     void writeChromeTrace(std::ostream &os) const;
 
     /** Export the metrics time series (sampler pillar on). */
     void writeMetricsCsv(std::ostream &os) const;
     void writeMetricsJson(std::ostream &os) const;
+
+    /** Export cycle accounting (stall-attribution pillar on). */
+    void writeStallJson(std::ostream &os) const;
+    void writeStallText(std::ostream &os) const;
 
   private:
     ObsConfig cfg_;
@@ -62,6 +76,8 @@ class Observability
     std::unique_ptr<LatencyBreakdown> latency_;
     std::unique_ptr<MetricsSampler> sampler_;
     std::unique_ptr<dram::CommandLog> log_;
+    std::unique_ptr<StallAttribution> stalls_;
+    std::unique_ptr<ProtocolAuditor> auditor_;
 };
 
 } // namespace bsim::obs

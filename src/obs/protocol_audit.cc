@@ -1,0 +1,422 @@
+#include "obs/protocol_audit.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace bsim::obs
+{
+
+using dram::CmdType;
+using dram::CommandRecord;
+using dram::Coords;
+
+namespace
+{
+
+/** How many violations to keep verbatim for the report. */
+constexpr std::size_t kKeepViolations = 64;
+
+std::string
+tickStr(Tick t)
+{
+    return std::to_string(static_cast<unsigned long long>(t));
+}
+
+} // namespace
+
+ProtocolAuditor::ProtocolAuditor(AuditMode mode,
+                                 const dram::DramConfig &cfg)
+    : mode_(mode), t_(cfg.timing), ranksPerChannel_(cfg.ranksPerChannel),
+      banksPerRank_(cfg.banksPerRank), channels_(cfg.channels),
+      ranks_(std::size_t(cfg.channels) * cfg.ranksPerChannel),
+      banks_(std::size_t(cfg.channels) * cfg.ranksPerChannel *
+             cfg.banksPerRank)
+{}
+
+ProtocolAuditor::BankShadow &
+ProtocolAuditor::bankOf(const Coords &c)
+{
+    return banks_[(std::size_t(c.channel) * ranksPerChannel_ + c.rank) *
+                      banksPerRank_ +
+                  c.bank];
+}
+
+ProtocolAuditor::RankShadow &
+ProtocolAuditor::rankOf(const Coords &c)
+{
+    return ranks_[std::size_t(c.channel) * ranksPerChannel_ + c.rank];
+}
+
+Tick
+ProtocolAuditor::earliestDataStart(const ChannelShadow &ch,
+                                   std::uint32_t rank,
+                                   bool is_write) const
+{
+    if (!ch.dataUsed)
+        return 0;
+    Tick start = ch.dataFreeAt;
+    if (rank != ch.lastDataRank)
+        start += t_.tRTRS;
+    else if (!ch.lastDataWrite && is_write)
+        start += t_.tRTW;
+    return start;
+}
+
+Tick
+ProtocolAuditor::impliedPreAt(const BankShadow &b, Tick at,
+                              bool is_write) const
+{
+    // The earliest point a precharge (explicit or auto) may close the
+    // bank once this column access at @p at has issued: tRAS from the
+    // activate, read-to-precharge from the latest read, write recovery
+    // from the latest write's data end — including this access itself.
+    const Tick dc = Tick(t_.dataCycles());
+    Tick pre = b.lastActAt + t_.tRAS;
+    Tick last_rd = b.rdValid ? b.lastRdAt : 0;
+    Tick last_wr_end = b.wrValid ? b.lastWrDataEnd : 0;
+    if (is_write)
+        last_wr_end = std::max(last_wr_end, at + t_.tWL + dc);
+    else
+        last_rd = std::max(last_rd, at);
+    if (b.rdValid || !is_write)
+        pre = std::max(pre,
+                       last_rd + std::max<Tick>(1, dc + t_.tRTP - 2));
+    if (b.wrValid || is_write)
+        pre = std::max(pre, last_wr_end + t_.tWR);
+    return pre;
+}
+
+void
+ProtocolAuditor::flag(Tick at, CmdType type, const Coords &coords,
+                      const char *rule, std::string detail)
+{
+    violationCount_ += 1;
+    if (violations_.size() < kKeepViolations) {
+        AuditViolation v;
+        v.at = at;
+        v.type = type;
+        v.coords = coords;
+        v.rule = rule;
+        v.detail = detail;
+        violations_.push_back(std::move(v));
+    }
+    if (mode_ == AuditMode::Fatal)
+        fatal("audit: %s violation at tick %llu: %s ch%u r%u b%u row%u: "
+              "%s",
+              rule, static_cast<unsigned long long>(at), cmdName(type),
+              coords.channel, coords.rank, coords.bank, coords.row,
+              detail.c_str());
+    warn("audit: %s violation at tick %llu: %s ch%u r%u b%u row%u: %s",
+         rule, static_cast<unsigned long long>(at), cmdName(type),
+         coords.channel, coords.rank, coords.bank, coords.row,
+         detail.c_str());
+}
+
+void
+ProtocolAuditor::onCommand(const CommandRecord &rec)
+{
+    audited_ += 1;
+
+    // One command per channel per cycle, time flowing forward.
+    ChannelShadow &ch = channels_[rec.coords.channel];
+    if (ch.cmdValid && rec.at <= ch.lastCmdAt)
+        flag(rec.at, rec.type, rec.coords, "cmd_bus",
+             "command bus already used at tick " + tickStr(ch.lastCmdAt));
+    ch.cmdValid = true;
+    ch.lastCmdAt = rec.at;
+
+    switch (rec.type) {
+      case CmdType::Activate:
+        checkActivate(rec);
+        break;
+      case CmdType::Read:
+        checkRead(rec);
+        break;
+      case CmdType::Write:
+        checkWrite(rec);
+        break;
+      case CmdType::Precharge:
+        checkPrecharge(rec);
+        break;
+      case CmdType::RefreshAll:
+        checkRefresh(rec);
+        break;
+    }
+}
+
+void
+ProtocolAuditor::checkActivate(const CommandRecord &rec)
+{
+    BankShadow &b = bankOf(rec.coords);
+    RankShadow &r = rankOf(rec.coords);
+    const Tick at = rec.at;
+
+    if (b.open)
+        flag(at, rec.type, rec.coords, "bank_state",
+             "activate while row " + std::to_string(b.row) + " is open");
+    if (b.preValid && at < b.lastPreAt + t_.tRP)
+        flag(at, rec.type, rec.coords, "t_rp",
+             "precharge at " + tickStr(b.lastPreAt) + " + tRP=" +
+                 tickStr(t_.tRP) + " not met");
+    if (b.everActivated && at < b.lastActEver + t_.tRC)
+        flag(at, rec.type, rec.coords, "t_rc",
+             "activate at " + tickStr(b.lastActEver) + " + tRC=" +
+                 tickStr(t_.tRC) + " not met");
+    if (at < r.refreshEnd)
+        flag(at, rec.type, rec.coords, "t_rfc",
+             "refresh completes at " + tickStr(r.refreshEnd));
+    if (r.actValid && at < r.lastActAt + t_.tRRD)
+        flag(at, rec.type, rec.coords, "t_rrd",
+             "rank activate at " + tickStr(r.lastActAt) + " + tRRD=" +
+                 tickStr(t_.tRRD) + " not met");
+    if (t_.tFAW && r.actHistory.size() == 4 &&
+        at < r.actHistory.front() + t_.tFAW)
+        flag(at, rec.type, rec.coords, "t_faw",
+             "5th activate in rolling window; 4th-last at " +
+                 tickStr(r.actHistory.front()) + " + tFAW=" +
+                 tickStr(t_.tFAW) + " not met");
+
+    b.open = true;
+    b.row = rec.coords.row;
+    b.lastActAt = at;
+    b.lastActEver = at;
+    b.everActivated = true;
+    b.rdValid = false;
+    b.wrValid = false;
+
+    r.actValid = true;
+    r.lastActAt = at;
+    r.actHistory.push_back(at);
+    if (r.actHistory.size() > 4)
+        r.actHistory.pop_front();
+}
+
+void
+ProtocolAuditor::checkRead(const CommandRecord &rec)
+{
+    BankShadow &b = bankOf(rec.coords);
+    RankShadow &r = rankOf(rec.coords);
+    ChannelShadow &ch = channels_[rec.coords.channel];
+    const Tick at = rec.at;
+    const Tick dc = Tick(t_.dataCycles());
+
+    if (!b.open || b.row != rec.coords.row)
+        flag(at, rec.type, rec.coords, "bank_state",
+             b.open ? "read to row " + std::to_string(rec.coords.row) +
+                          " but row " + std::to_string(b.row) + " open"
+                    : std::string("read on closed bank"));
+    else if (at < b.lastActAt + t_.tRCD)
+        flag(at, rec.type, rec.coords, "t_rcd",
+             "activate at " + tickStr(b.lastActAt) + " + tRCD=" +
+                 tickStr(t_.tRCD) + " not met");
+    if (at < r.rdReadyAt)
+        flag(at, rec.type, rec.coords, "t_wtr",
+             "write-to-read turnaround blocks reads until " +
+                 tickStr(r.rdReadyAt));
+    if (rec.dataStart != at + t_.tCL || rec.dataEnd != rec.dataStart + dc)
+        flag(at, rec.type, rec.coords, "data_latency",
+             "read burst must span [" + tickStr(at + t_.tCL) + ", " +
+                 tickStr(at + t_.tCL + dc) + "), got [" +
+                 tickStr(rec.dataStart) + ", " + tickStr(rec.dataEnd) +
+                 ")");
+    if (rec.dataStart < earliestDataStart(ch, rec.coords.rank, false))
+        flag(at, rec.type, rec.coords, "data_bus",
+             "data bus not free until " +
+                 tickStr(earliestDataStart(ch, rec.coords.rank, false)));
+
+    const Tick pre_at = impliedPreAt(b, at, false);
+    b.rdValid = true;
+    b.lastRdAt = at;
+    if (rec.autoPrecharge) {
+        b.open = false;
+        b.preValid = true;
+        b.lastPreAt = pre_at;
+        b.disturbed = true;
+    }
+
+    ch.dataUsed = true;
+    ch.dataFreeAt = rec.dataStart + dc;
+    ch.lastDataRank = rec.coords.rank;
+    ch.lastDataWrite = false;
+}
+
+void
+ProtocolAuditor::checkWrite(const CommandRecord &rec)
+{
+    BankShadow &b = bankOf(rec.coords);
+    RankShadow &r = rankOf(rec.coords);
+    ChannelShadow &ch = channels_[rec.coords.channel];
+    const Tick at = rec.at;
+    const Tick dc = Tick(t_.dataCycles());
+
+    if (!b.open || b.row != rec.coords.row)
+        flag(at, rec.type, rec.coords, "bank_state",
+             b.open ? "write to row " + std::to_string(rec.coords.row) +
+                          " but row " + std::to_string(b.row) + " open"
+                    : std::string("write on closed bank"));
+    else if (at < b.lastActAt + t_.tRCD)
+        flag(at, rec.type, rec.coords, "t_rcd",
+             "activate at " + tickStr(b.lastActAt) + " + tRCD=" +
+                 tickStr(t_.tRCD) + " not met");
+    if (rec.dataStart != at + t_.tWL || rec.dataEnd != rec.dataStart + dc)
+        flag(at, rec.type, rec.coords, "data_latency",
+             "write burst must span [" + tickStr(at + t_.tWL) + ", " +
+                 tickStr(at + t_.tWL + dc) + "), got [" +
+                 tickStr(rec.dataStart) + ", " + tickStr(rec.dataEnd) +
+                 ")");
+    if (rec.dataStart < earliestDataStart(ch, rec.coords.rank, true))
+        flag(at, rec.type, rec.coords, "data_bus",
+             "data bus not free until " +
+                 tickStr(earliestDataStart(ch, rec.coords.rank, true)));
+
+    const Tick pre_at = impliedPreAt(b, at, true);
+    b.wrValid = true;
+    b.lastWrDataEnd = at + t_.tWL + dc;
+    if (rec.autoPrecharge) {
+        b.open = false;
+        b.preValid = true;
+        b.lastPreAt = pre_at;
+        b.disturbed = true;
+    }
+
+    r.rdReadyAt = std::max(r.rdReadyAt, b.lastWrDataEnd + t_.tWTR);
+
+    ch.dataUsed = true;
+    ch.dataFreeAt = rec.dataStart + dc;
+    ch.lastDataRank = rec.coords.rank;
+    ch.lastDataWrite = true;
+}
+
+void
+ProtocolAuditor::checkPrecharge(const CommandRecord &rec)
+{
+    BankShadow &b = bankOf(rec.coords);
+    const Tick at = rec.at;
+    const Tick dc = Tick(t_.dataCycles());
+
+    if (!b.open) {
+        flag(at, rec.type, rec.coords, "bank_state",
+             "precharge on closed bank");
+    } else {
+        if (at < b.lastActAt + t_.tRAS)
+            flag(at, rec.type, rec.coords, "t_ras",
+                 "activate at " + tickStr(b.lastActAt) + " + tRAS=" +
+                     tickStr(t_.tRAS) + " not met");
+        if (b.rdValid &&
+            at < b.lastRdAt + std::max<Tick>(1, dc + t_.tRTP - 2))
+            flag(at, rec.type, rec.coords, "t_rtp",
+                 "read at " + tickStr(b.lastRdAt) +
+                     " not yet clear of the array (tRTP)");
+        if (b.wrValid && at < b.lastWrDataEnd + t_.tWR)
+            flag(at, rec.type, rec.coords, "t_wr",
+                 "write data ends at " + tickStr(b.lastWrDataEnd) +
+                     " + tWR=" + tickStr(t_.tWR) + " not met");
+    }
+
+    b.open = false;
+    b.preValid = true;
+    b.lastPreAt = at;
+    b.disturbed = true;
+}
+
+void
+ProtocolAuditor::checkRefresh(const CommandRecord &rec)
+{
+    RankShadow &r = rankOf(rec.coords);
+    const Tick at = rec.at;
+    const std::size_t base =
+        (std::size_t(rec.coords.channel) * ranksPerChannel_ +
+         rec.coords.rank) *
+        banksPerRank_;
+
+    for (std::uint32_t i = 0; i < banksPerRank_; ++i) {
+        BankShadow &b = banks_[base + i];
+        Coords c = rec.coords;
+        c.bank = i;
+        if (b.open)
+            flag(at, rec.type, c, "bank_open",
+                 "refresh with row " + std::to_string(b.row) + " open");
+        if (b.preValid && at < b.lastPreAt + t_.tRP)
+            flag(at, rec.type, c, "t_rp",
+                 "precharge at " + tickStr(b.lastPreAt) +
+                     " not settled before refresh");
+        if (b.everActivated && at < b.lastActEver + t_.tRC)
+            flag(at, rec.type, c, "t_rc",
+                 "activate at " + tickStr(b.lastActEver) +
+                     " not settled before refresh");
+        if (at < r.refreshEnd)
+            flag(at, rec.type, c, "t_rfc",
+                 "previous refresh completes at " + tickStr(r.refreshEnd));
+        b.disturbed = true;
+    }
+
+    r.refreshEnd = at + t_.tRFC;
+}
+
+void
+ProtocolAuditor::noteBurstRead(Tick now, const Coords &coords,
+                               bool first_of_burst,
+                               dram::RowOutcome outcome)
+{
+    BankShadow &b = bankOf(coords);
+    if (!first_of_burst && !b.disturbed &&
+        outcome != dram::RowOutcome::Hit)
+        flag(now, CmdType::Read, coords, "burst_row_hit",
+             std::string("non-first access of a burst classified ") +
+                 rowOutcomeName(outcome) +
+                 " with no intervening precharge/refresh");
+    b.disturbed = false;
+}
+
+void
+ProtocolAuditor::notePreemption(Tick now, std::uint64_t writes_outstanding,
+                                std::uint64_t threshold)
+{
+    if (writes_outstanding >= threshold)
+        flag(now, CmdType::Read, Coords{}, "rp_gate",
+             "read preemption fired with write occupancy " +
+                 std::to_string(writes_outstanding) +
+                 " >= threshold " + std::to_string(threshold));
+}
+
+void
+ProtocolAuditor::notePiggyback(Tick now, std::uint64_t writes_outstanding,
+                               std::uint64_t threshold)
+{
+    if (writes_outstanding <= threshold)
+        flag(now, CmdType::Write, Coords{}, "wp_gate",
+             "write piggyback fired with write occupancy " +
+                 std::to_string(writes_outstanding) +
+                 " <= threshold " + std::to_string(threshold));
+}
+
+void
+ProtocolAuditor::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("mode").value(auditModeName(mode_));
+    w.key("commands_audited").value(audited_);
+    w.key("violations").value(violationCount_);
+    w.key("entries").beginArray();
+    for (const auto &v : violations_) {
+        w.beginObject();
+        w.key("tick").value(std::uint64_t(v.at));
+        w.key("cmd").value(cmdName(v.type));
+        w.key("channel").value(std::uint64_t(v.coords.channel));
+        w.key("rank").value(std::uint64_t(v.coords.rank));
+        w.key("bank").value(std::uint64_t(v.coords.bank));
+        w.key("row").value(std::uint64_t(v.coords.row));
+        w.key("rule").value(v.rule);
+        w.key("detail").value(v.detail);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace bsim::obs

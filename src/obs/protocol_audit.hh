@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Runtime DDR2 protocol auditor.
+ *
+ * An independent re-implementation of the JEDEC-style timing rules that
+ * watches the issued command stream (dram::CommandObserver) and validates
+ * every ACT / RD / WR / PRE / REF against its own shadow device state.
+ * It shares no bookkeeping with src/dram — the Bank/Rank/Channel classes
+ * enforce timing with accumulated ready-ticks, while the auditor derives
+ * each window from named first principles (last activate, last precharge,
+ * last read, last write-data end) — so a bug in the engine's constraint
+ * arithmetic cannot hide from it.
+ *
+ * On top of the electrical rules it checks the paper's burst-scheduling
+ * invariants via scheduler hooks: non-first accesses of a burst must be
+ * row hits, read preemption may only fire while the write queue is below
+ * its threshold, and write piggybacking only while it is above.
+ *
+ * AuditMode::Warn logs each violation and keeps going; AuditMode::Fatal
+ * exits non-zero on the first one (CI mode).
+ */
+
+#ifndef BURSTSIM_OBS_PROTOCOL_AUDIT_HH
+#define BURSTSIM_OBS_PROTOCOL_AUDIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/command_log.hh"
+#include "dram/config.hh"
+#include "obs/obs_config.hh"
+
+namespace bsim::obs
+{
+
+/** One rule violation the auditor observed. */
+struct AuditViolation
+{
+    Tick at = 0;
+    dram::CmdType type = dram::CmdType::Precharge;
+    dram::Coords coords;
+    std::string rule;   //!< short rule id, e.g. "t_faw", "burst_row_hit"
+    std::string detail; //!< human-readable explanation
+};
+
+/** Validates the command stream against DDR2 and burst invariants. */
+class ProtocolAuditor : public dram::CommandObserver
+{
+  public:
+    /** Audit a device with organization/timing @p cfg in @p mode. */
+    ProtocolAuditor(AuditMode mode, const dram::DramConfig &cfg);
+
+    /** Active mode (never Off; Off means "don't construct one"). */
+    AuditMode mode() const { return mode_; }
+
+    /** Validate and apply one issued command. */
+    void onCommand(const dram::CommandRecord &rec) override;
+
+    /**
+     * Burst-invariant hook: a burst scheduler issued the column access of
+     * @p coords at @p now; @p first_of_burst when it opens its burst.
+     * Non-first accesses must find their row open (@p outcome == Hit)
+     * unless a precharge or refresh disturbed the bank in between.
+     */
+    void noteBurstRead(Tick now, const dram::Coords &coords,
+                       bool first_of_burst, dram::RowOutcome outcome);
+
+    /**
+     * Burst-invariant hook: read preemption fired at @p now while the
+     * write queue held @p writes_outstanding entries against threshold
+     * @p threshold. Legal only while occupancy < threshold.
+     */
+    void notePreemption(Tick now, std::uint64_t writes_outstanding,
+                        std::uint64_t threshold);
+
+    /**
+     * Burst-invariant hook: write piggybacking appended a write at
+     * @p now. Legal only while occupancy > threshold.
+     */
+    void notePiggyback(Tick now, std::uint64_t writes_outstanding,
+                       std::uint64_t threshold);
+
+    /** Total commands validated. */
+    std::uint64_t commandsAudited() const { return audited_; }
+
+    /** Total violations observed (including ones beyond the kept list). */
+    std::uint64_t violationCount() const { return violationCount_; }
+
+    /** First violations, up to an internal cap. */
+    const std::vector<AuditViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** Machine-readable audit summary. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct BankShadow
+    {
+        bool open = false;
+        std::uint32_t row = 0;
+        bool everActivated = false;
+        Tick lastActAt = 0;    //!< current interval (tRCD, tRAS)
+        Tick lastActEver = 0;  //!< across intervals (tRC)
+        bool preValid = false;
+        Tick lastPreAt = 0;    //!< explicit or implied (auto) precharge
+        bool rdValid = false;
+        Tick lastRdAt = 0;     //!< latest read of the current interval
+        bool wrValid = false;
+        Tick lastWrDataEnd = 0; //!< latest write's data end, this interval
+        bool disturbed = true;  //!< PRE/REF since the last burst access
+    };
+
+    struct RankShadow
+    {
+        std::deque<Tick> actHistory; //!< recent ACT ticks (tFAW window)
+        bool actValid = false;
+        Tick lastActAt = 0;          //!< tRRD
+        Tick rdReadyAt = 0;          //!< write data end + tWTR
+        Tick refreshEnd = 0;         //!< REF blocks activates until here
+    };
+
+    struct ChannelShadow
+    {
+        bool cmdValid = false;
+        Tick lastCmdAt = 0;
+        bool dataUsed = false;
+        Tick dataFreeAt = 0;
+        std::uint32_t lastDataRank = 0;
+        bool lastDataWrite = false;
+    };
+
+    BankShadow &bankOf(const dram::Coords &c);
+    RankShadow &rankOf(const dram::Coords &c);
+
+    /** Earliest legal data-burst start (mirror of the channel rules). */
+    Tick earliestDataStart(const ChannelShadow &ch, std::uint32_t rank,
+                           bool is_write) const;
+
+    /** Implied earliest precharge point of @p b at column access @p at. */
+    Tick impliedPreAt(const BankShadow &b, Tick at, bool is_write) const;
+
+    void checkActivate(const dram::CommandRecord &rec);
+    void checkRead(const dram::CommandRecord &rec);
+    void checkWrite(const dram::CommandRecord &rec);
+    void checkPrecharge(const dram::CommandRecord &rec);
+    void checkRefresh(const dram::CommandRecord &rec);
+
+    void flag(Tick at, dram::CmdType type, const dram::Coords &coords,
+              const char *rule, std::string detail);
+
+    AuditMode mode_;
+    dram::Timing t_;
+    std::uint32_t ranksPerChannel_;
+    std::uint32_t banksPerRank_;
+    std::vector<ChannelShadow> channels_;
+    std::vector<RankShadow> ranks_;   //!< channel-major
+    std::vector<BankShadow> banks_;   //!< channel-major
+    std::uint64_t audited_ = 0;
+    std::uint64_t violationCount_ = 0;
+    std::vector<AuditViolation> violations_;
+};
+
+} // namespace bsim::obs
+
+#endif // BURSTSIM_OBS_PROTOCOL_AUDIT_HH

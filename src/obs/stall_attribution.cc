@@ -1,0 +1,154 @@
+#include "obs/stall_attribution.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/json.hh"
+
+namespace bsim::obs
+{
+
+using dram::StallCause;
+using dram::kNumStallCauses;
+using dram::stallCauseName;
+
+StallAttribution::StallAttribution(std::uint32_t channels,
+                                   std::uint32_t banks_per_channel,
+                                   std::vector<std::string> bank_labels)
+    : chans_(channels), banksPerChannel_(banks_per_channel),
+      bankLabels_(std::move(bank_labels)),
+      bankCounts_(std::size_t(channels) * banks_per_channel)
+{}
+
+void
+StallAttribution::noteBurst(std::uint32_t ch, Tick start, Tick end)
+{
+    chans_[ch].pending.emplace_back(start, end);
+}
+
+void
+StallAttribution::account(std::uint32_t ch, Tick now, bool slot_used,
+                          StallCause cause)
+{
+    ChannelState &c = chans_[ch];
+
+    // Promote bursts that have started into the busy horizon. Bursts are
+    // booked in data-bus order, so a simple front scan suffices.
+    while (!c.pending.empty() && c.pending.front().first <= now) {
+        if (c.pending.front().second > c.busyUntil)
+            c.busyUntil = c.pending.front().second;
+        c.pending.pop_front();
+    }
+
+    StallCause attr;
+    if (now < c.busyUntil)
+        attr = StallCause::DataTransfer;
+    else if (slot_used)
+        attr = StallCause::PrepIssue;
+    else if (cause == StallCause::NoWork && !c.pending.empty())
+        attr = StallCause::PendingData; // only waiting for booked data
+    else
+        attr = cause;
+
+    c.counts[std::size_t(attr)] += 1;
+    c.cycles += 1;
+}
+
+void
+StallAttribution::noteBankStall(std::uint32_t ch, std::uint32_t bank,
+                                StallCause cause)
+{
+    bankCounts_[std::size_t(ch) * banksPerChannel_ + bank]
+               [std::size_t(cause)] += 1;
+}
+
+StallAttribution::Counts
+StallAttribution::totals() const
+{
+    Counts t{};
+    for (const auto &c : chans_)
+        for (std::size_t i = 0; i < kNumStallCauses; ++i)
+            t[i] += c.counts[i];
+    return t;
+}
+
+namespace
+{
+
+void
+writeCounts(JsonWriter &w, const StallAttribution::Counts &counts)
+{
+    w.beginObject();
+    for (std::size_t i = 0; i < kNumStallCauses; ++i)
+        if (counts[i])
+            w.key(stallCauseName(StallCause(i))).value(counts[i]);
+    w.endObject();
+}
+
+} // namespace
+
+void
+StallAttribution::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+
+    w.key("totals");
+    writeCounts(w, totals());
+
+    w.key("channels").beginArray();
+    for (std::size_t ch = 0; ch < chans_.size(); ++ch) {
+        w.beginObject();
+        w.key("channel").value(std::uint64_t(ch));
+        w.key("cycles").value(chans_[ch].cycles);
+        w.key("causes");
+        writeCounts(w, chans_[ch].counts);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("banks").beginArray();
+    for (std::size_t b = 0; b < bankCounts_.size(); ++b) {
+        bool any = false;
+        for (std::size_t i = 0; i < kNumStallCauses; ++i)
+            any = any || bankCounts_[b][i];
+        if (!any)
+            continue;
+        w.beginObject();
+        if (b < bankLabels_.size())
+            w.key("bank").value(bankLabels_[b]);
+        else
+            w.key("bank").value(std::uint64_t(b));
+        w.key("causes");
+        writeCounts(w, bankCounts_[b]);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+    os << "\n";
+}
+
+void
+StallAttribution::writeText(std::ostream &os) const
+{
+    os << "Cycle accounting (one cause per channel-cycle)\n";
+    for (std::size_t ch = 0; ch < chans_.size(); ++ch) {
+        const ChannelState &c = chans_[ch];
+        os << "  channel " << ch << " (" << c.cycles << " cycles)\n";
+        for (std::size_t i = 0; i < kNumStallCauses; ++i) {
+            if (!c.counts[i])
+                continue;
+            const double pct =
+                c.cycles ? 100.0 * double(c.counts[i]) / double(c.cycles)
+                         : 0.0;
+            os << "    " << std::setw(16) << std::left
+               << stallCauseName(StallCause(i)) << std::right
+               << std::setw(12) << c.counts[i] << "  " << std::fixed
+               << std::setprecision(1) << std::setw(5) << pct << "%\n";
+            os.unsetf(std::ios::floatfield);
+        }
+    }
+}
+
+} // namespace bsim::obs

@@ -39,6 +39,45 @@ writeLatencyBreakdownJson(JsonWriter &w, const obs::LatencyBreakdown &lat)
 }
 
 void
+writeCycleAccountingJson(JsonWriter &w, const obs::StallAttribution &st)
+{
+    w.key("cycle_accounting").beginObject();
+    const auto totals = st.totals();
+    w.key("totals").beginObject();
+    for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
+        if (totals[i])
+            w.key(dram::stallCauseName(dram::StallCause(i)))
+                .value(totals[i]);
+    w.endObject();
+    w.key("channels").beginArray();
+    for (std::uint32_t ch = 0; ch < st.numChannels(); ++ch) {
+        w.beginObject();
+        w.key("channel").value(std::uint64_t(ch));
+        w.key("cycles").value(st.cycles(ch));
+        w.key("causes").beginObject();
+        for (std::size_t i = 0; i < dram::kNumStallCauses; ++i) {
+            const std::uint64_t n = st.count(ch, dram::StallCause(i));
+            if (n)
+                w.key(dram::stallCauseName(dram::StallCause(i))).value(n);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+writeProtocolAuditJson(JsonWriter &w, const obs::ProtocolAuditor &a)
+{
+    w.key("protocol_audit").beginObject();
+    w.key("mode").value(obs::auditModeName(a.mode()));
+    w.key("commands_audited").value(a.commandsAudited());
+    w.key("violations").value(a.violationCount());
+    w.endObject();
+}
+
+void
 writeControllerStats(JsonWriter &w, const ctrl::ControllerStats &st)
 {
     w.key("reads").value(st.reads);
@@ -94,6 +133,10 @@ writeResultJson(std::ostream &os, const RunResult &r)
     w.endObject();
     if (r.obs && r.obs->latency())
         writeLatencyBreakdownJson(w, *r.obs->latency());
+    if (r.obs && r.obs->stalls())
+        writeCycleAccountingJson(w, *r.obs->stalls());
+    if (r.obs && r.obs->auditor())
+        writeProtocolAuditJson(w, *r.obs->auditor());
     w.endObject();
     os << '\n';
 }
@@ -178,6 +221,18 @@ writeResultText(std::ostream &os, const RunResult &r)
                 "-", "-", Table::num(lat.forwardedMean().mean(), 1),
                 std::to_string(lat.forwarded().percentile(0.95))});
         lt.print(os);
+    }
+
+    if (r.obs && r.obs->stalls()) {
+        os << '\n';
+        r.obs->stalls()->writeText(os);
+    }
+
+    if (r.obs && r.obs->auditor()) {
+        const obs::ProtocolAuditor &a = *r.obs->auditor();
+        os << "\nprotocol audit (" << obs::auditModeName(a.mode())
+           << "): " << a.commandsAudited() << " commands, "
+           << a.violationCount() << " violations\n";
     }
 }
 

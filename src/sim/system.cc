@@ -80,6 +80,8 @@ System::build(const std::vector<trace::TraceSource *> &traces)
                                                     cfg_.busMHz);
         if (obs_->commandLog())
             mem_->attachLog(obs_->commandLog());
+        if (obs_->auditor())
+            mem_->attachObserver(obs_->auditor());
         ctrl_->attachObservability(obs_.get());
     }
 
@@ -106,6 +108,7 @@ System::releaseObservability()
 {
     if (obs_) {
         mem_->attachLog(nullptr);
+        mem_->attachObserver(nullptr);
         ctrl_->attachObservability(nullptr);
     }
     return std::move(obs_);

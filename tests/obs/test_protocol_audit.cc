@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Protocol auditor tests: hand-built command streams exercise each rule
+ * class — clean sequences pass, deliberately-violating ones are flagged
+ * with the right rule id, and Fatal mode exits non-zero. The streams are
+ * fed straight into onCommand(), so the auditor is tested without any
+ * help (or interference) from the device engine it is meant to check.
+ *
+ * DDR2-800 numbers used throughout (Timing::ddr2_800): tCL=5 tRCD=5
+ * tRP=5 tRAS=18 tRC=23 tWR=6 tWTR=3 tRTP=3 tRRD=3 tFAW=15 tWL=4,
+ * 4 data cycles per burst.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "dram/config.hh"
+#include "obs/protocol_audit.hh"
+
+using namespace bsim;
+using namespace bsim::dram;
+using namespace bsim::obs;
+
+namespace
+{
+
+/** One channel, one rank, eight banks: tFAW reachable without reuse. */
+DramConfig
+auditCfg()
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 8;
+    return cfg;
+}
+
+Coords
+bankCoords(std::uint32_t bank, std::uint32_t row = 0)
+{
+    Coords c;
+    c.bank = bank;
+    c.row = row;
+    return c;
+}
+
+CommandRecord
+act(Tick at, std::uint32_t bank, std::uint32_t row = 0)
+{
+    CommandRecord rec;
+    rec.at = at;
+    rec.type = CmdType::Activate;
+    rec.coords = bankCoords(bank, row);
+    return rec;
+}
+
+/** Read with the data burst where DDR2-800 actually places it. */
+CommandRecord
+rd(Tick at, std::uint32_t bank, std::uint32_t row = 0)
+{
+    CommandRecord rec;
+    rec.at = at;
+    rec.type = CmdType::Read;
+    rec.coords = bankCoords(bank, row);
+    rec.dataStart = at + 5; // tCL
+    rec.dataEnd = rec.dataStart + 4;
+    return rec;
+}
+
+CommandRecord
+wr(Tick at, std::uint32_t bank, std::uint32_t row = 0)
+{
+    CommandRecord rec;
+    rec.at = at;
+    rec.type = CmdType::Write;
+    rec.coords = bankCoords(bank, row);
+    rec.dataStart = at + 4; // tWL
+    rec.dataEnd = rec.dataStart + 4;
+    return rec;
+}
+
+CommandRecord
+pre(Tick at, std::uint32_t bank)
+{
+    CommandRecord rec;
+    rec.at = at;
+    rec.type = CmdType::Precharge;
+    rec.coords = bankCoords(bank);
+    return rec;
+}
+
+} // namespace
+
+TEST(ProtocolAudit, CleanReadEpisodePasses)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0, 7));
+    a.onCommand(rd(5, 0, 7));   // tRCD met exactly
+    a.onCommand(pre(18, 0));    // tRAS met exactly; tRTP long past
+    a.onCommand(act(23, 0, 9)); // tRP and tRC met exactly
+    a.onCommand(rd(28, 0, 9));
+    EXPECT_EQ(a.violationCount(), 0u);
+    EXPECT_EQ(a.commandsAudited(), 5u);
+}
+
+TEST(ProtocolAudit, FifthActivateInsideTFawFlagged)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    for (std::uint32_t b = 0; b < 4; ++b)
+        a.onCommand(act(Tick(b) * 3, b)); // tRRD-spaced: 0, 3, 6, 9
+    a.onCommand(act(12, 4));              // 12 < 0 + tFAW(15)
+    ASSERT_EQ(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "t_faw");
+}
+
+TEST(ProtocolAudit, FifthActivateAtTFawBoundaryPasses)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    for (std::uint32_t b = 0; b < 4; ++b)
+        a.onCommand(act(Tick(b) * 3, b));
+    a.onCommand(act(15, 4)); // exactly tFAW after the window opener
+    EXPECT_EQ(a.violationCount(), 0u);
+}
+
+TEST(ProtocolAudit, ReadTooSoonAfterWriteFlagsTWtr)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0));
+    a.onCommand(wr(5, 0)); // data ends at 13; reads legal from 16
+    a.onCommand(rd(14, 0));
+    ASSERT_EQ(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "t_wtr");
+}
+
+TEST(ProtocolAudit, ReadAfterWriteTurnaroundPasses)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0));
+    a.onCommand(wr(5, 0));
+    a.onCommand(rd(16, 0)); // exactly write data end (13) + tWTR (3)
+    EXPECT_EQ(a.violationCount(), 0u);
+}
+
+TEST(ProtocolAudit, PrechargeBeforeTRasFlagged)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0));
+    a.onCommand(pre(10, 0)); // 10 < tRAS(18)
+    ASSERT_EQ(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "t_ras");
+}
+
+TEST(ProtocolAudit, PrechargeInsideWriteRecoveryFlagged)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0));
+    a.onCommand(wr(5, 0));   // data ends at 13; precharge legal from 19
+    a.onCommand(pre(18, 0)); // tRAS met, tWR not
+    ASSERT_EQ(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "t_wr");
+    ProtocolAuditor ok(AuditMode::Warn, auditCfg());
+    ok.onCommand(act(0, 0));
+    ok.onCommand(wr(5, 0));
+    ok.onCommand(pre(19, 0));
+    EXPECT_EQ(ok.violationCount(), 0u);
+}
+
+TEST(ProtocolAudit, ColumnAccessViolationsFlagged)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(rd(0, 0)); // closed bank
+    ASSERT_GE(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "bank_state");
+
+    ProtocolAuditor b(AuditMode::Warn, auditCfg());
+    b.onCommand(act(0, 0));
+    b.onCommand(rd(4, 0)); // 4 < tRCD(5)
+    ASSERT_EQ(b.violationCount(), 1u);
+    EXPECT_EQ(b.violations()[0].rule, "t_rcd");
+
+    ProtocolAuditor c(AuditMode::Warn, auditCfg());
+    c.onCommand(act(0, 0));
+    CommandRecord bad = rd(5, 0);
+    bad.dataStart += 1; // claims a burst later than tCL places it
+    bad.dataEnd += 1;
+    c.onCommand(bad);
+    ASSERT_EQ(c.violationCount(), 1u);
+    EXPECT_EQ(c.violations()[0].rule, "data_latency");
+}
+
+TEST(ProtocolAudit, CommandBusDoubleUseFlagged)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(5, 0));
+    a.onCommand(act(5, 1)); // same channel slot, same tick (also tRRD)
+    ASSERT_GE(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "cmd_bus");
+}
+
+TEST(ProtocolAudit, BurstSchedulingInvariants)
+{
+    // Non-first burst access must be a row hit unless disturbed.
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    const Coords c = bankCoords(0, 3);
+    a.noteBurstRead(10, c, true, RowOutcome::Conflict);  // first: any
+    a.noteBurstRead(20, c, false, RowOutcome::Hit);      // hit: fine
+    EXPECT_EQ(a.violationCount(), 0u);
+    a.noteBurstRead(30, c, false, RowOutcome::Conflict); // undisturbed
+    ASSERT_EQ(a.violationCount(), 1u);
+    EXPECT_EQ(a.violations()[0].rule, "burst_row_hit");
+
+    // A (legal) precharge between the accesses excuses the miss.
+    ProtocolAuditor b(AuditMode::Warn, auditCfg());
+    b.onCommand(act(0, 0, 3));
+    b.noteBurstRead(10, c, true, RowOutcome::Empty);
+    b.onCommand(pre(18, 0)); // tRAS met
+    b.noteBurstRead(50, c, false, RowOutcome::Conflict);
+    EXPECT_EQ(b.violationCount(), 0u);
+
+    // RP below threshold only; WP above threshold only.
+    ProtocolAuditor g(AuditMode::Warn, auditCfg());
+    g.notePreemption(0, 40, 52);
+    g.notePiggyback(0, 60, 52);
+    EXPECT_EQ(g.violationCount(), 0u);
+    g.notePreemption(1, 52, 52);
+    ASSERT_EQ(g.violationCount(), 1u);
+    EXPECT_EQ(g.violations()[0].rule, "rp_gate");
+    g.notePiggyback(2, 52, 52);
+    ASSERT_EQ(g.violationCount(), 2u);
+    EXPECT_EQ(g.violations()[1].rule, "wp_gate");
+}
+
+TEST(ProtocolAuditDeathTest, FatalModeExitsNonZero)
+{
+    EXPECT_EXIT(
+        {
+            ProtocolAuditor a(AuditMode::Fatal, auditCfg());
+            a.onCommand(act(0, 0));
+            a.onCommand(pre(10, 0));
+        },
+        ::testing::ExitedWithCode(1), "t_ras");
+}
+
+TEST(ProtocolAudit, JsonSummaryRoundTrips)
+{
+    ProtocolAuditor a(AuditMode::Warn, auditCfg());
+    a.onCommand(act(0, 0));
+    a.onCommand(pre(10, 0));
+    std::ostringstream os;
+    a.writeJson(os);
+    const auto v = parseJson(os.str());
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->find("mode")->string, "warn");
+    EXPECT_EQ(v->find("commands_audited")->number, 2.0);
+    EXPECT_EQ(v->find("violations")->number, 1.0);
+    const JsonValue &entries = *v->find("entries");
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries.array[0].find("rule")->string, "t_ras");
+}

@@ -84,6 +84,15 @@ configFrom(const ArgParser &args)
             fatal("--metrics-interval must be positive");
     }
     cfg.obs.commandTrace = !args.str("trace-out").empty();
+    cfg.obs.stallAttribution =
+        args.flag("stall-attribution") || !args.str("stall-out").empty();
+    const std::string &audit = args.str("audit");
+    if (audit == "warn")
+        cfg.obs.audit = obs::AuditMode::Warn;
+    else if (audit == "fatal")
+        cfg.obs.audit = obs::AuditMode::Fatal;
+    else if (audit != "off")
+        fatal("--audit must be 'off', 'warn' or 'fatal'");
     return cfg;
 }
 
@@ -141,6 +150,12 @@ main(int argc, char **argv)
                    "metrics epoch length in memory cycles");
     args.addOption("trace-out", "",
                    "write Chrome trace-event JSON of SDRAM commands");
+    args.addFlag("stall-attribution",
+                 "classify every idle memory cycle by its cause");
+    args.addOption("stall-out", "",
+                   "write stall attribution JSON (implies the pillar)");
+    args.addOption("audit", "off",
+                   "DDR2 protocol auditor: off | warn | fatal");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -216,6 +231,11 @@ main(int argc, char **argv)
     if (const std::string &path = args.str("trace-out"); !path.empty()) {
         writeFileOrDie(path, [&](std::ostream &os) {
             r.obs->writeChromeTrace(os);
+        });
+    }
+    if (const std::string &path = args.str("stall-out"); !path.empty()) {
+        writeFileOrDie(path, [&](std::ostream &os) {
+            r.obs->writeStallJson(os);
         });
     }
     return 0;
