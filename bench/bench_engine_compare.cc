@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Engine comparison (google-benchmark): the tick-accurate step engine
+ * versus the event-driven cycle-skipping engine, end to end, across the
+ * five scheduler classes. The figure of merit is simulated memory
+ * cycles per wall-clock second (counter `mem_cycles/s`); both engines
+ * produce byte-identical statistics (tests/integration/
+ * test_engine_equivalence.cc), so the ratio is pure simulator speed.
+ *
+ * Two workloads bracket the design space:
+ *
+ *  - `mcf` (paper low-MLP SPEC model, ~8 overlapped misses in steady
+ *    state): most memory cycles carry at least one event, so the skip
+ *    engine's win is bounded by Amdahl — the per-instruction trace
+ *    generation and cache/core modelling shared by both engines.
+ *  - `pchase` (MLP = 1 microbenchmark: one serialized pointer chase,
+ *    every load a main-memory miss): the machine alternates ~40-cycle
+ *    fully-dead stall spans with a handful of live cycles, which is
+ *    the regime the horizon machinery targets. Expected ratio is an
+ *    order of magnitude or more (see docs/performance.md for measured
+ *    numbers).
+ *
+ * These are engineering benchmarks for the simulator itself, not paper
+ * results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/experiment.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+constexpr ctrl::Mechanism kSchedulerClasses[] = {
+    ctrl::Mechanism::BkInOrder,       // per-bank FIFOs, round robin
+    ctrl::Mechanism::RowHit,          // row-hit first
+    ctrl::Mechanism::Intel,           // Intel P35-style read first
+    ctrl::Mechanism::Burst,           // the paper's burst scheduling
+    ctrl::Mechanism::AdaptiveHistory, // Hur & Lin history-based
+};
+
+void
+runEngine(benchmark::State &state, const char *workload,
+          std::uint64_t instructions)
+{
+    sim::ExperimentConfig cfg;
+    cfg.workload = workload;
+    cfg.mechanism = kSchedulerClasses[state.range(1)];
+    cfg.engine =
+        state.range(0) ? sim::EngineKind::Skip : sim::EngineKind::Step;
+    cfg.instructions = instructions;
+
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        const auto r = sim::runExperiment(cfg);
+        cycles = r.memCycles;
+        benchmark::DoNotOptimize(r.execCpuCycles);
+    }
+    state.counters["mem_cycles/s"] = benchmark::Counter(
+        double(cycles), benchmark::Counter::kIsIterationInvariantRate);
+    state.counters["mem_cycles"] = benchmark::Counter(double(cycles));
+    state.SetLabel(std::string(sim::engineKindName(cfg.engine)) + "/" +
+                   ctrl::mechanismName(cfg.mechanism));
+}
+
+/** Dense traffic: the honest worst case for cycle skipping. */
+void
+BM_Engine_mcf(benchmark::State &state)
+{
+    runEngine(state, "mcf", 60'000);
+}
+
+/** Serialized misses: the case the skip engine exists for. */
+void
+BM_Engine_pchase(benchmark::State &state)
+{
+    runEngine(state, "pchase", 60'000);
+}
+
+void
+engineArgs(benchmark::internal::Benchmark *b)
+{
+    for (int engine = 0; engine <= 1; ++engine)
+        for (int mech = 0; mech < 5; ++mech)
+            b->Args({engine, mech});
+}
+
+BENCHMARK(BM_Engine_mcf)->Apply(engineArgs)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Engine_pchase)
+    ->Apply(engineArgs)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

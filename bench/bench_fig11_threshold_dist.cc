@@ -27,15 +27,17 @@ main()
     const std::vector<std::size_t> thresholds = {0,  8,  16, 24, 32,
                                                  40, 48, 52, 56, 64};
 
-    std::vector<sim::RunResult> results;
-    for (std::size_t th : thresholds) {
-        sim::ExperimentConfig cfg;
-        cfg.workload = "swim";
-        cfg.mechanism = ctrl::Mechanism::BurstTH;
-        cfg.threshold = th;
-        std::fprintf(stderr, "  threshold %zu...\n", th);
-        results.push_back(sim::runExperiment(cfg));
-    }
+    const sim::SweepRunner pool;
+    std::fprintf(stderr, "  %zu thresholds on %u workers...\n",
+                 thresholds.size(), pool.jobs());
+    const auto results = pool.map<sim::RunResult>(
+        thresholds.size(), [&](std::size_t i) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = "swim";
+            cfg.mechanism = ctrl::Mechanism::BurstTH;
+            cfg.threshold = thresholds[i];
+            return sim::runExperiment(cfg);
+        });
 
     auto label = [&](std::size_t th) -> std::string {
         if (th == 0)

@@ -27,36 +27,46 @@ main()
                                                  48, 52, 56, 60, 64};
     const auto workloads = trace::specProfileNames();
 
+    const sim::SweepRunner pool;
+    std::fprintf(stderr, "  sweeping on %u workers...\n", pool.jobs());
+
     // Baseline: plain Burst (no preemption, no piggybacking).
-    std::vector<double> burst_exec;
-    for (const auto &w : workloads) {
-        sim::ExperimentConfig cfg;
-        cfg.workload = w;
-        cfg.mechanism = ctrl::Mechanism::Burst;
-        burst_exec.push_back(
-            double(sim::runExperiment(cfg).execCpuCycles));
-    }
+    const auto burst_exec =
+        pool.map<double>(workloads.size(), [&](std::size_t w) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = workloads[w];
+            cfg.mechanism = ctrl::Mechanism::Burst;
+            return double(sim::runExperiment(cfg).execCpuCycles);
+        });
     std::fprintf(stderr, "  burst baseline done\n");
 
     Table t("burst scheduling with threshold (normalized to Burst):");
     t.header({"threshold", "exec time", "read lat", "write lat", "WQ sat"});
 
+    // One flat (threshold x workload) grid of independent runs.
+    const std::size_t nw = workloads.size();
+    const auto grid = pool.map<sim::RunResult>(
+        thresholds.size() * nw, [&](std::size_t i) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = workloads[i % nw];
+            cfg.mechanism = ctrl::Mechanism::BurstTH;
+            cfg.threshold = thresholds[i / nw];
+            return sim::runExperiment(cfg);
+        });
+
     double best_exec = 1e300;
     std::size_t best_th = 0;
-    for (std::size_t th : thresholds) {
+    for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+        const std::size_t th = thresholds[ti];
         double exec_sum = 0, rd_sum = 0, wr_sum = 0, sat_sum = 0;
-        for (std::size_t w = 0; w < workloads.size(); ++w) {
-            sim::ExperimentConfig cfg;
-            cfg.workload = workloads[w];
-            cfg.mechanism = ctrl::Mechanism::BurstTH;
-            cfg.threshold = th;
-            const auto r = sim::runExperiment(cfg);
+        for (std::size_t w = 0; w < nw; ++w) {
+            const auto &r = grid[ti * nw + w];
             exec_sum += double(r.execCpuCycles) / burst_exec[w];
             rd_sum += r.ctrl.readLatency.mean();
             wr_sum += r.ctrl.writeLatency.mean();
             sat_sum += r.ctrl.writeSaturationRate();
         }
-        const double n = double(workloads.size());
+        const double n = double(nw);
         const double exec = exec_sum / n;
         std::string name = th == 0    ? "WP(TH0)"
                            : th == 64 ? "RP(TH64)"
@@ -67,7 +77,6 @@ main()
             best_exec = exec;
             best_th = th;
         }
-        std::fprintf(stderr, "  threshold %zu done\n", th);
     }
     t.print(std::cout);
 

@@ -14,6 +14,7 @@
 
 #include "ctrl/access.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 #include "trace/spec_profiles.hh"
 
 namespace bench
@@ -36,18 +37,33 @@ struct Sweep
     std::vector<std::vector<bsim::sim::RunResult>> results;
 };
 
-/** Run every SPEC profile under every mechanism. */
+/**
+ * Run every SPEC profile under every mechanism. The full (workload x
+ * mechanism) grid is one batch of independent runs, so it fans out over
+ * a SweepRunner pool (@p jobs workers, 0 = one per hardware thread);
+ * results land in grid order, byte-identical for any worker count.
+ */
 inline Sweep
-sweepAll(std::uint64_t instructions = 0)
+sweepAll(std::uint64_t instructions = 0, unsigned jobs = 0)
 {
     Sweep s;
     s.workloads = bsim::trace::specProfileNames();
     s.mechanisms = allMechanisms();
-    for (const auto &w : s.workloads) {
-        std::fprintf(stderr, "  sweeping %s...\n", w.c_str());
-        s.results.push_back(
-            bsim::sim::runMechanismSweep(w, s.mechanisms, instructions));
-    }
+    const std::size_t nm = s.mechanisms.size();
+    const bsim::sim::SweepRunner pool(jobs);
+    std::fprintf(stderr, "  sweeping %zu workloads x %zu mechanisms on %u workers...\n",
+                 s.workloads.size(), nm, pool.jobs());
+    const auto flat = pool.map<bsim::sim::RunResult>(
+        s.workloads.size() * nm, [&](std::size_t i) {
+            bsim::sim::ExperimentConfig cfg;
+            cfg.workload = s.workloads[i / nm];
+            cfg.mechanism = s.mechanisms[i % nm];
+            cfg.instructions = instructions;
+            return bsim::sim::runExperiment(cfg);
+        });
+    for (std::size_t w = 0; w < s.workloads.size(); ++w)
+        s.results.emplace_back(flat.begin() + std::ptrdiff_t(w * nm),
+                               flat.begin() + std::ptrdiff_t((w + 1) * nm));
     return s;
 }
 

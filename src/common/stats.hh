@@ -75,10 +75,18 @@ class Histogram
     void
     sample(std::size_t v)
     {
+        sample(v, 1);
+    }
+
+    /** Add @p n identical samples of value @p v in one step, as when a
+     *  span of cycles all observed the same occupancy. */
+    void
+    sample(std::size_t v, std::uint64_t n)
+    {
         if (v >= buckets_.size())
             v = buckets_.size() - 1;
-        buckets_[v] += 1;
-        total_ += 1;
+        buckets_[v] += n;
+        total_ += n;
     }
 
     /** Count in bucket @p v. */

@@ -19,12 +19,20 @@ Core::entryOf(std::uint64_t seq)
     return &rob_[seq - frontSeq_];
 }
 
+const Core::RobEntry *
+Core::entryOf(std::uint64_t seq) const
+{
+    if (seq < frontSeq_ || seq >= frontSeq_ + rob_.size())
+        return nullptr;
+    return &rob_[seq - frontSeq_];
+}
+
 bool
-Core::producerReady(const RobEntry &e, std::uint64_t now)
+Core::producerReady(const RobEntry &e, std::uint64_t now) const
 {
     if (e.producerSeq == kTickMax)
         return true;
-    RobEntry *p = entryOf(e.producerSeq);
+    const RobEntry *p = entryOf(e.producerSeq);
     if (!p)
         return true; // producer already retired, hence long since ready
     return p->readyAt <= now;
@@ -159,6 +167,57 @@ Core::cpuCycle(std::uint64_t now)
     retire(now);
     startPendingLoads(now);
     issue(now);
+}
+
+bool
+Core::quiescentAt(std::uint64_t now) const
+{
+    // retire(): must stop at an unready head without touching the
+    // hierarchy (a ready store head retries mem_.access every cycle).
+    if (rob_.empty() || rob_.front().readyAt <= now)
+        return false;
+    // startPendingLoads(): no live pending load may have a ready
+    // producer — startLoad() would do a cache lookup, which mutates
+    // hit/miss counters and LRU order even when it returns Retry.
+    // Stale entries (retired producer window or already started) are
+    // no-ops; they are dropped lazily at the next real cycle, which
+    // preserves the live entries' relative order.
+    for (std::uint64_t seq : pendingLoads_) {
+        const RobEntry *e = entryOf(seq);
+        if (!e || e->started)
+            continue;
+        if (producerReady(*e, now))
+            return false;
+    }
+    // issue(): must be blocked without consuming the trace — pulling
+    // the next instruction advances the workload RNG.
+    if (rob_.size() >= cfg_.robSize)
+        return true;
+    if (lookaheadValid_)
+        return lookahead_.op != trace::TraceInstr::Op::Compute &&
+               memOpsInRob_ >= cfg_.lsqSize;
+    return traceEnded_;
+}
+
+std::uint64_t
+Core::nextLocalEventCpu(std::uint64_t now) const
+{
+    (void)now;
+    // Quiescence ends when the head becomes ready or a blocked pending
+    // load's producer does; both are readyAt timestamps already fixed.
+    // Issue-side blocks (full ROB / LSQ) clear only through retirement,
+    // which the head's readyAt already bounds. kTickMax entries wait on
+    // a memory response, which the System tracks separately.
+    std::uint64_t e = rob_.front().readyAt;
+    for (std::uint64_t seq : pendingLoads_) {
+        const RobEntry *pe = entryOf(seq);
+        if (!pe || pe->started || pe->producerSeq == kTickMax)
+            continue;
+        const RobEntry *p = entryOf(pe->producerSeq);
+        if (p && p->readyAt < e)
+            e = p->readyAt;
+    }
+    return e;
 }
 
 void

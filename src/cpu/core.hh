@@ -70,6 +70,28 @@ class Core
     /** Current ROB occupancy. */
     std::size_t robOccupancy() const { return rob_.size(); }
 
+    /**
+     * True when cpuCycle(@p now) would be a pure head-stall: retirement
+     * blocked on an unready head, no pending load able to start, and
+     * issue blocked without pulling from the trace. Such a cycle's only
+     * effect is one headStalls_ increment, so the cycle-skipping engine
+     * may batch it. Cache lookups mutate hit/miss counters and LRU even
+     * on a Retry, so any cycle that might call into the hierarchy is
+     * not quiescent.
+     */
+    bool quiescentAt(std::uint64_t now) const;
+
+    /**
+     * Next CPU cycle at which this core leaves quiescence on its own:
+     * the head's readyAt or the first producer wakeup of a blocked
+     * pending load. kTickMax when only a memory response can wake it.
+     * Only meaningful while quiescentAt(now) holds.
+     */
+    std::uint64_t nextLocalEventCpu(std::uint64_t now) const;
+
+    /** Bulk-apply @p n skipped quiescent cycles (all head stalls). */
+    void skipStallCycles(std::uint64_t n) { headStalls_ += n; }
+
   private:
     struct RobEntry
     {
@@ -83,7 +105,8 @@ class Core
     };
 
     RobEntry *entryOf(std::uint64_t seq);
-    bool producerReady(const RobEntry &e, std::uint64_t now);
+    const RobEntry *entryOf(std::uint64_t seq) const;
+    bool producerReady(const RobEntry &e, std::uint64_t now) const;
     /** Try to send a load to the hierarchy; false on resource retry. */
     bool startLoad(RobEntry &e, std::uint64_t now);
     void retire(std::uint64_t now);

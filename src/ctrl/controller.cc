@@ -101,6 +101,12 @@ MemoryController::MemoryController(dram::MemorySystem &mem,
         schedulers_.push_back(makeScheduler(cfg_.mechanism, ctx));
     }
 
+    schedMemo_.resize(dcfg.channels);
+    refreshWake_.assign(dcfg.channels, 0);
+    chanVersion_.assign(dcfg.channels, 1);
+    for (std::uint32_t ch = 0; ch < dcfg.channels; ++ch)
+        schedMemo_[ch].global = schedulers_[ch]->globallySensitive();
+
     // Stagger per-rank refresh deadlines so refreshes do not align.
     const Tick trefi = dcfg.timing.tREFI;
     refresh_.resize(std::size_t(dcfg.channels) * dcfg.ranksPerChannel);
@@ -135,6 +141,8 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
     if (!canAccept())
         panic("submit() while controller cannot accept");
 
+    stateVersion_ += 1; // queue contents / counts are changing
+
     auto access = std::make_unique<MemAccess>();
     MemAccess *a = access.get();
     a->id = nextId_++;
@@ -145,6 +153,7 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
     a->tag = tag;
     a->critical = critical && type == AccessType::Read;
     inflight_.emplace(a->id, std::move(access));
+    chanVersion_[a->coords.channel] += 1; // this channel's queue changes
 
     Scheduler &sched = *schedulers_[a->coords.channel];
 
@@ -191,10 +200,23 @@ MemoryController::tick(Tick now)
     sampleOccupancy();
 
     for (std::uint32_t ch = 0; ch < mem_.numChannels(); ++ch) {
+        SchedMemo &memo = schedMemo_[ch];
         if (refreshTick(ch, now)) {
-            // Refresh engine used this channel's command slot.
+            // Refresh engine used this channel's command slot (and
+            // changed the channel's device state).
+            memo.version = 0;
+            schedulers_[ch]->onExternalCommand();
             if (stalls_)
                 stalls_->account(ch, now, true, dram::StallCause::None);
+            continue;
+        }
+        if (eventDriven_ && !stalls_ &&
+            memo.version == memoVersion(ch) && now < memo.until) {
+            // Horizon contract: nothing can issue and no arbitration
+            // move is possible strictly before memo.until, so a full
+            // scan would be a no-op apart from the idempotent idle-tick
+            // effect — replay just that.
+            schedulers_[ch]->onIdleSpan(now, 1);
             continue;
         }
         Scheduler::Issued issued = schedulers_[ch]->tick(now);
@@ -210,14 +232,118 @@ MemoryController::tick(Tick now)
                                                             *stalls_));
             }
         }
-        if (issued.access)
+        if (issued.access) {
+            memo.version = 0; // the issue changed channel state
             handleIssued(issued);
+        } else if (eventDriven_ && !stalls_) {
+            memo.until = schedulers_[ch]->nextEventTick(now);
+            memo.version = memoVersion(ch);
+        }
     }
 
     stats_.ticks += 1;
 
     if (sampler_ && sampler_->epochEnd(now))
         sampleMetrics(now);
+}
+
+Tick
+MemoryController::nextEventTick(Tick now) const
+{
+    Tick horizon = kTickMax;
+    const auto consider = [&](Tick t) {
+        if (t < horizon)
+            horizon = t;
+    };
+
+    if (!pendingReads_.empty())
+        consider(pendingReads_.begin()->first);
+
+    // Refresh engine mirror: walk ranks exactly as refreshTick() does.
+    // Ranks before the first pending-blocked one flip pending at their
+    // deadline; the first pending rank acts when RefreshAll or one of
+    // its precharges unblocks; ranks after it are shadowed by the scan's
+    // break, so their deadlines must not contribute.
+    const auto &dcfg = mem_.config();
+    if (dcfg.timing.tREFI) {
+        for (std::uint32_t ch = 0;
+             ch < mem_.numChannels() && horizon > now; ++ch) {
+            for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
+                const auto &st =
+                    refresh_[ch * dcfg.ranksPerChannel + r];
+                if (!st.pending) {
+                    consider(st.nextDue);
+                    continue;
+                }
+                dram::Coords c;
+                c.channel = ch;
+                c.rank = r;
+                dram::Command ref{dram::CmdType::RefreshAll, c, 0};
+                consider(mem_.blockedUntil(ref, now));
+                for (std::uint32_t b = 0; b < dcfg.banksPerRank; ++b) {
+                    c.bank = b;
+                    if (!mem_.bank(c).isOpen())
+                        continue;
+                    dram::Command pre{dram::CmdType::Precharge, c, 0};
+                    consider(mem_.blockedUntil(pre, now));
+                }
+                break;
+            }
+        }
+    }
+
+    for (std::uint32_t ch = 0;
+         ch < mem_.numChannels() && horizon > now; ++ch)
+        consider(schedHorizon(ch, now));
+
+    if (sampler_ && horizon > now) {
+        // The epoch-boundary tick must run for real so its snapshot row
+        // is emitted at the same tick as in the step engine.
+        const Tick interval = sampler_->interval();
+        consider(now + (interval - 1 - now % interval));
+    }
+    return horizon;
+}
+
+Tick
+MemoryController::schedHorizon(std::uint32_t channel, Tick now) const
+{
+    // The memo stays valid while nothing the scheduler's decision
+    // depends on has changed: the version stamp covers queue contents
+    // (and, for globally sensitive policies, the global counts), and
+    // the channel's own issues clear the memo directly. A bound that
+    // has expired (until <= now) forces a recomputation.
+    SchedMemo &memo = schedMemo_[channel];
+    if (memo.version != memoVersion(channel) || memo.until <= now) {
+        memo.until = schedulers_[channel]->nextEventTick(now);
+        memo.version = memoVersion(channel);
+    }
+    return memo.until;
+}
+
+void
+MemoryController::tickSpan(Tick from, Tick span)
+{
+    stats_.outstandingReads.sample(counts_.readsOutstanding, span);
+    stats_.outstandingWrites.sample(counts_.writesOutstanding, span);
+    if (counts_.writesOutstanding >= cfg_.writeCap)
+        stats_.writeSatTicks += span;
+
+    for (std::uint32_t ch = 0; ch < mem_.numChannels(); ++ch) {
+        schedulers_[ch]->onIdleSpan(from, span);
+        if (stalls_) {
+            // One scan classifies the whole span: every input to
+            // stallScan is frozen across a dead span, so the per-cycle
+            // result the step engine would compute is constant.
+            stalls_->setBankStallWeight(span);
+            const dram::StallCause cause =
+                schedulers_[ch]->stallScan(from, *stalls_);
+            stalls_->setBankStallWeight(1);
+            stalls_->accountSpan(ch, from, span, cause);
+        }
+    }
+
+    stats_.ticks += span;
 }
 
 void
@@ -259,20 +385,28 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
     const auto &dcfg = mem_.config();
     if (!dcfg.timing.tREFI)
         return false;
+    if (eventDriven_ && now < refreshWake_[channel])
+        return false; // no rank pending and none due before this tick
 
+    Tick wake = kTickMax;
     for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
         auto &st = refresh_[channel * dcfg.ranksPerChannel + r];
         if (!st.pending) {
-            if (now >= st.nextDue)
+            if (now >= st.nextDue) {
                 st.pending = true;
-            else
+            } else {
+                if (st.nextDue < wake)
+                    wake = st.nextDue;
                 continue;
+            }
         }
 
         // Precharge any open bank; then refresh the rank.
         dram::Coords c;
         c.channel = channel;
         c.rank = r;
+
+        refreshWake_[channel] = 0; // a rank is pending: run every tick
 
         dram::Command ref{dram::CmdType::RefreshAll, c, 0};
         if (mem_.canIssue(ref, now)) {
@@ -295,8 +429,9 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
         // This rank's refresh is pending but blocked by timing; do not
         // let a lower-priority rank steal the slot for its refresh, but
         // do allow the scheduler to keep other ranks busy.
-        break;
+        return false;
     }
+    refreshWake_[channel] = wake; // reached only with no rank pending
     return false;
 }
 
@@ -340,6 +475,7 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
 void
 MemoryController::finishAccess(MemAccess *a)
 {
+    stateVersion_ += 1; // counts / pool occupancy are changing
     auto it = inflight_.find(a->id);
     if (it == inflight_.end())
         panic("finishAccess: unknown access id %llu",
@@ -361,6 +497,8 @@ MemoryController::busy() const
 void
 MemoryController::attachObservability(obs::Observability *o)
 {
+    for (auto &m : schedMemo_)
+        m.version = 0;
     lat_ = o ? o->latency() : nullptr;
     sampler_ = o ? o->sampler() : nullptr;
     stalls_ = o ? o->stalls() : nullptr;

@@ -148,6 +148,23 @@ class MemoryController
     /** Advance one memory bus cycle. */
     void tick(Tick now);
 
+    /**
+     * Earliest tick >= @p now at which this controller might act —
+     * complete a read, run the refresh engine, issue through a
+     * scheduler, or close a metrics epoch — assuming no new submissions.
+     * Never overshoots; kTickMax means idle until new work arrives.
+     */
+    Tick nextEventTick(Tick now) const;
+
+    /**
+     * Bulk-apply the dead span [@p from, @p from + @p span): per-cycle
+     * occupancy samples, stall attribution (one stallScan stands for
+     * every cycle of the span), idempotent idle-tick scheduler effects,
+     * and the tick counter. Only legal when nextEventTick(@p from) is
+     * at least @p from + @p span.
+     */
+    void tickSpan(Tick from, Tick span);
+
     /** True while any access is queued, in flight, or awaiting response. */
     bool busy() const;
 
@@ -170,6 +187,20 @@ class MemoryController
     std::size_t readsOutstanding() const
     {
         return counts_.readsOutstanding;
+    }
+
+    /**
+     * Enable the event-driven fast path: per-channel scheduler-horizon
+     * memos let tick() skip a channel's scheduler scan on cycles where
+     * the horizon proves no command can issue, and let nextEventTick()
+     * reuse the memo instead of rescanning. Results are identical; the
+     * step engine leaves this off to stay a plain per-cycle reference.
+     */
+    void setEventDriven(bool on)
+    {
+        eventDriven_ = on;
+        for (auto &s : schedulers_)
+            s->setEventDriven(on);
     }
 
     /**
@@ -196,8 +227,31 @@ class MemoryController
         bool pending = false;
     };
 
+    /**
+     * Cached per-channel scheduler horizon. While version matches
+     * stateVersion_ and the channel itself has not issued, the channel's
+     * scheduler provably cannot issue (nor make an arbitration move)
+     * strictly before `until`, so its per-tick scan can be skipped and
+     * nextEventTick() can reuse the bound without rescanning.
+     */
+    struct SchedMemo
+    {
+        Tick until = 0;            //!< no issue strictly before this
+        std::uint64_t version = 0; //!< version stamp when computed
+        bool global = false;       //!< scheduler reads global counts
+    };
+
+    /** Version stamp a channel's memo must match to stay valid. */
+    std::uint64_t memoVersion(std::uint32_t channel) const
+    {
+        return schedMemo_[channel].global ? stateVersion_
+                                          : chanVersion_[channel];
+    }
+
     void completeReads(Tick now);
     void sampleOccupancy();
+    /** Valid (possibly refreshed) scheduler horizon for @p channel. */
+    Tick schedHorizon(std::uint32_t channel, Tick now) const;
     /** Snapshot counters/queues at the end of tick @p now. */
     void sampleMetrics(Tick now);
     /** Run the refresh engine for @p channel; true if it used the slot. */
@@ -216,7 +270,25 @@ class MemoryController
     /** Reads whose data transfer is scheduled, keyed by completion tick. */
     std::multimap<Tick, MemAccess *> pendingReads_;
     std::vector<RefreshState> refresh_; //!< channel-major [ch*ranks + r]
+    /** Event-driven engine: no refresh work on this channel before this
+     *  tick (min nextDue while no rank is pending; 0 = must run). */
+    std::vector<Tick> refreshWake_;
     std::uint64_t nextId_ = 1;
+
+    /**
+     * Monotonic version of everything a scheduler's issue decision can
+     * depend on besides its own channel's device state: queue contents
+     * (submissions) and the global read/write counts (completions).
+     * Bumped on submit() and finishAccess(); per-channel device-state
+     * changes instead clear that channel's memo directly.
+     */
+    std::uint64_t stateVersion_ = 1;
+    /** Per-channel enqueue version: all a count-insensitive scheduler's
+     *  decision inputs beyond its own device state (cleared directly on
+     *  issues). */
+    std::vector<std::uint64_t> chanVersion_;
+    mutable std::vector<SchedMemo> schedMemo_; //!< per channel
+    bool eventDriven_ = false;
 
     // Observability hooks; null when the respective pillar is off.
     obs::LatencyBreakdown *lat_ = nullptr;

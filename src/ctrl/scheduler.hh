@@ -147,6 +147,62 @@ class Scheduler
     virtual dram::StallCause stallScan(Tick now,
                                        obs::StallAttribution &sink) const;
 
+    /**
+     * Earliest future tick at which this channel might issue a command
+     * or change observable state, assuming no new work arrives: the
+     * cycle-skipping engine's per-channel horizon. Must never overshoot
+     * — returning @p now (skip nothing) is always safe; returning a tick
+     * past an issue, arbitration fill, preemption, or any other state
+     * change is a correctness bug (the equivalence suite catches it).
+     * kTickMax means "idle until new work arrives".
+     *
+     * The default cannot see policy queues, so it is maximally
+     * conservative: @p now whenever any work exists.
+     */
+    virtual Tick
+    nextEventTick(Tick now) const
+    {
+        return hasWork() ? now : kTickMax;
+    }
+
+    /**
+     * Tell the scheduler it is driving the event-driven engine: it may
+     * maintain horizon caches keyed on the monotone evolution of device
+     * timing state (deadlines only move later, except through this
+     * channel's own issues and the refresh engine — see
+     * onExternalCommand()). Off by default so the step engine stays a
+     * cache-free per-cycle reference.
+     */
+    void setEventDriven(bool on) { eventDriven_ = on; }
+
+    /**
+     * The controller's refresh engine issued a command (Precharge or
+     * RefreshAll) on this channel: bank states changed outside the
+     * scheduler's own issue path, so any cached horizon is stale.
+     */
+    virtual void onExternalCommand() {}
+
+    /**
+     * Does the issue decision read state outside this channel — the
+     * global read/write counts (GlobalCounts)? The controller's horizon
+     * memo must then be invalidated whenever those counts change, not
+     * only on this channel's own enqueues and issues. Policies with
+     * write-queue thresholds or drain modes (Intel, Burst) return true.
+     */
+    virtual bool globallySensitive() const { return false; }
+
+    /**
+     * Notify the scheduler that ticks [@p from, @p from + @p span) were
+     * skipped as dead cycles. Policies whose idle tick() has an
+     * idempotent side effect (Burst's last-serviced-bank tracking)
+     * replay it here once; the default idle tick is a pure no-op.
+     */
+    virtual void onIdleSpan(Tick from, Tick span)
+    {
+        (void)from;
+        (void)span;
+    }
+
     /** Burst-invariant audit hook sink; nullptr when auditing is off. */
     void setAuditor(obs::ProtocolAuditor *auditor) { auditor_ = auditor; }
 
@@ -204,6 +260,15 @@ class Scheduler
         return ctx_.mem->whyBlocked(cmd, now);
     }
 
+    /** When @p a's currently-binding constraint expires (see
+     *  MemorySystem::blockedUntil); @p now when already issuable. */
+    Tick
+    blockedUntilFor(const MemAccess *a, Tick now) const
+    {
+        dram::Command cmd{nextCmd(a), a->coords, a->id};
+        return ctx_.mem->blockedUntil(cmd, now);
+    }
+
     /**
      * Issue @p a's next transaction (must be legal). Classifies the row
      * outcome on the access's first transaction and fills in an Issued
@@ -229,6 +294,7 @@ class Scheduler
 
     SchedulerContext ctx_;
     obs::ProtocolAuditor *auditor_ = nullptr;
+    bool eventDriven_ = false; //!< horizon caches allowed (skip engine)
 
   private:
     std::unordered_map<Addr, MemAccess *> latestWrite_;

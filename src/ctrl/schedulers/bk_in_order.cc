@@ -1,19 +1,29 @@
 #include "ctrl/schedulers/bk_in_order.hh"
 
+#include <algorithm>
+
 #include "obs/stall_attribution.hh"
 
 namespace bsim::ctrl
 {
 
 BkInOrderScheduler::BkInOrderScheduler(const SchedulerContext &ctx)
-    : Scheduler(ctx), queues_(numBanks())
+    : Scheduler(ctx), queues_(numBanks()), frontHorizon_(numBanks(), 0)
 {
+    // Horizon-cache soundness bound: a data-bus transfer must cover the
+    // largest turnaround gap, so bus hand-offs can only push a front's
+    // earliest start later, never earlier.
+    const dram::Timing &t = ctx_.mem->config().timing;
+    cacheSafe_ = t.dataCycles() >= std::max(t.tRTRS, t.tRTW);
 }
 
 void
 BkInOrderScheduler::enqueue(MemAccess *a)
 {
-    queues_[bankIndex(a->coords)].push_back(a);
+    const std::uint32_t b = bankIndex(a->coords);
+    if (queues_[b].empty())
+        frontHorizon_[b] = 0; // a new front: cached bound is stale
+    queues_[b].push_back(a);
     if (a->isWrite()) {
         writes_ += 1;
         noteWriteEnqueued(a);
@@ -26,14 +36,25 @@ Scheduler::Issued
 BkInOrderScheduler::tick(Tick now)
 {
     const std::uint32_t n = numBanks();
+    const bool fast = cached();
     for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint32_t b = (rr_ + 1 + i) % n;
         auto &q = queues_[b];
         if (q.empty())
             continue;
+        if (fast && now < frontHorizon_[b])
+            continue; // provably still blocked, skip the timing probe
         MemAccess *a = q.front();
-        if (!canIssueFor(a, now))
+        if (fast) {
+            const Tick until = blockedUntilFor(a, now);
+            if (until > now) {
+                frontHorizon_[b] = until;
+                continue;
+            }
+        } else if (!canIssueFor(a, now)) {
             continue;
+        }
+        frontHorizon_[b] = 0; // issuing changes this bank's state
         Issued out = issueFor(a, now);
         if (out.columnAccess) {
             q.pop_front();
@@ -76,6 +97,41 @@ BkInOrderScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
         }
     }
     return channel_cause;
+}
+
+Tick
+BkInOrderScheduler::nextEventTick(Tick now) const
+{
+    // An idle tick changes nothing (rr_ moves only on issue), so the
+    // horizon is simply when the first bank front's binding constraint
+    // expires. Bank fronts are the only candidates this policy ever
+    // considers.
+    Tick horizon = kTickMax;
+    const bool fast = cached();
+    for (std::uint32_t b = 0; b < std::uint32_t(queues_.size()); ++b) {
+        const auto &q = queues_[b];
+        if (q.empty())
+            continue;
+        Tick t = frontHorizon_[b];
+        if (!fast || t <= now) {
+            t = blockedUntilFor(q.front(), now);
+            if (fast)
+                frontHorizon_[b] = t;
+        }
+        if (t < horizon)
+            horizon = t;
+        if (horizon <= now)
+            return now;
+    }
+    return horizon;
+}
+
+void
+BkInOrderScheduler::onExternalCommand()
+{
+    // Refresh-engine precharges / refreshes changed bank states behind
+    // the scheduler's back; every cached bound may now be wrong.
+    frontHorizon_.assign(frontHorizon_.size(), 0);
 }
 
 void

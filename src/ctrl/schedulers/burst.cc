@@ -348,6 +348,78 @@ BurstScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     return channel_cause;
 }
 
+Tick
+BurstScheduler::nextEventTick(Tick now) const
+{
+    // The Figure 5 bank arbiters run every tick, so skipping is legal
+    // only when no arbiter can make a move: no preemption, no idle bank
+    // that could pick up a write or start a burst. Each possible move
+    // forces one real tick ("return now").
+    const std::size_t global_writes = ctx_.global->writesOutstanding;
+    const bool write_q_full = global_writes >= ctx_.params.writeCap;
+    const std::size_t threshold = effectiveThreshold();
+
+    for (const BankState &bs : banks_) {
+        if (bs.ongoing) {
+            if (ctx_.params.readPreemption && bs.ongoing->isWrite() &&
+                !bs.bursts.empty() && global_writes < threshold)
+                return now; // maybePreempt() would fire
+            continue;
+        }
+        if (!bs.bursts.empty())
+            return now; // arbitrate() would start a burst read
+        if (bs.writeQ.empty())
+            continue;
+        if (write_q_full || reads_ == 0)
+            return now; // arbitrate() would take the oldest write
+        if (ctx_.params.writePiggyback && global_writes > threshold &&
+            bs.endOfBurst) {
+            // Const replay of findPiggybackWrite(): any queued write to
+            // the bank's open row qualifies.
+            const dram::Bank &bank =
+                ctx_.mem->bank(bs.writeQ.front()->coords);
+            if (bank.isOpen())
+                for (const MemAccess *w : bs.writeQ)
+                    if (w->coords.row == bank.openRow())
+                        return now;
+        }
+    }
+
+    Tick horizon = kTickMax;
+    for (const BankState &bs : banks_) {
+        if (!bs.ongoing)
+            continue;
+        const Tick t = blockedUntilFor(bs.ongoing, now);
+        if (t < horizon)
+            horizon = t;
+        if (horizon <= now)
+            return now;
+    }
+    return horizon;
+}
+
+void
+BurstScheduler::onIdleSpan(Tick from, Tick span)
+{
+    (void)from;
+    (void)span;
+    // Figure 6 lines 14-15 run on every idle tick: point the rank/bank
+    // locality state at the oldest ongoing access so it gains Table 2
+    // priority. The ongoing set is frozen across a dead span, so the
+    // per-tick update is idempotent — replay it once.
+    const MemAccess *oldest_any = nullptr;
+    for (const BankState &bs : banks_) {
+        const MemAccess *a = bs.ongoing;
+        if (a && (!oldest_any || a->arrival < oldest_any->arrival))
+            oldest_any = a;
+    }
+    if (oldest_any) {
+        lastBank_ = bankIndex(oldest_any->coords);
+        lastRank_ = oldest_any->coords.rank;
+        lastValid_ = true;
+    }
+}
+
 std::map<std::string, double>
 BurstScheduler::extraStats() const
 {

@@ -52,6 +52,9 @@ class BurstScheduler : public Scheduler
                         std::vector<std::uint32_t> &writes) const override;
     dram::StallCause stallScan(Tick now,
                                obs::StallAttribution &sink) const override;
+    Tick nextEventTick(Tick now) const override;
+    bool globallySensitive() const override { return true; }
+    void onIdleSpan(Tick from, Tick span) override;
 
     /** A cluster of same-row reads within one bank (for tests). */
     struct Burst

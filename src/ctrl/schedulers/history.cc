@@ -166,6 +166,28 @@ AdaptiveHistoryScheduler::stallScan(Tick now,
     return channel_cause;
 }
 
+Tick
+AdaptiveHistoryScheduler::nextEventTick(Tick now) const
+{
+    // Scores and decayed mixes change only when something issues or
+    // arrives, so an idle tick is a pure no-op once every bank with
+    // backlog has an ongoing candidate.
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
+        if (!ongoing_[b] && !queues_[b].empty())
+            return now;
+    Tick horizon = kTickMax;
+    for (const MemAccess *a : ongoing_) {
+        if (!a)
+            continue;
+        const Tick t = blockedUntilFor(a, now);
+        if (t < horizon)
+            horizon = t;
+        if (horizon <= now)
+            return now;
+    }
+    return horizon;
+}
+
 std::map<std::string, double>
 AdaptiveHistoryScheduler::extraStats() const
 {

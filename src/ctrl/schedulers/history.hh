@@ -43,6 +43,7 @@ class AdaptiveHistoryScheduler : public Scheduler
                         std::vector<std::uint32_t> &writes) const override;
     dram::StallCause stallScan(Tick now,
                                obs::StallAttribution &sink) const override;
+    Tick nextEventTick(Tick now) const override;
 
   private:
     /** Select a candidate for bank @p b (row hit first in a window). */

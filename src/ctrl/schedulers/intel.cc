@@ -195,6 +195,62 @@ IntelScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     return dram::StallCause::NoWork;
 }
 
+Tick
+IntelScheduler::nextEventTick(Tick now) const
+{
+    // arbitrate() mutates state even on idle ticks (preemption, drain
+    // flips, filling ongoing slots), so skipping is legal only when the
+    // next arbitration pass is provably a no-op. Each possible move
+    // below forces "return now" — one real tick — instead.
+    const std::size_t global_writes = ctx_.global->writesOutstanding;
+    const bool write_q_full = global_writes >= ctx_.params.writeCap;
+
+    if (ctx_.params.readPreemption && !write_q_full && !drainMode_)
+        for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
+            if (ongoing_[b] && ongoing_[b]->isWrite() &&
+                !readQ_[b].empty())
+                return now;
+
+    // A pending drain-mode flip is itself a state change the next
+    // arbitration pass applies.
+    const bool drain_next =
+        write_q_full
+            ? true
+            : (global_writes <= ctx_.params.writeCap / 2 ? false
+                                                         : drainMode_);
+    if (drain_next != drainMode_)
+        return now;
+
+    std::size_t busy = 0;
+    for (const MemAccess *a : ongoing_)
+        if (a)
+            busy += 1;
+
+    const bool service_writes =
+        !writeQ_.empty() && (drainMode_ || reads_ == 0);
+    if (service_writes && busy < 4)
+        for (const MemAccess *w : writeQ_)
+            if (!ongoing_[bankIndex(w->coords)])
+                return now;
+
+    if (busy < 4) // kMaxOngoing read-fill headroom
+        for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
+            if (!ongoing_[b] && !readQ_[b].empty())
+                return now;
+
+    Tick horizon = kTickMax;
+    for (const MemAccess *a : ongoing_) {
+        if (!a)
+            continue;
+        const Tick t = blockedUntilFor(a, now);
+        if (t < horizon)
+            horizon = t;
+        if (horizon <= now)
+            return now;
+    }
+    return horizon;
+}
+
 std::map<std::string, double>
 IntelScheduler::extraStats() const
 {

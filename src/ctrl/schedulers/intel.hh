@@ -44,6 +44,8 @@ class IntelScheduler : public Scheduler
                         std::vector<std::uint32_t> &writes) const override;
     dram::StallCause stallScan(Tick now,
                                obs::StallAttribution &sink) const override;
+    Tick nextEventTick(Tick now) const override;
+    bool globallySensitive() const override { return true; }
 
   private:
     /** Select ongoing accesses for idle banks; handle preemption. */

@@ -100,6 +100,28 @@ RowHitScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     return channel_cause;
 }
 
+Tick
+RowHitScheduler::nextEventTick(Tick now) const
+{
+    // A tick can still pull backlog into an empty ongoing slot, which is
+    // a real arbitration state change — no skipping until every slot
+    // with backlog is filled.
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
+        if (!ongoing_[b] && !queues_[b].empty())
+            return now;
+    Tick horizon = kTickMax;
+    for (const MemAccess *a : ongoing_) {
+        if (!a)
+            continue;
+        const Tick t = blockedUntilFor(a, now);
+        if (t < horizon)
+            horizon = t;
+        if (horizon <= now)
+            return now;
+    }
+    return horizon;
+}
+
 void
 RowHitScheduler::queueOccupancy(std::vector<std::uint32_t> &reads,
                                 std::vector<std::uint32_t> &writes) const

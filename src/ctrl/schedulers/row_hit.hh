@@ -33,6 +33,7 @@ class RowHitScheduler : public Scheduler
                         std::vector<std::uint32_t> &writes) const override;
     dram::StallCause stallScan(Tick now,
                                obs::StallAttribution &sink) const override;
+    Tick nextEventTick(Tick now) const override;
 
   private:
     /** Pick the next ongoing access for bank @p b (row hit first). */

@@ -42,6 +42,12 @@ class Channel
         return !cmdIssuedYet_ || now > lastCmdAt_;
     }
 
+    /** First tick at which the command bus is (or becomes) free. */
+    Tick cmdBusFreeAt() const
+    {
+        return cmdIssuedYet_ ? lastCmdAt_ + 1 : 0;
+    }
+
     /** Claim the command bus for @p now (asserts it was free). */
     void useCmdBus(Tick now);
 

@@ -169,6 +169,76 @@ MemorySystem::whyBlocked(const Command &cmd, Tick now) const
     return StallCause::WrongState;
 }
 
+Tick
+MemorySystem::blockedUntil(const Command &cmd, Tick now) const
+{
+    // Mirror whyBlocked()'s branch order exactly and return when the
+    // branch that fires there stops firing. Deadline-style constraints
+    // ("now < X") expire at X; WrongState never expires on its own.
+    const Channel &ch = channels_[cmd.at.channel];
+    if (!ch.cmdBusFree(now))
+        return ch.cmdBusFreeAt();
+
+    const Rank &r = ch.rank(cmd.at.rank);
+    const Bank &b = r.bank(cmd.at.bank);
+    const Timing &t = cfg_.timing;
+
+    switch (cmd.type) {
+      case CmdType::Precharge:
+        if (!b.isOpen())
+            return kTickMax;
+        if (now < b.preAllowedAt())
+            return b.preAllowedAt();
+        return now;
+      case CmdType::Activate:
+        if (b.isOpen())
+            return kTickMax;
+        if (now < b.actAllowedAt())
+            return b.actAllowedAt();
+        return r.activateBlockedUntil(now, t);
+      case CmdType::Read:
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return kTickMax;
+        if (now < b.rdAllowedAt())
+            return b.rdAllowedAt();
+        if (!r.canRead(now))
+            return r.readAllowedAt();
+        if (ch.dataStartBlock(now + t.tCL, cmd.at.rank, false, t) !=
+            StallCause::None) {
+            // The reported cause flips from TimingDataBus to
+            // TimingTurnaround when the raw occupancy clears; the
+            // horizon must stop there, not only at full expiry.
+            const Tick expiry =
+                ch.earliestDataStart(cmd.at.rank, false, t) - t.tCL;
+            const Tick flip = ch.dataBusFreeAt() - t.tCL;
+            return flip > now && flip < expiry ? flip : expiry;
+        }
+        return now;
+      case CmdType::Write:
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return kTickMax;
+        if (now < b.wrAllowedAt())
+            return b.wrAllowedAt();
+        if (ch.dataStartBlock(now + t.tWL, cmd.at.rank, true, t) !=
+            StallCause::None) {
+            const Tick expiry =
+                ch.earliestDataStart(cmd.at.rank, true, t) - t.tWL;
+            const Tick flip = ch.dataBusFreeAt() - t.tWL;
+            return flip > now && flip < expiry ? flip : expiry;
+        }
+        return now;
+      case CmdType::RefreshAll: {
+        if (!r.allBanksClosed())
+            return kTickMax;
+        for (std::uint32_t i = 0; i < r.numBanks(); ++i)
+            if (now < r.bank(i).actAllowedAt())
+                return r.bank(i).actAllowedAt();
+        return now;
+      }
+    }
+    return kTickMax;
+}
+
 IssueResult
 MemorySystem::issue(const Command &cmd, Tick now)
 {

@@ -107,6 +107,17 @@ class MemorySystem
      */
     StallCause whyBlocked(const Command &cmd, Tick now) const;
 
+    /**
+     * First tick at which the constraint whyBlocked() reports for @p cmd
+     * expires: @p now when the command may already issue, kTickMax for
+     * WrongState (only another command changes bank state), otherwise
+     * the end of the binding timing window. A later check in the branch
+     * order may still block at that tick — callers re-poll — so the
+     * result may undershoot the true issue tick but never overshoots a
+     * state change (the event-horizon contract; see docs/performance.md).
+     */
+    Tick blockedUntil(const Command &cmd, Tick now) const;
+
     /** Issue @p cmd at @p now; panics if illegal. */
     IssueResult issue(const Command &cmd, Tick now);
 

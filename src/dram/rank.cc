@@ -18,6 +18,24 @@ Rank::activateBlock(Tick now, const Timing &t) const
     return StallCause::None;
 }
 
+Tick
+Rank::activateBlockedUntil(Tick now, const Timing &t) const
+{
+    // Mirror activateBlock()'s check order exactly: the returned tick is
+    // when the *reported* constraint expires, not the overall earliest
+    // legal activate (tFAW may still bind after tRRD clears — callers
+    // re-poll, so a conservative undershoot is correct, an overshoot is
+    // not).
+    if (anyActYet_ && t.tRRD && now < lastActAt_ + t.tRRD)
+        return lastActAt_ + t.tRRD;
+    if (t.tFAW) {
+        const Tick fourth_last = actWindow_[actWindowPos_];
+        if (fourth_last != 0 && now < fourth_last + t.tFAW)
+            return fourth_last + t.tFAW;
+    }
+    return now;
+}
+
 void
 Rank::noteActivate(Tick now, const Timing &t)
 {

@@ -48,8 +48,18 @@ class Rank
      */
     StallCause activateBlock(Tick now, const Timing &t) const;
 
+    /**
+     * First tick at which the constraint reported by activateBlock()
+     * expires: the tRRD window end when tRRD binds, the tFAW window end
+     * when tFAW binds, or @p now when neither blocks.
+     */
+    Tick activateBlockedUntil(Tick now, const Timing &t) const;
+
     /** Rank-level check: may a READ issue at @p now? (tWTR) */
     bool canRead(Tick now) const { return now >= rdAllowedAt_; }
+
+    /** First tick at which the tWTR read gate opens. */
+    Tick readAllowedAt() const { return rdAllowedAt_; }
 
     /** Record an ACTIVATE issued at @p now. */
     void noteActivate(Tick now, const Timing &t);

@@ -55,11 +55,45 @@ StallAttribution::account(std::uint32_t ch, Tick now, bool slot_used,
 }
 
 void
+StallAttribution::accountSpan(std::uint32_t ch, Tick from, Tick span,
+                              StallCause cause)
+{
+    ChannelState &c = chans_[ch];
+    Tick t = from;
+    const Tick end = from + span;
+    while (t < end) {
+        while (!c.pending.empty() && c.pending.front().first <= t) {
+            if (c.pending.front().second > c.busyUntil)
+                c.busyUntil = c.pending.front().second;
+            c.pending.pop_front();
+        }
+        Tick seg_end;
+        StallCause attr;
+        if (t < c.busyUntil) {
+            seg_end = c.busyUntil < end ? c.busyUntil : end;
+            attr = StallCause::DataTransfer;
+        } else {
+            // The attribution can only change where the next booked
+            // burst starts; run this segment up to that edge.
+            seg_end = end;
+            if (!c.pending.empty() && c.pending.front().first < end)
+                seg_end = c.pending.front().first;
+            attr = (cause == StallCause::NoWork && !c.pending.empty())
+                       ? StallCause::PendingData
+                       : cause;
+        }
+        c.counts[std::size_t(attr)] += seg_end - t;
+        c.cycles += seg_end - t;
+        t = seg_end;
+    }
+}
+
+void
 StallAttribution::noteBankStall(std::uint32_t ch, std::uint32_t bank,
                                 StallCause cause)
 {
     bankCounts_[std::size_t(ch) * banksPerChannel_ + bank]
-               [std::size_t(cause)] += 1;
+               [std::size_t(cause)] += bankWeight_;
 }
 
 StallAttribution::Counts

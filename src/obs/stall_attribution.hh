@@ -68,6 +68,25 @@ class StallAttribution
                  dram::StallCause cause);
 
     /**
+     * Bulk-attribute the dead span [@p from, @p from + @p span) on
+     * channel @p ch, exactly as @p span successive account() calls with
+     * an idle slot and the same @p cause would — including segmenting
+     * across booked-burst start and end edges, so DataTransfer /
+     * PendingData precedence is preserved tick for tick. Used by the
+     * cycle-skipping engine; byte-identity with the step engine is
+     * asserted by the equivalence suite.
+     */
+    void accountSpan(std::uint32_t ch, Tick from, Tick span,
+                     dram::StallCause cause);
+
+    /**
+     * Make each subsequent noteBankStall() count for @p w cycles. The
+     * skip engine runs one stallScan for a whole dead span; the per-bank
+     * causes it reports held for every cycle of the span.
+     */
+    void setBankStallWeight(std::uint64_t w) { bankWeight_ = w; }
+
+    /**
      * Deepen a channel-level stall with its per-bank breakdown: bank
      * @p bank (channel-local index) of channel @p ch was blocked by
      * @p cause this cycle. Several banks may stall in the same cycle,
@@ -116,6 +135,7 @@ class StallAttribution
     };
 
     std::vector<ChannelState> chans_;
+    std::uint64_t bankWeight_ = 1;
     std::uint32_t banksPerChannel_;
     std::vector<std::string> bankLabels_; //!< channel-major
     std::vector<Counts> bankCounts_;      //!< channel-major flat

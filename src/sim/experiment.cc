@@ -7,6 +7,7 @@
 
 #include "common/log.hh"
 #include "obs/observability.hh"
+#include "sim/sweep_runner.hh"
 #include "trace/spec_profiles.hh"
 
 namespace bsim::sim
@@ -98,6 +99,7 @@ runExperiment(const ExperimentConfig &cfg)
     sys_cfg.ctrl.criticalFirst = cfg.criticalFirst;
     sys_cfg.ctrl.rankAware = cfg.rankAware;
     sys_cfg.ctrl.coalesceWrites = cfg.coalesceWrites;
+    sys_cfg.engine = cfg.engine;
     if (cfg.robSize)
         sys_cfg.core.robSize = cfg.robSize;
     if (cfg.issueWidth)
@@ -177,11 +179,12 @@ runExperiment(const ExperimentConfig &cfg)
 CmpResult
 runCmpExperiment(const std::vector<std::string> &workloads,
                  ctrl::Mechanism mechanism, std::uint64_t instructions,
-                 std::size_t threshold)
+                 std::size_t threshold, EngineKind engine)
 {
     SystemConfig sys_cfg = SystemConfig::baseline();
     sys_cfg.ctrl.mechanism = mechanism;
     sys_cfg.ctrl.threshold = threshold;
+    sys_cfg.engine = engine;
 
     const std::uint64_t instr =
         instructions ? instructions : defaultInstructions();
@@ -226,18 +229,18 @@ runCmpExperiment(const std::vector<std::string> &workloads,
 std::vector<RunResult>
 runMechanismSweep(const std::string &workload,
                   const std::vector<ctrl::Mechanism> &mechanisms,
-                  std::uint64_t instructions)
+                  std::uint64_t instructions, unsigned jobs,
+                  EngineKind engine)
 {
-    std::vector<RunResult> out;
-    out.reserve(mechanisms.size());
-    for (ctrl::Mechanism m : mechanisms) {
-        ExperimentConfig cfg;
-        cfg.workload = workload;
-        cfg.mechanism = m;
-        cfg.instructions = instructions;
-        out.push_back(runExperiment(cfg));
-    }
-    return out;
+    return SweepRunner(jobs).map<RunResult>(
+        mechanisms.size(), [&](std::size_t i) {
+            ExperimentConfig cfg;
+            cfg.workload = workload;
+            cfg.mechanism = mechanisms[i];
+            cfg.instructions = instructions;
+            cfg.engine = engine;
+            return runExperiment(cfg);
+        });
 }
 
 } // namespace bsim::sim

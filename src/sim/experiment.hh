@@ -44,6 +44,8 @@ struct ExperimentConfig
     dram::PagePolicy pagePolicy = dram::PagePolicy::OpenPage;
     dram::AddressMapKind addressMap = dram::AddressMapKind::PageInterleave;
     DeviceGen device = DeviceGen::DDR2_800;
+    /** Simulation engine; both report identical statistics. */
+    EngineKind engine = EngineKind::Skip;
     /** Organization overrides (0 = keep the Table 3 baseline value). */
     std::uint32_t channels = 0;
     std::uint32_t ranksPerChannel = 0;
@@ -128,13 +130,19 @@ struct CmpResult
 CmpResult runCmpExperiment(const std::vector<std::string> &workloads,
                            ctrl::Mechanism mechanism,
                            std::uint64_t instructions = 0,
-                           std::size_t threshold = 52);
+                           std::size_t threshold = 52,
+                           EngineKind engine = EngineKind::Skip);
 
-/** Run @p workload under every mechanism in @p mechanisms. */
+/**
+ * Run @p workload under every mechanism in @p mechanisms, @p jobs runs
+ * in parallel (0 = one per hardware thread). Results come back in
+ * mechanism order regardless of completion order.
+ */
 std::vector<RunResult> runMechanismSweep(
     const std::string &workload,
     const std::vector<ctrl::Mechanism> &mechanisms,
-    std::uint64_t instructions = 0);
+    std::uint64_t instructions = 0, unsigned jobs = 1,
+    EngineKind engine = EngineKind::Skip);
 
 } // namespace bsim::sim
 

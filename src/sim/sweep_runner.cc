@@ -1,0 +1,62 @@
+#include "sim/sweep_runner.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace bsim::sim
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : jobs_(jobs ? jobs : std::thread::hardware_concurrency())
+{
+    if (jobs_ == 0)
+        jobs_ = 1; // hardware_concurrency() may be unknown
+}
+
+void
+SweepRunner::run(std::size_t count,
+                 const std::function<void(std::size_t)> &fn) const
+{
+    const std::size_t workers =
+        std::size_t(jobs_) < count ? jobs_ : count;
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex mu;
+    std::exception_ptr err;
+
+    const auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> g(mu);
+                if (!err)
+                    err = std::current_exception();
+                next.store(count); // cancel unclaimed work
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 0; w + 1 < workers; ++w)
+        pool.emplace_back(worker);
+    worker(); // this thread participates
+    for (std::thread &t : pool)
+        t.join();
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace bsim::sim

@@ -6,6 +6,12 @@
 namespace bsim::sim
 {
 
+const char *
+engineKindName(EngineKind k)
+{
+    return k == EngineKind::Step ? "step" : "skip";
+}
+
 SystemConfig
 SystemConfig::baseline()
 {
@@ -74,6 +80,7 @@ System::build(const std::vector<trace::TraceSource *> &traces)
 
     mem_ = std::make_unique<dram::MemorySystem>(cfg_.dram);
     ctrl_ = std::make_unique<ctrl::MemoryController>(*mem_, cfg_.ctrl);
+    ctrl_->setEventDriven(cfg_.engine == EngineKind::Skip);
 
     if (cfg_.obs.any()) {
         obs_ = std::make_unique<obs::Observability>(cfg_.obs, cfg_.dram,
@@ -97,9 +104,8 @@ System::build(const std::vector<trace::TraceSource *> &traces)
 
     ctrl_->setReadCallback([this](const ctrl::MemAccess &a, Tick now) {
         // Read data crosses the FSB back to the requesting core.
-        respQueue_.emplace(now + cfg_.fsbLatency,
-                           std::make_pair(a.addr,
-                                          std::uint32_t(a.tag)));
+        respQueue_.push({now + cfg_.fsbLatency, respSeq_++, a.addr,
+                         std::uint32_t(a.tag)});
     });
 }
 
@@ -135,24 +141,19 @@ System::sendWrite(Addr block_addr)
 }
 
 void
-System::tick()
+System::admitFsb()
 {
-    // 1. Deliver read data that has crossed the bus back to its core.
-    while (!respQueue_.empty() && respQueue_.begin()->first <= now_) {
-        const auto [addr, core_id] = respQueue_.begin()->second;
-        cores_[core_id].core->onMemResponse(addr, cpuNow_);
-        respQueue_.erase(respQueue_.begin());
-    }
-
-    // 2. Memory controller cycle (schedules SDRAM transactions).
-    ctrl_->tick(now_);
-
-    // 3. Admit FSB requests round robin across cores. A saturated write
-    //    queue or full pool backs requests up into the per-core FSB
-    //    queues, which in turn stalls caches and pipelines (Section 3.2).
+    // Admit FSB requests round robin across cores. A saturated write
+    // queue or full pool backs requests up into the per-core FSB
+    // queues, which in turn stalls caches and pipelines (Section 3.2).
+    // A full admission-less rotation is a fixed point (queue fronts
+    // only change on a pop, acceptance only tightens), so the loop
+    // stops after one instead of burning n * memQueueCap scans; the
+    // round robin then lands where the exhausted scan would have
+    // (the old bound was a whole number of rotations).
     const std::uint32_t n = numCores();
-    for (std::uint32_t scanned = 0, served = 0;
-         scanned < n * cfg_.memQueueCap && ctrl_->canAccept(); ++scanned) {
+    const std::uint32_t r0 = rrCore_;
+    for (std::uint32_t idle = 0; ctrl_->canAccept();) {
         CoreNode &node = cores_[rrCore_];
         if (!node.fsbQueue.empty() &&
             node.fsbQueue.front().readyAt <= now_) {
@@ -161,25 +162,66 @@ System::tick()
                                      : AccessType::Read,
                           rq.addr, now_, nullptr, rrCore_, rq.critical);
             node.fsbQueue.pop_front();
-            served += 1;
+            idle = 0;
+        } else {
+            idle += 1;
         }
         rrCore_ = (rrCore_ + 1) % n;
-        if (served >= n * cfg_.memQueueCap)
+        if (idle >= n) {
+            rrCore_ = r0;
             break;
+        }
+    }
+}
+
+void
+System::tick()
+{
+    // 1. Deliver read data that has crossed the bus back to its core.
+    while (!respQueue_.empty() && respQueue_.top().at <= now_) {
+        const Response r = respQueue_.top();
+        respQueue_.pop();
+        cores_[r.core].core->onMemResponse(r.addr, cpuNow_);
+        cores_[r.core].quiesceValid = false; // may wake the core
     }
 
+    // 2. Memory controller cycle (schedules SDRAM transactions).
+    ctrl_->tick(now_);
+
+    // 3. FSB admission.
+    admitFsb();
+
     // 4. CPU cycles within this memory cycle, for every running core.
+    const bool ed = cfg_.engine == EngineKind::Skip;
+    const std::uint32_t window = cfg_.cpuCyclesPerMemCycle;
     bool all_done = true;
-    for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t i = 0; i < numCores(); ++i) {
         CoreNode &node = cores_[i];
         if (node.done)
             continue;
-        for (std::uint32_t c = 0; c < cfg_.cpuCyclesPerMemCycle; ++c) {
+        node.quiesceValid = false; // the phase below mutates the core
+        for (std::uint32_t c = 0; c < window; ++c) {
             node.core->cpuCycle(cpuNow_ + c);
             if (node.core->done()) {
                 node.done = true;
                 node.doneAtCpu = cpuNow_ + c + 1;
                 break;
+            }
+            // Skip engine: once the core goes quiescent mid-window with
+            // no local wakeup before the window ends, the remaining CPU
+            // cycles are pure head-stalls (responses arrive only at
+            // tick boundaries) — apply them in bulk. The verdict also
+            // primes the quiescence cache for the next cpuQuiet().
+            if (ed && c + 1 < window &&
+                node.core->quiescentAt(cpuNow_ + c + 1)) {
+                const std::uint64_t ev =
+                    node.core->nextLocalEventCpu(cpuNow_ + c + 1);
+                if (ev >= cpuNow_ + window) {
+                    node.core->skipStallCycles(window - c - 1);
+                    node.quiesceValid = true;
+                    node.quiesceEventCpu = ev;
+                    break;
+                }
             }
         }
         all_done = all_done && node.done;
@@ -190,6 +232,49 @@ System::tick()
         execCpuCycles_ = cpuNow_;
     }
 
+    now_ += 1;
+}
+
+bool
+System::coreQuiescent(CoreNode &node)
+{
+    if (!node.quiesceValid) {
+        if (!node.core->quiescentAt(cpuNow_))
+            return false;
+        node.quiesceEventCpu = node.core->nextLocalEventCpu(cpuNow_);
+        node.quiesceValid = true;
+    }
+    return true;
+}
+
+bool
+System::cpuQuiet()
+{
+    if (!respQueue_.empty() && respQueue_.top().at <= now_)
+        return false;
+    for (CoreNode &node : cores_) {
+        if (node.done)
+            continue;
+        if (!coreQuiescent(node) ||
+            node.quiesceEventCpu < cpuNow_ + cfg_.cpuCyclesPerMemCycle)
+            return false;
+    }
+    return true;
+}
+
+void
+System::fastTick()
+{
+    // cpuQuiet() established: no response due, every running core
+    // quiescent through this tick's whole CPU-cycle window. Each of
+    // those CPU cycles would only bump headStalls_, so apply them in
+    // bulk; the memory side runs exactly as in tick().
+    ctrl_->tick(now_);
+    admitFsb();
+    for (CoreNode &node : cores_)
+        if (!node.done)
+            node.core->skipStallCycles(cfg_.cpuCyclesPerMemCycle);
+    cpuNow_ += cfg_.cpuCyclesPerMemCycle;
     now_ += 1;
 }
 
@@ -205,13 +290,89 @@ System::done() const
 }
 
 Tick
+System::skipHorizon()
+{
+    Tick h = kTickMax;
+    const auto consider = [&h](Tick t) {
+        if (t < h)
+            h = t;
+    };
+
+    // Cores: every running core must be provably quiescent, and its
+    // next self-wakeup bounds the span. CPU cycle e lands in memory
+    // tick now_ + (e - cpuNow_) / cpuCyclesPerMemCycle, which must run
+    // for real.
+    for (CoreNode &node : cores_) {
+        if (node.done)
+            continue;
+        if (!coreQuiescent(node))
+            return now_;
+        if (node.quiesceEventCpu != kTickMax)
+            consider(now_ + (node.quiesceEventCpu - cpuNow_) /
+                                cfg_.cpuCyclesPerMemCycle);
+    }
+
+    // Response delivery, controller activity (completions, refresh,
+    // scheduler issue opportunities, metrics epochs).
+    if (!respQueue_.empty())
+        consider(respQueue_.top().at);
+    consider(ctrl_->nextEventTick(now_));
+
+    // FSB admission: with room in the controller, the next request to
+    // come of age is admitted that very tick. (Without room, the
+    // unblocking issue is already a controller event.)
+    if (ctrl_->canAccept()) {
+        for (const CoreNode &node : cores_)
+            if (!node.fsbQueue.empty())
+                consider(node.fsbQueue.front().readyAt);
+    }
+
+    return h;
+}
+
+void
+System::skipTo(Tick target)
+{
+    const Tick span = target - now_;
+    ctrl_->tickSpan(now_, span);
+    const std::uint64_t cpu_span =
+        std::uint64_t(span) * cfg_.cpuCyclesPerMemCycle;
+    for (CoreNode &node : cores_)
+        if (!node.done)
+            node.core->skipStallCycles(cpu_span);
+    cpuNow_ += cpu_span;
+    now_ = target;
+}
+
+Tick
 System::run(Tick max_ticks)
 {
     const Tick start = now_;
+    const bool skip = cfg_.engine == EngineKind::Skip;
     while (!done()) {
         if (now_ - start >= max_ticks)
             break;
-        tick();
+        if (!skip) {
+            tick();
+            continue;
+        }
+        // With a dead CPU phase the tick degrades to its memory side
+        // plus a bulk stall update; when the memory side is idle too,
+        // the horizon then covers whole spans of such ticks at once.
+        const bool quiet = cpuQuiet();
+        if (quiet)
+            fastTick();
+        else
+            tick();
+        if (done())
+            continue;
+        Tick h = skipHorizon();
+        if (h == kTickMax)
+            continue; // no bounded dead span provable; keep stepping
+        if (h - start > max_ticks)
+            h = start + max_ticks; // stop exactly where stepping would
+        if (h > now_)
+            skipTo(h);
     }
     return now_ - start;
 }

@@ -17,8 +17,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "common/types.hh"
@@ -37,6 +37,22 @@ class Observability;
 namespace bsim::sim
 {
 
+/**
+ * Simulation engine selection.
+ *
+ * Both engines produce bit-identical statistics (asserted by the
+ * engine-equivalence suite); Skip additionally fast-forwards across
+ * provably dead tick spans, so it is the default.
+ */
+enum class EngineKind : std::uint8_t
+{
+    Step, //!< tick-accurate: every memory cycle is simulated
+    Skip, //!< event-driven: dead cycles are batched (same results)
+};
+
+/** Printable engine name. */
+const char *engineKindName(EngineKind k);
+
 /** Complete machine configuration. */
 struct SystemConfig
 {
@@ -53,6 +69,8 @@ struct SystemConfig
     Tick fsbLatency = 2;
     /** Memory bus clock in MHz (for bandwidth reporting). */
     double busMHz = 400.0;
+    /** Simulation engine (results are identical either way). */
+    EngineKind engine = EngineKind::Skip;
 
     /** Observability pillars to enable (all off by default). */
     obs::ObsConfig obs;
@@ -155,9 +173,70 @@ class System
         std::deque<FsbRequest> fsbQueue;
         bool done = false;
         std::uint64_t doneAtCpu = 0;
+
+        /**
+         * Cached quiescence verdict (skip engine). Once a core is
+         * quiescent it stays so until its own wakeup cycle
+         * (quiesceEventCpu) or a memory response; the cache is
+         * invalidated on delivery and after any real CPU phase, so the
+         * per-tick check is O(1) instead of a ROB/pending-load walk.
+         */
+        bool quiesceValid = false;
+        std::uint64_t quiesceEventCpu = 0;
+    };
+
+    /** Read data in flight back to a core. */
+    struct Response
+    {
+        Tick at = 0;           //!< delivery tick
+        std::uint64_t seq = 0; //!< FIFO order among equal delivery ticks
+        Addr addr = 0;
+        std::uint32_t core = 0;
+    };
+
+    /** Min-heap order: earliest delivery tick first, FIFO within a tick. */
+    struct ResponseLater
+    {
+        bool operator()(const Response &a, const Response &b) const
+        {
+            return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+        }
     };
 
     void build(const std::vector<trace::TraceSource *> &traces);
+
+    /** FSB admission (tick step 3), shared by tick() and fastTick(). */
+    void admitFsb();
+
+    /**
+     * Refresh @p node's quiescence cache; false when the core is not
+     * quiescent at cpuNow_.
+     */
+    bool coreQuiescent(CoreNode &node);
+
+    /**
+     * True when this tick's whole CPU phase is provably dead: no
+     * response due and every running core quiescent past the end of
+     * the tick's CPU-cycle window.
+     */
+    bool cpuQuiet();
+
+    /**
+     * tick() with the CPU phase replaced by a bulk head-stall update.
+     * Only legal when cpuQuiet() holds; statistics are identical.
+     */
+    void fastTick();
+
+    /**
+     * Earliest tick >= now_ at which anything observable can happen:
+     * a core leaving quiescence, a response delivery, a controller
+     * event, or an FSB admission. now_ itself when any core is not
+     * quiescent (no skip possible). Assumes tick() has just run.
+     */
+    Tick skipHorizon();
+
+    /** Bulk-apply the dead span [now_, @p target) and jump to it. */
+    void skipTo(Tick target);
 
     SystemConfig cfg_;
     std::unique_ptr<dram::MemorySystem> mem_;
@@ -165,8 +244,9 @@ class System
     std::unique_ptr<obs::Observability> obs_;
     std::vector<CoreNode> cores_;
 
-    /** Read data in flight back to a core: tick -> (addr, core id). */
-    std::multimap<Tick, std::pair<Addr, std::uint32_t>> respQueue_;
+    std::priority_queue<Response, std::vector<Response>, ResponseLater>
+        respQueue_;
+    std::uint64_t respSeq_ = 0;
 
     Tick now_ = 0;
     std::uint64_t cpuNow_ = 0;

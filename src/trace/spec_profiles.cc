@@ -97,6 +97,37 @@ buildProfiles()
     return v;
 }
 
+/**
+ * Microbenchmarks kept out of the figure sweeps. pchase: one dependent
+ * pointer chase (numChains = 1) over a 190 MB footprint with no hot set
+ * and no stores — every load is a serialized main-memory miss, so the
+ * machine alternates long fully-dead stall spans with a handful of real
+ * cycles per miss: the cycle-skipping engine's best case, and the
+ * configuration bench_engine_compare reports as "low-MLP".
+ */
+std::vector<WorkloadProfile>
+buildMicroProfiles()
+{
+    std::vector<WorkloadProfile> v;
+    WorkloadProfile p;
+    p.name = "pchase";
+    p.memFraction = 0.5;
+    p.writeFraction = 0.0;
+    p.hotFraction = 0.0;
+    p.seqFraction = 0.0;
+    p.chaseFraction = 1.0;
+    p.numChains = 1;
+    p.numStreams = 1;
+    p.streamStride = 64;
+    p.footprintBytes = 190 * MB;
+    p.storeStreamBias = 0.0;
+    p.numWriteStreams = 1;
+    p.clusterBlocks = 1;
+    p.regionBase = Addr(16) * 192 * MB; // past the SPEC regions
+    v.push_back(p);
+    return v;
+}
+
 } // namespace
 
 const std::vector<WorkloadProfile> &
@@ -106,10 +137,21 @@ specProfiles()
     return profiles;
 }
 
+const std::vector<WorkloadProfile> &
+microProfiles()
+{
+    static const std::vector<WorkloadProfile> profiles =
+        buildMicroProfiles();
+    return profiles;
+}
+
 const WorkloadProfile &
 profileByName(const std::string &name)
 {
     for (const auto &p : specProfiles())
+        if (p.name == name)
+            return p;
+    for (const auto &p : microProfiles())
         if (p.name == name)
             return p;
     fatal("unknown workload profile '%s'", name.c_str());
@@ -120,6 +162,15 @@ specProfileNames()
 {
     std::vector<std::string> names;
     for (const auto &p : specProfiles())
+        names.push_back(p.name);
+    return names;
+}
+
+std::vector<std::string>
+microProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : microProfiles())
         names.push_back(p.name);
     return names;
 }

@@ -19,11 +19,22 @@ namespace bsim::trace
 /** All 16 modelled benchmarks, in the paper's figure order. */
 const std::vector<WorkloadProfile> &specProfiles();
 
-/** Profile by benchmark name; fatal() on unknown names. */
+/**
+ * Synthetic microbenchmarks outside the paper's figure set (so figure
+ * sweeps stay 16-wide): currently `pchase`, a single serialized pointer
+ * chase over a cache-hostile footprint — the canonical MLP=1 workload
+ * used to benchmark the cycle-skipping engine.
+ */
+const std::vector<WorkloadProfile> &microProfiles();
+
+/** Profile by name (SPEC set or microbenchmark); fatal() on unknown. */
 const WorkloadProfile &profileByName(const std::string &name);
 
 /** Names of all modelled benchmarks, in figure order. */
 std::vector<std::string> specProfileNames();
+
+/** Names of the synthetic microbenchmarks. */
+std::vector<std::string> microProfileNames();
 
 } // namespace bsim::trace
 

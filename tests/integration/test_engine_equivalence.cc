@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Engine equivalence: the event-driven cycle-skipping engine must be
+ * byte-identical to the tick-accurate step engine — not approximately
+ * equal, identical. Every statistic the simulator can emit (result
+ * JSON, stall-attribution JSON, metrics time series) is compared as a
+ * rendered string across the five scheduler classes, single-core and
+ * CMP, DDR2-800 and DDR-266, with and without observability pillars.
+ *
+ * This suite is what licenses every horizon shortcut in the skip
+ * engine: a scheduler nextEventTick() that overshoots, a stale horizon
+ * memo, or a non-idempotent idle-span replay shows up here as a
+ * one-byte diff.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "obs/observability.hh"
+#include "sim/experiment.hh"
+#include "sim/report.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+namespace
+{
+
+constexpr std::uint64_t kInstr = 20'000;
+
+/** The five scheduler classes (one per scheduler implementation). */
+const ctrl::Mechanism kSchedulerClasses[] = {
+    ctrl::Mechanism::BkInOrder,       ctrl::Mechanism::RowHit,
+    ctrl::Mechanism::Intel,           ctrl::Mechanism::Burst,
+    ctrl::Mechanism::AdaptiveHistory,
+};
+
+std::string
+resultJson(const RunResult &r)
+{
+    std::ostringstream os;
+    writeResultJson(os, r);
+    return os.str();
+}
+
+RunResult
+runWith(ExperimentConfig cfg, EngineKind engine)
+{
+    cfg.engine = engine;
+    return runExperiment(cfg);
+}
+
+} // namespace
+
+class EveryPair
+    : public testing::TestWithParam<std::tuple<ctrl::Mechanism, std::string>>
+{
+};
+
+TEST_P(EveryPair, ResultJsonByteIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.mechanism = std::get<0>(GetParam());
+    cfg.workload = std::get<1>(GetParam());
+    cfg.instructions = kInstr;
+
+    const RunResult step = runWith(cfg, EngineKind::Step);
+    const RunResult skip = runWith(cfg, EngineKind::Skip);
+
+    EXPECT_EQ(step.execCpuCycles, skip.execCpuCycles);
+    EXPECT_EQ(step.memCycles, skip.memCycles);
+    EXPECT_EQ(resultJson(step), resultJson(skip));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EveryPair,
+    testing::Combine(testing::ValuesIn(kSchedulerClasses),
+                     testing::Values(std::string("mcf"),
+                                     std::string("swim"),
+                                     std::string("gzip"))),
+    [](const auto &info) {
+        return std::string(ctrl::mechanismName(std::get<0>(info.param))) +
+               "_" + std::get<1>(info.param);
+    });
+
+TEST(EngineEquivalence, LowMlpMicrobenchmark)
+{
+    // pchase maximizes the skipped-span fraction: the most aggressive
+    // exercise of the horizon machinery.
+    for (auto m : {ctrl::Mechanism::BkInOrder, ctrl::Mechanism::BurstTH}) {
+        ExperimentConfig cfg;
+        cfg.workload = "pchase";
+        cfg.mechanism = m;
+        cfg.instructions = kInstr;
+        const RunResult step = runWith(cfg, EngineKind::Step);
+        const RunResult skip = runWith(cfg, EngineKind::Skip);
+        EXPECT_EQ(resultJson(step), resultJson(skip))
+            << ctrl::mechanismName(m);
+    }
+}
+
+TEST(EngineEquivalence, Ddr266ByteIdentical)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.device = DeviceGen::DDR_266;
+    cfg.instructions = kInstr;
+    const RunResult step = runWith(cfg, EngineKind::Step);
+    const RunResult skip = runWith(cfg, EngineKind::Skip);
+    EXPECT_EQ(resultJson(step), resultJson(skip));
+}
+
+TEST(EngineEquivalence, ObservabilityPillarsByteIdentical)
+{
+    // Stall attribution forces the per-tick stall scan (the lazy
+    // horizon-memo path is off), but spans are still skipped with bulk
+    // attribution; every pillar's export must not notice.
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = ctrl::Mechanism::BurstTH;
+    cfg.instructions = kInstr;
+    cfg.obs.latencyBreakdown = true;
+    cfg.obs.metricsInterval = 512;
+    cfg.obs.stallAttribution = true;
+    cfg.obs.audit = obs::AuditMode::Warn;
+
+    const RunResult step = runWith(cfg, EngineKind::Step);
+    const RunResult skip = runWith(cfg, EngineKind::Skip);
+
+    EXPECT_EQ(resultJson(step), resultJson(skip));
+
+    ASSERT_NE(step.obs, nullptr);
+    ASSERT_NE(skip.obs, nullptr);
+    const auto render = [](const obs::Observability &o, auto writer) {
+        std::ostringstream os;
+        (o.*writer)(os);
+        return os.str();
+    };
+    EXPECT_EQ(render(*step.obs, &obs::Observability::writeStallJson),
+              render(*skip.obs, &obs::Observability::writeStallJson));
+    EXPECT_EQ(render(*step.obs, &obs::Observability::writeMetricsJson),
+              render(*skip.obs, &obs::Observability::writeMetricsJson));
+
+    // And the skip engine must not bend the DDR2 protocol to get there.
+    EXPECT_EQ(step.obs->auditor()->violationCount(), 0u);
+    EXPECT_EQ(skip.obs->auditor()->violationCount(), 0u);
+}
+
+TEST(EngineEquivalence, CmpByteIdentical)
+{
+    const std::vector<std::string> wls = {"swim", "mcf"};
+    const CmpResult step = runCmpExperiment(
+        wls, ctrl::Mechanism::BurstTH, kInstr, 52, EngineKind::Step);
+    const CmpResult skip = runCmpExperiment(
+        wls, ctrl::Mechanism::BurstTH, kInstr, 52, EngineKind::Skip);
+
+    const auto render = [](const CmpResult &r) {
+        std::ostringstream os;
+        writeCmpResultJson(os, r);
+        return os.str();
+    };
+    EXPECT_EQ(step.execCpuCycles, skip.execCpuCycles);
+    EXPECT_EQ(render(step), render(skip));
+}
+
+TEST(SweepRunnerDeterminism, JobsDoNotChangeResults)
+{
+    // The same sweep on one worker and on eight must aggregate to
+    // byte-identical results in the same order — completion-order
+    // independence is the SweepRunner's contract.
+    const std::vector<ctrl::Mechanism> mechs(
+        std::begin(ctrl::kAllMechanisms), std::end(ctrl::kAllMechanisms));
+    const auto serial = runMechanismSweep("gzip", mechs, kInstr, 1);
+    const auto parallel = runMechanismSweep("gzip", mechs, kInstr, 8);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].mechanism, parallel[i].mechanism);
+        EXPECT_EQ(resultJson(serial[i]), resultJson(parallel[i]))
+            << ctrl::mechanismName(mechs[i]);
+    }
+}
+
+TEST(SweepRunnerDeterminism, MapPreservesIndexOrder)
+{
+    SweepRunner pool(4);
+    const auto out = pool.map<int>(64, [](std::size_t i) {
+        return int(i) * 3; // trivially index-dependent
+    });
+    ASSERT_EQ(out.size(), 64u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], int(i) * 3);
+}

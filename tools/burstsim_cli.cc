@@ -41,6 +41,17 @@ splitCommas(const std::string &s)
     return out;
 }
 
+sim::EngineKind
+parseEngine(const ArgParser &args)
+{
+    const std::string &e = args.str("engine");
+    if (e == "step")
+        return sim::EngineKind::Step;
+    if (e != "skip")
+        fatal("--engine must be 'step' or 'skip'");
+    return sim::EngineKind::Skip;
+}
+
 sim::ExperimentConfig
 configFrom(const ArgParser &args)
 {
@@ -70,6 +81,7 @@ configFrom(const ArgParser &args)
         cfg.device = sim::DeviceGen::DDR_266;
     else if (dev != "ddr2-800")
         fatal("--device must be 'ddr2-800' or 'ddr-266'");
+    cfg.engine = parseEngine(args);
     cfg.dynamicThreshold = args.flag("dynamic-threshold");
     cfg.sortBurstsBySize = args.flag("sort-bursts");
     cfg.criticalFirst = args.flag("critical-first");
@@ -130,6 +142,11 @@ main(int argc, char **argv)
                    "open | cpa | predictive");
     args.addOption("map", "page", "page | block | bitrev | perm");
     args.addOption("device", "ddr2-800", "ddr2-800 | ddr-266");
+    args.addOption("engine", "skip",
+                   "simulation engine: skip (event-driven, default) | "
+                   "step (tick-accurate); identical results");
+    args.addOption("jobs", "1",
+                   "parallel runs in --sweep mode (0 = all cores)");
     args.addOption("cmp", "",
                    "comma-separated workloads, one core each (CMP mode)");
     args.addFlag("sweep", "run all eight mechanisms and compare");
@@ -164,6 +181,9 @@ main(int argc, char **argv)
         std::cout << "workloads:";
         for (const auto &w : trace::specProfileNames())
             std::cout << ' ' << w;
+        std::cout << "\nmicrobenchmarks:";
+        for (const auto &w : trace::microProfileNames())
+            std::cout << ' ' << w;
         std::cout << "\nmechanisms:";
         for (auto m : ctrl::kAllMechanisms)
             std::cout << ' ' << ctrl::mechanismName(m);
@@ -176,7 +196,8 @@ main(int argc, char **argv)
         const auto wls = splitCommas(args.str("cmp"));
         const auto r = sim::runCmpExperiment(
             wls, ctrl::parseMechanism(args.str("mechanism")),
-            args.u64("instructions"), args.u64("threshold"));
+            args.u64("instructions"), args.u64("threshold"),
+            parseEngine(args));
         if (args.flag("json")) {
             sim::writeCmpResultJson(std::cout, r);
         } else {
@@ -194,7 +215,8 @@ main(int argc, char **argv)
             std::begin(ctrl::kAllMechanisms),
             std::end(ctrl::kAllMechanisms));
         const auto results = sim::runMechanismSweep(
-            args.str("workload"), mechs, args.u64("instructions"));
+            args.str("workload"), mechs, args.u64("instructions"),
+            unsigned(args.u64("jobs")), parseEngine(args));
         Table t;
         t.header({"mechanism", "exec cycles", "norm", "read lat",
                   "write lat", "row hit", "GB/s"});
