@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <ostream>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim
@@ -116,7 +117,7 @@ ArgParser::u64(const std::string &name) const
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
     if (end == s.c_str() || *end != '\0')
-        fatal("option --%s: '%s' is not a number", name.c_str(),
+        throwSimError(ErrorCategory::Config, "option --%s: '%s' is not a number", name.c_str(),
               s.c_str());
     return v;
 }

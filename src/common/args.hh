@@ -52,7 +52,8 @@ class ArgParser
     /** String option value (default when absent). */
     const std::string &str(const std::string &name) const;
 
-    /** Unsigned option value; fatal() on non-numeric input. */
+    /** Unsigned option value; throws SimError(ErrorCategory::Config) on
+     *  non-numeric input. */
     std::uint64_t u64(const std::string &name) const;
 
     /** Positional arguments (everything not starting with --). */

@@ -1,0 +1,67 @@
+#include "common/error.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace bsim
+{
+
+const char *
+errorCategoryName(ErrorCategory cat)
+{
+    switch (cat) {
+      case ErrorCategory::Config: return "config";
+      case ErrorCategory::Trace: return "trace";
+      case ErrorCategory::Protocol: return "protocol";
+      case ErrorCategory::Resource: return "resource";
+      case ErrorCategory::Internal: return "internal";
+    }
+    return "?";
+}
+
+ErrorCategory
+parseErrorCategory(const std::string &name)
+{
+    for (ErrorCategory cat :
+         {ErrorCategory::Config, ErrorCategory::Trace,
+          ErrorCategory::Protocol, ErrorCategory::Resource,
+          ErrorCategory::Internal}) {
+        if (name == errorCategoryName(cat))
+            return cat;
+    }
+    throwSimError(ErrorCategory::Config, "unknown error category '%s'",
+                  name.c_str());
+}
+
+bool
+errorCategoryTransient(ErrorCategory cat)
+{
+    return cat == ErrorCategory::Resource;
+}
+
+std::string
+SimError::describe() const
+{
+    std::string out = "[";
+    out += errorCategoryName(category_);
+    out += "] ";
+    out += what();
+    if (!context_.empty()) {
+        out += "\n";
+        out += context_;
+    }
+    return out;
+}
+
+void
+throwSimError(ErrorCategory cat, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    throw SimError(cat, buf);
+}
+
+} // namespace bsim

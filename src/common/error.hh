@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Structured simulator errors.
+ *
+ * Library code never terminates the process on a user-visible failure:
+ * it throws SimError, an exception carrying an error *category* plus an
+ * optional multi-line diagnostic context (e.g. the watchdog's queue
+ * snapshot). Deciding what a failure means — exit, retry, mark the
+ * sweep slot failed and move on — is the caller's job, and process exit
+ * belongs solely to the CLI top level.
+ *
+ * panic() (common/log.hh) remains for internal invariant violations
+ * that indicate memory corruption or logic bugs where unwinding is not
+ * meaningful; fatal() remains for CLI-level code that owns the process.
+ */
+
+#ifndef BURSTSIM_COMMON_ERROR_HH
+#define BURSTSIM_COMMON_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bsim
+{
+
+/**
+ * What kind of failure a SimError reports — the unit of policy for the
+ * sweep runner's containment and retry decisions.
+ */
+enum class ErrorCategory : std::uint8_t
+{
+    Config,   //!< invalid configuration / parameters (permanent)
+    Trace,    //!< malformed or unreadable workload trace (permanent)
+    Protocol, //!< DDR protocol audit violation (permanent)
+    Resource, //!< environment: I/O, deadlines, exhaustion (transient)
+    Internal, //!< simulator defect detected at runtime (permanent)
+};
+
+/** Lower-case category name ("config", "trace", ...). */
+const char *errorCategoryName(ErrorCategory cat);
+
+/** Parse a category name; throws SimError(Config) on unknown input. */
+ErrorCategory parseErrorCategory(const std::string &name);
+
+/**
+ * Is the category worth retrying? Only Resource failures are assumed
+ * transient (a busy filesystem, a missed deadline under load); all
+ * other categories are deterministic properties of the input and would
+ * fail identically on every attempt.
+ */
+bool errorCategoryTransient(ErrorCategory cat);
+
+/** A recoverable simulator error with category and diagnostic context. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorCategory category, const std::string &message,
+             std::string context = "")
+        : std::runtime_error(message), category_(category),
+          context_(std::move(context))
+    {}
+
+    /** The failure's category (drives retry / containment policy). */
+    ErrorCategory category() const { return category_; }
+
+    /** Multi-line diagnostic payload (may be empty). */
+    const std::string &context() const { return context_; }
+
+    /** "[category] message" plus the context block when present. */
+    std::string describe() const;
+
+  private:
+    ErrorCategory category_;
+    std::string context_;
+};
+
+/** Throw a SimError with a printf-formatted message. */
+[[noreturn]] void throwSimError(ErrorCategory cat, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_ERROR_HH

@@ -1,5 +1,6 @@
 #include "cpu/cache.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::cpu
@@ -11,7 +12,7 @@ std::uint32_t
 log2Exact(std::uint64_t v, const char *what)
 {
     if (v == 0 || (v & (v - 1)) != 0)
-        fatal("cache: %s (%llu) must be a power of two", what,
+        throwSimError(ErrorCategory::Config, "cache: %s (%llu) must be a power of two", what,
               static_cast<unsigned long long>(v));
     std::uint32_t b = 0;
     while ((std::uint64_t(1) << b) < v)

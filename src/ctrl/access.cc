@@ -1,5 +1,6 @@
 #include "ctrl/access.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::ctrl
@@ -28,7 +29,7 @@ parseMechanism(const std::string &name)
     for (Mechanism m : kExtendedMechanisms)
         if (name == mechanismName(m))
             return m;
-    fatal("unknown mechanism '%s'", name.c_str());
+    throwSimError(ErrorCategory::Config, "unknown mechanism '%s'", name.c_str());
 }
 
 } // namespace bsim::ctrl

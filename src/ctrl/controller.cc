@@ -1,5 +1,6 @@
 #include "ctrl/controller.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "ctrl/schedulers/factory.hh"
 #include "obs/observability.hh"
@@ -84,8 +85,9 @@ MemoryController::MemoryController(dram::MemorySystem &mem,
     : mem_(mem), cfg_(cfg)
 {
     if (cfg_.writeCap > cfg_.poolCap)
-        fatal("controller: writeCap (%zu) exceeds poolCap (%zu)",
-              cfg_.writeCap, cfg_.poolCap);
+        throwSimError(ErrorCategory::Config,
+                      "controller: writeCap (%zu) exceeds poolCap (%zu)",
+                      cfg_.writeCap, cfg_.poolCap);
 
     const auto &dcfg = mem_.config();
     stats_.bankRowHits.assign(std::size_t(dcfg.channels) *
@@ -98,7 +100,15 @@ MemoryController::MemoryController(dram::MemorySystem &mem,
         ctx.channel = ch;
         ctx.global = &counts_;
         ctx.params = cfg_.schedulerParams();
-        schedulers_.push_back(makeScheduler(cfg_.mechanism, ctx));
+        auto sched = cfg_.schedulerFactory
+                         ? cfg_.schedulerFactory(cfg_.mechanism, ctx)
+                         : makeScheduler(cfg_.mechanism, ctx);
+        if (!sched)
+            throwSimError(ErrorCategory::Config,
+                          "controller: scheduler factory returned null "
+                          "for channel %u",
+                          ch);
+        schedulers_.push_back(std::move(sched));
     }
 
     schedMemo_.resize(dcfg.channels);
@@ -564,6 +574,75 @@ MemoryController::schedulerStats() const
         for (const auto &[k, v] : s->extraStats())
             merged[k] += v;
     return merged;
+}
+
+std::string
+MemoryController::progressSnapshot(Tick now) const
+{
+    const auto &dcfg = mem_.config();
+    char line[160];
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "controller @%llu: pool %zu/%zu (reads %zu, writes "
+                  "%zu), pending data transfers %zu, completed r/w/fwd "
+                  "%llu/%llu/%llu",
+                  static_cast<unsigned long long>(now), inflight_.size(),
+                  cfg_.poolCap, counts_.readsOutstanding,
+                  counts_.writesOutstanding, pendingReads_.size(),
+                  static_cast<unsigned long long>(stats_.reads),
+                  static_cast<unsigned long long>(stats_.writes),
+                  static_cast<unsigned long long>(stats_.forwardedReads));
+    out += line;
+    if (!pendingReads_.empty()) {
+        std::snprintf(line, sizeof(line),
+                      "\n  next data completion @%llu",
+                      static_cast<unsigned long long>(
+                          pendingReads_.begin()->first));
+        out += line;
+    }
+    for (std::uint32_t ch = 0; ch < schedulers_.size(); ++ch) {
+        const Scheduler &s = *schedulers_[ch];
+        const Tick ev = s.nextEventTick(now);
+        std::snprintf(line, sizeof(line),
+                      "\n  ch%u: queued reads %zu, writes %zu, "
+                      "hasWork %d, nextEvent %s",
+                      ch, s.readCount(), s.writeCount(),
+                      int(s.hasWork()),
+                      ev == kTickMax
+                          ? "idle"
+                          : std::to_string(
+                                static_cast<unsigned long long>(ev))
+                                .c_str());
+        out += line;
+        for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
+            const auto &rf = refresh_[ch * dcfg.ranksPerChannel + r];
+            std::snprintf(line, sizeof(line),
+                          "\n    rank%u: refresh %s, next due @%llu", r,
+                          rf.pending ? "PENDING" : "idle",
+                          static_cast<unsigned long long>(rf.nextDue));
+            out += line;
+            for (std::uint32_t b = 0; b < dcfg.banksPerRank; ++b) {
+                const dram::Bank &bank =
+                    mem_.bank({ch, r, b, 0, 0});
+                if (!bank.isOpen())
+                    continue;
+                std::snprintf(line, sizeof(line),
+                              "\n      bank%u: open row %u (act>=%llu "
+                              "pre>=%llu rd>=%llu wr>=%llu)",
+                              b, bank.openRow(),
+                              static_cast<unsigned long long>(
+                                  bank.actAllowedAt()),
+                              static_cast<unsigned long long>(
+                                  bank.preAllowedAt()),
+                              static_cast<unsigned long long>(
+                                  bank.rdAllowedAt()),
+                              static_cast<unsigned long long>(
+                                  bank.wrAllowedAt()));
+                out += line;
+            }
+        }
+    }
+    return out;
 }
 
 } // namespace bsim::ctrl

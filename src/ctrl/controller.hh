@@ -61,6 +61,18 @@ struct ControllerConfig
     bool criticalFirst = false;
     bool rankAware = true;
 
+    /**
+     * Optional scheduler factory override. When set, the controller
+     * builds each channel's scheduler through this hook instead of the
+     * built-in makeScheduler() — the injection point for custom
+     * policies and for the fault-injection harness (e.g. wrapping a
+     * real scheduler in ctrl::FaultyScheduler to exercise the
+     * forward-progress watchdog).
+     */
+    std::function<std::unique_ptr<Scheduler>(Mechanism,
+                                             const SchedulerContext &)>
+        schedulerFactory;
+
     /** Derive per-channel scheduler parameters for this mechanism. */
     SchedulerParams schedulerParams() const;
 };
@@ -218,6 +230,15 @@ class MemoryController
      * ceil(cycles / interval) rows.
      */
     void flushMetrics(Tick end);
+
+    /**
+     * Human-readable queue/bank snapshot for hang diagnostics: global
+     * occupancy, per-channel scheduler queue depths and event horizons,
+     * refresh engine state, and open-row state of every bank with
+     * pending work. Attached as context to the forward-progress
+     * watchdog's SimError; never called on the hot path.
+     */
+    std::string progressSnapshot(Tick now) const;
 
   private:
     /** Per-(channel,rank) refresh engine state. */

@@ -123,8 +123,10 @@ class Scheduler
     /**
      * Latest still-queued write covering block @p block_base, for read
      * forwarding (paper Figure 4, lines 2-4); nullptr when none.
+     * Virtual so decorating schedulers (e.g. the fault-injection
+     * wrapper) can delegate to the wrapped policy's index.
      */
-    MemAccess *
+    virtual MemAccess *
     findWrite(Addr block_base) const
     {
         auto it = latestWrite_.find(block_base);

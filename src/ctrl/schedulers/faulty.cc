@@ -1,0 +1,50 @@
+#include "ctrl/schedulers/faulty.hh"
+
+namespace bsim::ctrl
+{
+
+FaultyScheduler::FaultyScheduler(const SchedulerContext &ctx,
+                                 std::unique_ptr<Scheduler> inner,
+                                 std::uint64_t freezeAfter)
+    : Scheduler(ctx), inner_(std::move(inner)), freezeAfter_(freezeAfter)
+{
+}
+
+Scheduler::Issued
+FaultyScheduler::tick(Tick now)
+{
+    if (frozen())
+        return {};
+    Issued issued = inner_->tick(now);
+    if (issued.columnAccess)
+        issued_ += 1;
+    return issued;
+}
+
+std::map<std::string, double>
+FaultyScheduler::extraStats() const
+{
+    auto stats = inner_->extraStats();
+    stats["faultFrozen"] = frozen() ? 1.0 : 0.0;
+    stats["faultIssued"] = double(issued_);
+    return stats;
+}
+
+dram::StallCause
+FaultyScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
+{
+    if (frozen())
+        return hasWork() ? dram::StallCause::ArbLoss
+                         : dram::StallCause::NoWork;
+    return inner_->stallScan(now, sink);
+}
+
+Tick
+FaultyScheduler::nextEventTick(Tick now) const
+{
+    if (frozen())
+        return hasWork() ? now : kTickMax;
+    return inner_->nextEventTick(now);
+}
+
+} // namespace bsim::ctrl

@@ -1,5 +1,6 @@
 #include "dram/address_map.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::dram
@@ -47,7 +48,7 @@ DramConfig::validate() const
     timing.validate();
     if (!channels || !ranksPerChannel || !banksPerRank || !rowsPerBank ||
         !blocksPerRow || !blockBytes) {
-        fatal("dram config: all dimensions must be nonzero");
+        throwSimError(ErrorCategory::Config, "dram config: all dimensions must be nonzero");
     }
     // AddressMap enforces power-of-two-ness with better messages.
 }
@@ -56,7 +57,7 @@ std::uint32_t
 AddressMap::log2Exact(std::uint64_t v, const char *what)
 {
     if (v == 0 || (v & (v - 1)) != 0)
-        fatal("address map: %s (%llu) must be a power of two", what,
+        throwSimError(ErrorCategory::Config, "address map: %s (%llu) must be a power of two", what,
               static_cast<unsigned long long>(v));
     std::uint32_t b = 0;
     while ((std::uint64_t(1) << b) < v)

@@ -75,7 +75,7 @@ struct DramConfig
                blockBytes;
     }
 
-    /** Validate; calls fatal() on inconsistent configuration. */
+    /** Validate; throws SimError(ErrorCategory::Config) when inconsistent. */
     void validate() const;
 };
 

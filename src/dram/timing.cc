@@ -1,5 +1,6 @@
 #include "dram/timing.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::dram
@@ -9,18 +10,18 @@ void
 Timing::validate() const
 {
     if (burstLength == 0 || burstLength % 2)
-        fatal("timing '%s': burstLength must be a positive even number",
+        throwSimError(ErrorCategory::Config, "timing '%s': burstLength must be a positive even number",
               name.c_str());
     if (tCL == 0 || tRCD == 0 || tRP == 0)
-        fatal("timing '%s': tCL/tRCD/tRP must be nonzero", name.c_str());
+        throwSimError(ErrorCategory::Config, "timing '%s': tCL/tRCD/tRP must be nonzero", name.c_str());
     if (tRC < tRAS)
-        fatal("timing '%s': tRC (%u) must be >= tRAS (%u)", name.c_str(),
+        throwSimError(ErrorCategory::Config, "timing '%s': tRC (%u) must be >= tRAS (%u)", name.c_str(),
               tRC, tRAS);
     if (tWL >= tCL + 1)
-        fatal("timing '%s': tWL (%u) must be <= tCL (%u)", name.c_str(),
+        throwSimError(ErrorCategory::Config, "timing '%s': tWL (%u) must be <= tCL (%u)", name.c_str(),
               tWL, tCL);
     if (tREFI != 0 && tRFC >= tREFI)
-        fatal("timing '%s': tRFC (%u) must be < tREFI (%u)", name.c_str(),
+        throwSimError(ErrorCategory::Config, "timing '%s': tRFC (%u) must be < tREFI (%u)", name.c_str(),
               tRFC, tREFI);
 }
 

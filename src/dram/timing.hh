@@ -70,7 +70,8 @@ struct Timing
         return lat;
     }
 
-    /** Validate internal consistency; calls fatal() on bad user config. */
+    /** Validate internal consistency; throws SimError(ErrorCategory::Config)
+     *  on bad user configuration. */
     void validate() const;
 
     /** DDR2-800 / PC2-6400 5-5-5 (baseline machine of Table 3). */

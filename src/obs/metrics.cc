@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
 #include "dram/stall.hh"
@@ -15,7 +16,7 @@ MetricsSampler::MetricsSampler(Tick interval,
     : interval_(interval), labels_(std::move(bank_labels))
 {
     if (!interval_)
-        fatal("metrics sampler: interval must be nonzero");
+        throwSimError(ErrorCategory::Config, "metrics sampler: interval must be nonzero");
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::obs
@@ -50,7 +51,7 @@ void
 Observability::writeChromeTrace(std::ostream &os) const
 {
     if (!log_)
-        fatal("observability: chrome trace requested without commandTrace");
+        throwSimError(ErrorCategory::Config, "observability: chrome trace requested without commandTrace");
     ChromeTraceOptions opts;
     opts.busClock.mhz = busMHz_;
     obs::writeChromeTrace(os, *log_, dram_, sampler_.get(), opts);
@@ -60,7 +61,7 @@ void
 Observability::writeMetricsCsv(std::ostream &os) const
 {
     if (!sampler_)
-        fatal("observability: metrics requested without a sampler");
+        throwSimError(ErrorCategory::Config, "observability: metrics requested without a sampler");
     sampler_->writeCsv(os);
 }
 
@@ -68,7 +69,7 @@ void
 Observability::writeMetricsJson(std::ostream &os) const
 {
     if (!sampler_)
-        fatal("observability: metrics requested without a sampler");
+        throwSimError(ErrorCategory::Config, "observability: metrics requested without a sampler");
     sampler_->writeJson(os);
 }
 
@@ -76,7 +77,7 @@ void
 Observability::writeStallJson(std::ostream &os) const
 {
     if (!stalls_)
-        fatal("observability: stall output requested without attribution");
+        throwSimError(ErrorCategory::Config, "observability: stall output requested without attribution");
     stalls_->writeJson(os);
 }
 
@@ -84,7 +85,7 @@ void
 Observability::writeStallText(std::ostream &os) const
 {
     if (!stalls_)
-        fatal("observability: stall output requested without attribution");
+        throwSimError(ErrorCategory::Config, "observability: stall output requested without attribution");
     stalls_->writeText(os);
 }
 

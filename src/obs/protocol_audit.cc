@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/error.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 
@@ -103,16 +104,16 @@ ProtocolAuditor::flag(Tick at, CmdType type, const Coords &coords,
         v.detail = detail;
         violations_.push_back(std::move(v));
     }
+    char msg[512];
+    std::snprintf(msg, sizeof(msg),
+                  "audit: %s violation at tick %llu: %s ch%u r%u b%u "
+                  "row%u: %s",
+                  rule, static_cast<unsigned long long>(at), cmdName(type),
+                  coords.channel, coords.rank, coords.bank, coords.row,
+                  detail.c_str());
     if (mode_ == AuditMode::Fatal)
-        fatal("audit: %s violation at tick %llu: %s ch%u r%u b%u row%u: "
-              "%s",
-              rule, static_cast<unsigned long long>(at), cmdName(type),
-              coords.channel, coords.rank, coords.bank, coords.row,
-              detail.c_str());
-    warn("audit: %s violation at tick %llu: %s ch%u r%u b%u row%u: %s",
-         rule, static_cast<unsigned long long>(at), cmdName(type),
-         coords.channel, coords.rank, coords.bank, coords.row,
-         detail.c_str());
+        throw SimError(ErrorCategory::Protocol, msg);
+    warn("%s", msg);
 }
 
 void

@@ -5,10 +5,12 @@
 
 #include "common/rng.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 #include "obs/observability.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/spec_profiles.hh"
+#include "trace/trace_file.hh"
 
 namespace bsim::sim
 {
@@ -123,23 +125,44 @@ runExperiment(const ExperimentConfig &cfg)
         sys_cfg.cpuCyclesPerMemCycle = 30; // 4 GHz / 133 MHz
     }
 
-    const std::uint64_t instructions =
+    sys_cfg.ctrl.schedulerFactory = cfg.schedulerFactory;
+    sys_cfg.watchdogCycles = cfg.watchdogCycles;
+    sys_cfg.deadlineSec = cfg.deadlineSec;
+
+    std::uint64_t instructions =
         cfg.instructions ? cfg.instructions : defaultInstructions();
 
-    const trace::WorkloadProfile &prof =
-        trace::profileByName(cfg.workload);
-    trace::SyntheticGenerator gen(prof, instructions, cfg.seed);
+    // "@/path" workloads replay a text trace from disk; anything else
+    // is a synthetic profile. File traces run cold (no prewarm) and at
+    // their recorded length.
+    std::unique_ptr<trace::VectorTrace> file_trace;
+    std::unique_ptr<trace::SyntheticGenerator> gen;
+    trace::TraceSource *src = nullptr;
+    if (!cfg.workload.empty() && cfg.workload[0] == '@') {
+        file_trace = trace::loadTraceFile(cfg.workload.substr(1));
+        instructions = file_trace->size();
+        src = file_trace.get();
+    } else {
+        const trace::WorkloadProfile &prof =
+            trace::profileByName(cfg.workload);
+        gen = std::make_unique<trace::SyntheticGenerator>(
+            prof, instructions, cfg.seed);
+        src = gen.get();
+    }
 
-    System sys(sys_cfg, gen);
-    prewarmCaches(sys.caches(), gen, cfg.seed);
+    System sys(sys_cfg, *src);
+    if (gen)
+        prewarmCaches(sys.caches(), *gen, cfg.seed);
     // Safety net: no run should need more than ~10k memory cycles per
     // thousand instructions; a hang here is a simulator bug.
     const Tick cap = instructions * 100 + 10'000'000;
     sys.run(cap);
     if (!sys.done())
-        panic("experiment %s/%s did not drain within %llu memory cycles",
-              cfg.workload.c_str(), ctrl::mechanismName(cfg.mechanism),
-              static_cast<unsigned long long>(cap));
+        throwSimError(
+            ErrorCategory::Internal,
+            "experiment %s/%s did not drain within %llu memory cycles",
+            cfg.workload.c_str(), ctrl::mechanismName(cfg.mechanism),
+            static_cast<unsigned long long>(cap));
 
     // Commit the trailing partial metrics epoch before detaching.
     sys.controller().flushMetrics(sys.memCycles());
@@ -207,8 +230,9 @@ runCmpExperiment(const std::vector<std::string> &workloads,
     const Tick cap = instr * 200 * workloads.size() + 10'000'000;
     sys.run(cap);
     if (!sys.done())
-        panic("CMP experiment (%zu cores, %s) did not drain",
-              workloads.size(), ctrl::mechanismName(mechanism));
+        throwSimError(ErrorCategory::Internal,
+                      "CMP experiment (%zu cores, %s) did not drain",
+                      workloads.size(), ctrl::mechanismName(mechanism));
 
     CmpResult r;
     r.workloads = workloads;

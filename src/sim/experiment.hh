@@ -9,6 +9,7 @@
 #define BURSTSIM_SIM_EXPERIMENT_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,7 +37,9 @@ const char *deviceGenName(DeviceGen g);
 /** One simulation run specification. */
 struct ExperimentConfig
 {
-    std::string workload = "swim"; //!< profile name (spec_profiles)
+    /** Profile name (spec_profiles), or "@/path/to/file" to replay a
+     *  text trace from disk (no cache prewarm; see trace_file.hh). */
+    std::string workload = "swim";
     ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
     std::uint64_t instructions = 0; //!< 0 = defaultInstructions()
     std::uint64_t seed = 20070212;  //!< HPCA 2007, for determinism
@@ -65,6 +68,15 @@ struct ExperimentConfig
 
     /** Observability pillars (latency breakdown, metrics, trace). */
     obs::ObsConfig obs;
+
+    /** Forward-progress watchdog (SystemConfig::watchdogCycles). */
+    Tick watchdogCycles = 50'000;
+    /** Wall-clock limit in seconds, 0 = none (SystemConfig::deadlineSec). */
+    double deadlineSec = 0.0;
+    /** Scheduler factory override (fault injection; ControllerConfig). */
+    std::function<std::unique_ptr<ctrl::Scheduler>(
+        ctrl::Mechanism, const ctrl::SchedulerContext &)>
+        schedulerFactory;
 };
 
 /** Metrics of one run (the quantities behind Figures 7-12). */

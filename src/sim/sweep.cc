@@ -1,0 +1,346 @@
+#include "sim/sweep.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/table.hh"
+
+namespace bsim::sim
+{
+
+namespace
+{
+
+/** FNV-1a, the repo's standard cheap digest. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const char c : s) {
+        h ^= std::uint8_t(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** "workload/Mechanism" display label of one point. */
+std::string
+pointLabel(const ExperimentConfig &cfg)
+{
+    return cfg.workload + "/" + ctrl::mechanismName(cfg.mechanism);
+}
+
+/** CSV-quote @p s (always quoted; inner quotes doubled). */
+std::string
+csvQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c == '\n' ? ' ' : c; // keep one row per point
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+fmt(const char *f, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), f, v);
+    return buf;
+}
+
+/** Environment-variable fault spec (CLI smoke tests); see SweepFault. */
+SweepFault
+faultFromEnv()
+{
+    SweepFault f;
+    const char *point = std::getenv("BURSTSIM_FAIL_POINT");
+    if (!point || !*point)
+        return f;
+    f.point = std::atoll(point);
+    f.times = 1;
+    if (const char *times = std::getenv("BURSTSIM_FAIL_TIMES"))
+        f.times = unsigned(std::atoll(times));
+    if (const char *cat = std::getenv("BURSTSIM_FAIL_CAT"))
+        f.category = parseErrorCategory(cat);
+    return f;
+}
+
+} // namespace
+
+std::uint64_t
+configKey(const ExperimentConfig &cfg)
+{
+    // Canonical text encoding of every statistic-determining field.
+    // cfg.instructions == 0 is resolved first so "default count" and
+    // "explicitly the default count" journal identically even if the
+    // BURSTSIM_INSTR override changes between runs.
+    const std::uint64_t instr =
+        cfg.instructions ? cfg.instructions : defaultInstructions();
+    std::ostringstream os;
+    os << "v1|" << cfg.workload << '|'
+       << ctrl::mechanismName(cfg.mechanism) << '|' << instr << '|'
+       << cfg.seed << '|' << cfg.threshold << '|'
+       << int(cfg.pagePolicy) << '|' << int(cfg.addressMap) << '|'
+       << int(cfg.device) << '|' << int(cfg.engine) << '|'
+       << cfg.channels << '|' << cfg.ranksPerChannel << '|'
+       << cfg.banksPerRank << '|' << cfg.dynamicThreshold << '|'
+       << cfg.sortBurstsBySize << '|' << cfg.criticalFirst << '|'
+       << cfg.rankAware << '|' << cfg.coalesceWrites << '|'
+       << cfg.robSize << '|' << cfg.issueWidth;
+    return fnv1a(os.str());
+}
+
+SweepSummary
+summarize(const RunResult &r)
+{
+    SweepSummary s;
+    s.execCpuCycles = r.execCpuCycles;
+    s.readLatMean = r.ctrl.readLatency.mean();
+    s.writeLatMean = r.ctrl.writeLatency.mean();
+    s.rowHitRate = r.ctrl.rowHitRate();
+    s.bandwidthGBs = r.bandwidthGBs;
+    return s;
+}
+
+std::size_t
+SweepReport::failures() const
+{
+    std::size_t n = 0;
+    for (const SweepSlot &s : slots)
+        if (!s.run.ok && s.run.attempts > 0)
+            n += 1;
+    return n;
+}
+
+std::size_t
+SweepReport::journaled() const
+{
+    std::size_t n = 0;
+    for (const SweepSlot &s : slots)
+        if (s.fromJournal)
+            n += 1;
+    return n;
+}
+
+std::unordered_map<std::uint64_t, JournalRecord>
+loadSweepJournal(const std::string &path)
+{
+    std::unordered_map<std::uint64_t, JournalRecord> out;
+    std::ifstream is(path);
+    if (!is)
+        return out; // no journal yet: nothing to resume
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::uint64_t key = 0;
+        unsigned attempts = 0;
+        unsigned long long exec = 0;
+        double rdlat = 0, wrlat = 0, rowhit = 0, bw = 0;
+        // %la parses C99 hexfloats (and any other strtod-able form).
+        const int n = std::sscanf(
+            line.c_str(),
+            "P %" SCNx64 " attempts=%u exec=%llu rdlat=%la wrlat=%la "
+            "rowhit=%la bw=%la",
+            &key, &attempts, &exec, &rdlat, &wrlat, &rowhit, &bw);
+        if (n != 7) {
+            // Most likely a record torn by a crash mid-append; the
+            // point simply reruns.
+            warn("sweep journal %s:%llu: skipping malformed record",
+                 path.c_str(), (unsigned long long)lineno);
+            continue;
+        }
+        JournalRecord rec;
+        rec.attempts = attempts;
+        rec.summary.execCpuCycles = exec;
+        rec.summary.readLatMean = rdlat;
+        rec.summary.writeLatMean = wrlat;
+        rec.summary.rowHitRate = rowhit;
+        rec.summary.bandwidthGBs = bw;
+        out[key] = rec;
+    }
+    return out;
+}
+
+SweepReport
+runExperimentSweep(const std::vector<ExperimentConfig> &points,
+                   const SweepOptions &opt)
+{
+    SweepReport rep;
+    rep.slots.resize(points.size());
+
+    const SweepFault fault =
+        opt.fault.point >= 0 ? opt.fault : faultFromEnv();
+
+    // Resume: restore journaled points, collect the rest for execution.
+    std::vector<std::uint64_t> keys(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        keys[i] = configKey(points[i]);
+    std::vector<std::size_t> pending;
+    if (!opt.journal.empty()) {
+        const auto journal = loadSweepJournal(opt.journal);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto it = journal.find(keys[i]);
+            if (it == journal.end()) {
+                pending.push_back(i);
+                continue;
+            }
+            SweepSlot &s = rep.slots[i];
+            s.run.ok = true;
+            s.run.attempts = it->second.attempts;
+            s.summary = it->second.summary;
+            s.fromJournal = true;
+        }
+    } else {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            pending.push_back(i);
+    }
+
+    // Open the journal for appending before any work starts, so an
+    // unwritable path fails the sweep up front rather than after the
+    // first completed point.
+    std::ofstream journal_os;
+    std::mutex journal_mu;
+    if (!opt.journal.empty()) {
+        journal_os.open(opt.journal, std::ios::app);
+        if (!journal_os)
+            throwSimError(ErrorCategory::Resource,
+                          "cannot open sweep journal '%s' for writing",
+                          opt.journal.c_str());
+    }
+
+    // Per-point attempt counters for journal records: each point is
+    // claimed by exactly one worker and retried on that same thread,
+    // so plain (non-atomic) counters are safe.
+    std::vector<unsigned> attempts(points.size(), 0);
+
+    const auto runPoint = [&](std::size_t slot) {
+        const unsigned attempt = ++attempts[slot];
+        if (fault.point == std::ptrdiff_t(slot) && attempt <= fault.times)
+            throwSimError(fault.category,
+                          "injected fault: point %zu attempt %u", slot,
+                          attempt);
+        const RunResult r = runExperiment(points[slot]);
+        rep.slots[slot].summary = summarize(r);
+        if (journal_os.is_open()) {
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "P %016" PRIx64
+                          " attempts=%u exec=%llu rdlat=%a wrlat=%a "
+                          "rowhit=%a bw=%a\n",
+                          keys[slot], attempt,
+                          (unsigned long long)
+                              rep.slots[slot].summary.execCpuCycles,
+                          rep.slots[slot].summary.readLatMean,
+                          rep.slots[slot].summary.writeLatMean,
+                          rep.slots[slot].summary.rowHitRate,
+                          rep.slots[slot].summary.bandwidthGBs);
+            std::lock_guard<std::mutex> g(journal_mu);
+            journal_os << line;
+            journal_os.flush(); // crash loses only in-flight points
+        }
+    };
+
+    FaultPolicy policy;
+    policy.maxAttempts = opt.maxAttempts;
+    policy.maxFailures = opt.maxFailures;
+    policy.cancel = opt.cancel;
+
+    SweepRunner runner(opt.jobs);
+    const SweepRunner::GuardedReport gr = runner.guardedRun(
+        pending.size(), [&](std::size_t j) { runPoint(pending[j]); },
+        policy);
+
+    for (std::size_t j = 0; j < pending.size(); ++j)
+        rep.slots[pending[j]].run = gr.points[j];
+    rep.aborted = gr.aborted;
+    rep.cancelled = gr.cancelled;
+    return rep;
+}
+
+void
+writeSweepCsv(std::ostream &os,
+              const std::vector<ExperimentConfig> &points,
+              const SweepReport &rep)
+{
+    os << "workload,mechanism,status,attempts,category,error,"
+          "exec_cycles,read_lat,write_lat,row_hit,bandwidth_gbs\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepSlot &s = rep.slots[i];
+        os << points[i].workload << ','
+           << ctrl::mechanismName(points[i].mechanism) << ',';
+        if (s.run.ok) {
+            os << "ok," << s.run.attempts << ",,,"
+               << s.summary.execCpuCycles << ','
+               << fmt("%.3f", s.summary.readLatMean) << ','
+               << fmt("%.3f", s.summary.writeLatMean) << ','
+               << fmt("%.6f", s.summary.rowHitRate) << ','
+               << fmt("%.6f", s.summary.bandwidthGBs) << '\n';
+        } else if (s.run.skipped()) {
+            os << "skipped,0,,,,,,,\n";
+        } else {
+            os << "failed," << s.run.attempts << ','
+               << errorCategoryName(s.run.category) << ','
+               << csvQuote(s.run.error) << ",,,,,\n";
+        }
+    }
+}
+
+void
+writeSweepTable(std::ostream &os,
+                const std::vector<ExperimentConfig> &points,
+                const SweepReport &rep)
+{
+    // Normalise against the first successful point, as the CLI's
+    // original sweep normalised against its first row.
+    double base = 0.0;
+    for (const SweepSlot &s : rep.slots)
+        if (s.run.ok) {
+            base = double(s.summary.execCpuCycles);
+            break;
+        }
+
+    Table t;
+    t.header({"point", "status", "exec cycles", "norm", "read lat",
+              "write lat", "row hit", "GB/s", "tries"});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepSlot &s = rep.slots[i];
+        if (s.run.ok) {
+            t.row({pointLabel(points[i]), "ok",
+                   std::to_string(s.summary.execCpuCycles),
+                   base > 0
+                       ? Table::num(
+                             double(s.summary.execCpuCycles) / base, 3)
+                       : "-",
+                   Table::num(s.summary.readLatMean, 1),
+                   Table::num(s.summary.writeLatMean, 1),
+                   Table::pct(s.summary.rowHitRate),
+                   Table::num(s.summary.bandwidthGBs, 2),
+                   std::to_string(s.run.attempts)});
+        } else {
+            const std::string status =
+                s.run.skipped()
+                    ? "skipped"
+                    : std::string("failed(") +
+                          errorCategoryName(s.run.category) + ")";
+            t.row({pointLabel(points[i]), status, "-", "-", "-", "-",
+                   "-", "-", std::to_string(s.run.attempts)});
+        }
+    }
+    t.print(os);
+}
+
+} // namespace bsim::sim

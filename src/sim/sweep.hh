@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Robust sweep driver: fault-contained, resumable execution of a list of
+ * experiment points.
+ *
+ * Each point is one ExperimentConfig; the driver runs them through a
+ * SweepRunner with per-point containment (SweepRunner::guardedRun),
+ * bounded retry of transient failures, an abort threshold, an optional
+ * cancel token (SIGINT: drain in-flight points, then stop), and an
+ * append-only journal that makes interrupted sweeps resumable — reruns
+ * skip journaled points and reproduce byte-identical reports from the
+ * stored summaries.
+ *
+ * Journal format: a text file, one record per completed point,
+ *   P <key> attempts=<n> exec=<u64> rdlat=<a> wrlat=<a> rowhit=<a> bw=<a>
+ * where <key> is the point's configKey() in hex and the four <a> fields
+ * are C99 hexfloats (%a), which round-trip doubles exactly — the
+ * property the byte-identical-resume guarantee rests on. Records are
+ * appended and flushed after each point, so a crash loses at most the
+ * in-flight points; a torn final line is skipped (with a warning) on
+ * load. Lines starting with '#' are comments.
+ */
+
+#ifndef BURSTSIM_SIM_SWEEP_HH
+#define BURSTSIM_SIM_SWEEP_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
+
+namespace bsim::sim
+{
+
+/**
+ * Deterministic 64-bit digest (FNV-1a over a canonical text encoding)
+ * of everything in @p cfg that determines the run's statistics: the
+ * journal's point identity. Robustness knobs (watchdog, deadline,
+ * scheduler factory) and observability sinks are excluded — they do
+ * not change the summarised results.
+ */
+std::uint64_t configKey(const ExperimentConfig &cfg);
+
+/** The per-point statistics a sweep report is rendered from. */
+struct SweepSummary
+{
+    std::uint64_t execCpuCycles = 0;
+    double readLatMean = 0.0;  //!< memory cycles
+    double writeLatMean = 0.0; //!< memory cycles
+    double rowHitRate = 0.0;
+    double bandwidthGBs = 0.0;
+};
+
+/** Extract the reported summary from a full run result. */
+SweepSummary summarize(const RunResult &r);
+
+/** Fate plus (on success) summary of one sweep point. */
+struct SweepSlot
+{
+    RunOutcome run;        //!< ok / attempts / failure description
+    SweepSummary summary;  //!< valid when run.ok
+    bool fromJournal = false; //!< restored, not executed, this sweep
+};
+
+/**
+ * Test-only fault injection: fail a chosen point's first attempts with
+ * a synthetic SimError before runExperiment() is even entered. The
+ * same injection is reachable from the command line through the
+ * BURSTSIM_FAIL_POINT / BURSTSIM_FAIL_TIMES / BURSTSIM_FAIL_CAT
+ * environment variables (read only when `point` is negative here).
+ */
+struct SweepFault
+{
+    std::ptrdiff_t point = -1; //!< slot index to poison; -1 = none
+    unsigned times = 0;        //!< attempts of it that fail
+    ErrorCategory category = ErrorCategory::Resource;
+};
+
+/** Execution policy of one sweep. */
+struct SweepOptions
+{
+    unsigned jobs = 1; //!< worker threads (0 = all cores)
+    /** Tries per point; failures beyond transient ones never retry. */
+    unsigned maxAttempts = 3;
+    /** Tolerated failed points before the sweep aborts. */
+    std::size_t maxFailures = std::numeric_limits<std::size_t>::max();
+    /** Journal path; empty disables checkpoint/resume. */
+    std::string journal;
+    /** Cancel token (SIGINT handler sets it; in-flight points drain). */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Programmatic fault injection (tests). */
+    SweepFault fault;
+};
+
+/** Slot-ordered outcome of a whole sweep. */
+struct SweepReport
+{
+    std::vector<SweepSlot> slots;
+    bool aborted = false;   //!< maxFailures exceeded; tail skipped
+    bool cancelled = false; //!< cancel token tripped; tail skipped
+
+    /** Points that ran and failed (skipped points don't count). */
+    std::size_t failures() const;
+    /** Points restored from the journal instead of executed. */
+    std::size_t journaled() const;
+};
+
+/**
+ * Run every point of @p points under @p opt. Never throws for
+ * per-point failures — each lands in its slot; only journal I/O
+ * misconfiguration (unwritable path) throws SimError(resource).
+ */
+SweepReport runExperimentSweep(const std::vector<ExperimentConfig> &points,
+                               const SweepOptions &opt = {});
+
+/**
+ * Render @p rep as CSV, one row per point in slot order. Deterministic:
+ * wall times and host state never appear; a failed point's row carries
+ * its status, category and error text instead of numbers.
+ */
+void writeSweepCsv(std::ostream &os,
+                   const std::vector<ExperimentConfig> &points,
+                   const SweepReport &rep);
+
+/**
+ * Render @p rep as an aligned text table (the CLI's --sweep output).
+ * Failed slots print "failed(<category>)" with dashes for the metrics;
+ * normalisation uses the first successful slot as the base.
+ */
+void writeSweepTable(std::ostream &os,
+                     const std::vector<ExperimentConfig> &points,
+                     const SweepReport &rep);
+
+/** One parsed journal record (exposed for tests). */
+struct JournalRecord
+{
+    unsigned attempts = 0;
+    SweepSummary summary;
+};
+
+/** Load @p path (missing file = empty map; torn lines are skipped). */
+std::unordered_map<std::uint64_t, JournalRecord>
+loadSweepJournal(const std::string &path);
+
+} // namespace bsim::sim
+
+#endif // BURSTSIM_SIM_SWEEP_HH

@@ -1,6 +1,7 @@
 #include "sim/sweep_runner.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -57,6 +58,85 @@ SweepRunner::run(std::size_t count,
         t.join();
     if (err)
         std::rethrow_exception(err);
+}
+
+SweepRunner::GuardedReport
+SweepRunner::guardedRun(std::size_t count,
+                        const std::function<void(std::size_t)> &fn,
+                        const FaultPolicy &policy) const
+{
+    GuardedReport rep;
+    rep.points.resize(count);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<bool> aborted{false};
+    std::atomic<bool> cancelled{false};
+    const unsigned max_attempts =
+        policy.maxAttempts ? policy.maxAttempts : 1;
+
+    const auto runPoint = [&](std::size_t i) {
+        RunOutcome &o = rep.points[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+            o.attempts = attempt;
+            try {
+                fn(i);
+                o.ok = true;
+                o.error.clear();
+                break;
+            } catch (const SimError &e) {
+                o.category = e.category();
+                o.error = e.describe();
+                if (!errorCategoryTransient(e.category()))
+                    break;
+            } catch (const std::exception &e) {
+                o.category = ErrorCategory::Internal;
+                o.error = std::string("[internal] ") + e.what();
+                break;
+            }
+        }
+        o.wallMs = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+        if (!o.ok &&
+            failures.fetch_add(1) + 1 > policy.maxFailures)
+            aborted.store(true);
+    };
+
+    const auto worker = [&]() {
+        for (;;) {
+            if (aborted.load())
+                return;
+            if (policy.cancel && policy.cancel->load()) {
+                cancelled.store(true);
+                return;
+            }
+            const std::size_t i = next.fetch_add(1);
+            if (i >= count)
+                return;
+            runPoint(i);
+        }
+    };
+
+    const std::size_t workers =
+        std::size_t(jobs_) < count ? jobs_ : count;
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (std::size_t w = 0; w + 1 < workers; ++w)
+            pool.emplace_back(worker);
+        worker(); // this thread participates
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    rep.aborted = aborted.load();
+    rep.cancelled =
+        cancelled.load() || (policy.cancel && policy.cancel->load());
+    return rep;
 }
 
 } // namespace bsim::sim

@@ -7,22 +7,96 @@
  *
  * Each System is confined to the thread that builds it; runs share no
  * mutable state, so no synchronization is needed beyond the work queue.
+ *
+ * Two execution modes:
+ *  - map()/run(): fail-fast — the first exception cancels remaining
+ *    work and is rethrown (the right behaviour for tests and for
+ *    callers that treat any failure as fatal).
+ *  - mapGuarded()/guardedRun(): fault-contained — each point yields a
+ *    RunOutcome instead of unwinding the sweep; transient failures
+ *    (ErrorCategory::Resource) are retried, and an abort threshold
+ *    stops claiming new points once too many have failed.
  */
 
 #ifndef BURSTSIM_SIM_SWEEP_RUNNER_HH
 #define BURSTSIM_SIM_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
+
+#include "common/error.hh"
 
 namespace bsim::sim
 {
+
+/** Fate of one sweep point under guarded execution. */
+struct RunOutcome
+{
+    /** The point's function eventually returned normally. */
+    bool ok = false;
+    /** Category of the final failure (meaningful when !ok && attempts). */
+    ErrorCategory category = ErrorCategory::Internal;
+    /** Final failure description; empty when ok or never started. */
+    std::string error;
+    /** Times the point was started (0 = skipped: abort or cancel). */
+    unsigned attempts = 0;
+    /** Wall time spent on the point, all attempts. Nondeterministic —
+     *  never included in deterministic reports. */
+    double wallMs = 0.0;
+
+    /** Point never ran (sweep aborted or cancelled before its turn). */
+    bool skipped() const { return !ok && attempts == 0; }
+};
+
+/** Guarded value slot: engaged exactly when the point succeeded. */
+template <typename T>
+struct Outcome
+{
+    RunOutcome run;
+    std::optional<T> value;
+};
+
+/** Retry / abort / cancellation policy for guarded execution. */
+struct FaultPolicy
+{
+    /** Total tries per point, first included; only failures whose
+     *  category is transient (errorCategoryTransient) are retried. */
+    unsigned maxAttempts = 1;
+    /** Tolerated failed points; one more aborts the rest of the sweep
+     *  (default: unlimited — every point runs regardless). */
+    std::size_t maxFailures = std::numeric_limits<std::size_t>::max();
+    /** External cancel token (e.g. SIGINT): when it becomes true,
+     *  in-flight points drain but no new point is claimed. */
+    const std::atomic<bool> *cancel = nullptr;
+};
 
 /** A reusable pool for running independent simulation points. */
 class SweepRunner
 {
   public:
+    /** Slot-ordered outcome of one guardedRun(). */
+    struct GuardedReport
+    {
+        std::vector<RunOutcome> points;
+        bool aborted = false;   //!< maxFailures exceeded; tail skipped
+        bool cancelled = false; //!< cancel token set; tail skipped
+    };
+
+    /** mapGuarded() result: GuardedReport plus the produced values. */
+    template <typename T>
+    struct GuardedResults
+    {
+        std::vector<Outcome<T>> points;
+        bool aborted = false;
+        bool cancelled = false;
+    };
+
     /** @p jobs worker threads; 0 = one per hardware thread. */
     explicit SweepRunner(unsigned jobs = 0);
 
@@ -33,19 +107,64 @@ class SweepRunner
      * Evaluate @p fn(i) for i in [0, count) and return the results in
      * index order. @p fn must be safe to call from multiple threads for
      * distinct i; the first exception thrown cancels remaining work and
-     * is rethrown on this thread. T must be default-constructible.
+     * is rethrown on this thread. T need only be move-constructible.
      */
     template <typename T, typename Fn>
     std::vector<T> map(std::size_t count, Fn &&fn) const
     {
-        std::vector<T> out(count);
-        run(count, [&](std::size_t i) { out[i] = fn(i); });
+        std::vector<std::optional<T>> slots(count);
+        run(count, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<T> out;
+        out.reserve(count);
+        for (auto &s : slots)
+            out.push_back(std::move(*s));
         return out;
     }
 
-    /** Index-parallel for-loop over [0, @p count). */
+    /**
+     * Fault-contained map: every point yields an Outcome<T> in slot
+     * order — value engaged on success, RunOutcome describing the
+     * failure otherwise — instead of the first failure unwinding the
+     * whole sweep. See guardedRun() for the containment rules.
+     */
+    template <typename T, typename Fn>
+    GuardedResults<T> mapGuarded(std::size_t count, Fn &&fn,
+                                 const FaultPolicy &policy = {}) const
+    {
+        std::vector<std::optional<T>> slots(count);
+        GuardedReport rep = guardedRun(
+            count, [&](std::size_t i) { slots[i].emplace(fn(i)); },
+            policy);
+        GuardedResults<T> out;
+        out.aborted = rep.aborted;
+        out.cancelled = rep.cancelled;
+        out.points.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            out.points[i].run = std::move(rep.points[i]);
+            out.points[i].value = std::move(slots[i]);
+        }
+        return out;
+    }
+
+    /** Index-parallel for-loop over [0, @p count); fail-fast. */
     void run(std::size_t count,
              const std::function<void(std::size_t)> &fn) const;
+
+    /**
+     * Fault-contained for-loop: each point's exceptions are caught and
+     * recorded, never propagated. A SimError with a transient category
+     * is retried up to policy.maxAttempts times; any other exception
+     * fails the point immediately (recorded as ErrorCategory::Internal
+     * for non-SimError exceptions). Once more than policy.maxFailures
+     * points have failed, or policy.cancel becomes true, no further
+     * point is claimed; skipped points report attempts == 0. A retry of
+     * a point always happens on the thread that claimed it, so @p fn
+     * may keep plain per-index state.
+     */
+    GuardedReport
+    guardedRun(std::size_t count,
+               const std::function<void(std::size_t)> &fn,
+               const FaultPolicy &policy = {}) const;
 
   private:
     unsigned jobs_;

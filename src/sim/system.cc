@@ -1,5 +1,9 @@
 #include "sim/system.hh"
 
+#include <chrono>
+#include <cstdio>
+
+#include "common/error.hh"
 #include "common/log.hh"
 #include "obs/observability.hh"
 
@@ -76,7 +80,8 @@ void
 System::build(const std::vector<trace::TraceSource *> &traces)
 {
     if (traces.empty())
-        fatal("system: at least one workload trace is required");
+        throwSimError(ErrorCategory::Config,
+                      "system: at least one workload trace is required");
 
     mem_ = std::make_unique<dram::MemorySystem>(cfg_.dram);
     ctrl_ = std::make_unique<ctrl::MemoryController>(*mem_, cfg_.ctrl);
@@ -344,12 +349,65 @@ System::skipTo(Tick target)
     now_ = target;
 }
 
+std::uint64_t
+System::retiredAccesses() const
+{
+    const ctrl::ControllerStats &s = ctrl_->stats();
+    return s.reads + s.writes + s.forwardedReads;
+}
+
+void
+System::checkProgress(WatchState &w)
+{
+    // Wall-clock deadline, polled coarsely so the steady_clock read
+    // stays off the per-tick path. The iteration count understates
+    // elapsed time under the skip engine (one iteration may cover a
+    // long span), which only makes the poll more frequent per second.
+    if (cfg_.deadlineSec > 0 && (++w.iter & 1023u) == 0) {
+        const auto spent = std::chrono::steady_clock::now() - w.started;
+        if (std::chrono::duration<double>(spent).count() >=
+            cfg_.deadlineSec)
+            throwSimError(
+                ErrorCategory::Resource,
+                "simulation exceeded the %.1f s wall-clock deadline "
+                "at memory cycle %llu",
+                cfg_.deadlineSec, (unsigned long long)now_);
+    }
+
+    if (cfg_.watchdogCycles == 0)
+        return;
+    const std::uint64_t retired = retiredAccesses();
+    if (retired != w.lastRetired || !ctrl_->busy()) {
+        // Progress, or nothing on the memory side to make progress on
+        // (an idle controller is allowed to sit still indefinitely).
+        w.lastRetired = retired;
+        w.lastProgress = now_;
+        return;
+    }
+    if (now_ - w.lastProgress < cfg_.watchdogCycles)
+        return;
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "forward-progress watchdog: no access retired for %llu "
+                  "memory cycles while the controller was busy (now=%llu, "
+                  "retired=%llu)",
+                  (unsigned long long)(now_ - w.lastProgress),
+                  (unsigned long long)now_, (unsigned long long)retired);
+    throw SimError(ErrorCategory::Internal, msg,
+                   ctrl_->progressSnapshot(now_));
+}
+
 Tick
 System::run(Tick max_ticks)
 {
     const Tick start = now_;
     const bool skip = cfg_.engine == EngineKind::Skip;
+    WatchState watch;
+    watch.lastRetired = retiredAccesses();
+    watch.lastProgress = now_;
+    watch.started = std::chrono::steady_clock::now();
     while (!done()) {
+        checkProgress(watch);
         if (now_ - start >= max_ticks)
             break;
         if (!skip) {

@@ -15,6 +15,7 @@
 #ifndef BURSTSIM_SIM_SYSTEM_HH
 #define BURSTSIM_SIM_SYSTEM_HH
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -74,6 +75,25 @@ struct SystemConfig
 
     /** Observability pillars to enable (all off by default). */
     obs::ObsConfig obs;
+
+    /**
+     * Forward-progress watchdog: if the controller stays busy for this
+     * many memory cycles without a single access retiring (read or
+     * write completion, or a forwarded read), run() throws a SimError
+     * (category internal) whose context carries the controller's
+     * queue/bank snapshot. Refreshes deliberately do not count as
+     * progress — a stuck scheduler leaves the refresh engine running,
+     * and counting them would mask exactly the hangs the watchdog
+     * exists to catch. The default is far above any legitimate
+     * completion gap (tRFC and tREFI are a few thousand cycles at
+     * most); 0 disables the watchdog.
+     */
+    Tick watchdogCycles = 50'000;
+    /**
+     * Wall-clock guard: run() throws a SimError (category resource)
+     * once the run has consumed this many real seconds. 0 disables.
+     */
+    double deadlineSec = 0.0;
 
     /** The baseline machine of Table 3. */
     static SystemConfig baseline();
@@ -203,7 +223,25 @@ class System
         }
     };
 
+    /** Forward-progress / deadline bookkeeping local to one run(). */
+    struct WatchState
+    {
+        std::uint64_t lastRetired = 0; //!< retired count at lastProgress
+        Tick lastProgress = 0;         //!< last tick an access retired
+        std::chrono::steady_clock::time_point started;
+        std::uint32_t iter = 0; //!< loop iterations (deadline polling)
+    };
+
     void build(const std::vector<trace::TraceSource *> &traces);
+
+    /** Accesses retired so far (reads + writes + forwarded reads). */
+    std::uint64_t retiredAccesses() const;
+
+    /**
+     * Enforce the forward-progress watchdog and wall-clock deadline
+     * (SystemConfig::watchdogCycles / deadlineSec); throws SimError.
+     */
+    void checkProgress(WatchState &w);
 
     /** FSB admission (tick step 3), shared by tick() and fastTick(). */
     void admitFsb();

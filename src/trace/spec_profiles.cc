@@ -1,5 +1,6 @@
 #include "trace/spec_profiles.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::trace
@@ -154,7 +155,7 @@ profileByName(const std::string &name)
     for (const auto &p : microProfiles())
         if (p.name == name)
             return p;
-    fatal("unknown workload profile '%s'", name.c_str());
+    throwSimError(ErrorCategory::Config, "unknown workload profile '%s'", name.c_str());
 }
 
 std::vector<std::string>

@@ -27,7 +27,8 @@ const std::vector<WorkloadProfile> &specProfiles();
  */
 const std::vector<WorkloadProfile> &microProfiles();
 
-/** Profile by name (SPEC set or microbenchmark); fatal() on unknown. */
+/** Profile by name (SPEC set or microbenchmark); throws
+ *  SimError(ErrorCategory::Config) on unknown names. */
 const WorkloadProfile &profileByName(const std::string &name);
 
 /** Names of all modelled benchmarks, in figure order. */

@@ -1,11 +1,11 @@
 #include "trace/trace_file.hh"
 
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
-#include "common/log.hh"
+#include "common/error.hh"
 
 namespace bsim::trace
 {
@@ -33,6 +33,32 @@ writeTrace(std::ostream &os, TraceSource &src, std::uint64_t count)
     return written;
 }
 
+namespace
+{
+
+[[noreturn]] void
+parseError(std::uint64_t line, std::size_t column, const std::string &what)
+{
+    throwSimError(ErrorCategory::Trace,
+                  "trace line %llu, column %zu: %s",
+                  static_cast<unsigned long long>(line), column,
+                  what.c_str());
+}
+
+/** Printable rendition of a record byte for diagnostics. */
+std::string
+charRepr(char c)
+{
+    if (std::isprint(static_cast<unsigned char>(c)))
+        return std::string("'") + c + "'";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "byte 0x%02x",
+                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+    return buf;
+}
+
+} // namespace
+
 std::vector<TraceInstr>
 readTrace(std::istream &is)
 {
@@ -41,24 +67,59 @@ readTrace(std::istream &is)
     std::uint64_t lineno = 0;
     while (std::getline(is, line)) {
         lineno += 1;
+        // Tolerate CRLF traces captured on other platforms.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (const std::size_t nul = line.find('\0');
+            nul != std::string::npos)
+            parseError(lineno, nul + 1,
+                       "embedded NUL byte (binary data is not a trace)");
         if (line.empty() || line[0] == '#')
             continue;
         TraceInstr in;
         const char kind = line[0];
         if (kind == 'C') {
+            if (line.find_first_not_of(" \t", 1) != std::string::npos)
+                parseError(lineno, 2,
+                           "unexpected text after compute record");
             in.op = TraceInstr::Op::Compute;
             out.push_back(in);
             continue;
         }
         if (kind != 'L' && kind != 'D' && kind != 'S')
-            fatal("trace line %llu: unknown record '%c'",
-                  static_cast<unsigned long long>(lineno), kind);
-        std::istringstream ss(line.substr(1));
+            parseError(lineno, 1,
+                       "unknown record " + charRepr(kind) +
+                           " (expected C, L, D or S)");
+        // Address field: optional blanks, then hex digits to end of line.
+        std::size_t p = line.find_first_not_of(" \t", 1);
+        if (p == std::string::npos)
+            parseError(lineno, line.size() + 1,
+                       "missing address (truncated line)");
         std::uint64_t addr = 0;
-        ss >> std::hex >> addr;
-        if (ss.fail())
-            fatal("trace line %llu: missing address",
-                  static_cast<unsigned long long>(lineno));
+        std::size_t digits = 0;
+        for (; p < line.size(); ++p, ++digits) {
+            const char c = line[p];
+            if (c == ' ' || c == '\t') {
+                if (line.find_first_not_of(" \t", p) != std::string::npos)
+                    parseError(lineno, p + 1,
+                               "unexpected text after address");
+                break;
+            }
+            const int digit = std::isdigit(static_cast<unsigned char>(c))
+                                  ? c - '0'
+                              : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                              : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                                       : -1;
+            if (digit < 0)
+                parseError(lineno, p + 1,
+                           "non-hex address character " + charRepr(c));
+            if (digits >= 16)
+                parseError(lineno, p + 1,
+                           "address wider than 64 bits");
+            addr = (addr << 4) | std::uint64_t(digit);
+        }
+        if (digits == 0)
+            parseError(lineno, p + 1, "missing address (truncated line)");
         in.addr = addr;
         if (kind == 'S') {
             in.op = TraceInstr::Op::Store;
@@ -76,8 +137,14 @@ loadTraceFile(const std::string &path)
 {
     std::ifstream f(path);
     if (!f)
-        fatal("cannot open trace file '%s'", path.c_str());
-    return std::make_unique<VectorTrace>(readTrace(f));
+        throwSimError(ErrorCategory::Trace,
+                      "cannot open trace file '%s'", path.c_str());
+    auto instrs = readTrace(f);
+    if (instrs.empty())
+        throwSimError(ErrorCategory::Trace,
+                      "trace file '%s' contains no instructions",
+                      path.c_str());
+    return std::make_unique<VectorTrace>(std::move(instrs));
 }
 
 } // namespace bsim::trace

@@ -27,7 +27,11 @@ namespace bsim::trace
 std::uint64_t writeTrace(std::ostream &os, TraceSource &src,
                          std::uint64_t count);
 
-/** Parse a whole trace from @p is; fatal() on malformed lines. */
+/**
+ * Parse a whole trace from @p is. Malformed input (unknown record
+ * characters, missing or non-hex addresses, embedded NUL bytes) throws
+ * SimError(ErrorCategory::Trace) with line/column context.
+ */
 std::vector<TraceInstr> readTrace(std::istream &is);
 
 /** TraceSource replaying a pre-parsed instruction vector. */
@@ -58,7 +62,11 @@ class VectorTrace : public TraceSource
     std::size_t pos_ = 0;
 };
 
-/** Load a trace file from disk into a replayable source. */
+/**
+ * Load a trace file from disk into a replayable source. Throws
+ * SimError(ErrorCategory::Trace) when the file is unreadable, malformed,
+ * or contains no instructions.
+ */
 std::unique_ptr<VectorTrace> loadTraceFile(const std::string &path);
 
 } // namespace bsim::trace

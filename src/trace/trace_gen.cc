@@ -1,5 +1,6 @@
 #include "trace/trace_gen.hh"
 
+#include "common/error.hh"
 #include "common/log.hh"
 
 namespace bsim::trace
@@ -16,13 +17,13 @@ SyntheticGenerator::SyntheticGenerator(const WorkloadProfile &profile,
     : prof_(profile), limit_(num_instructions), rng_(seed ^ 0xb5157a5f00c0ffeeULL)
 {
     if (prof_.memFraction < 0 || prof_.memFraction > 1)
-        fatal("profile %s: memFraction out of range", prof_.name.c_str());
+        throwSimError(ErrorCategory::Config, "profile %s: memFraction out of range", prof_.name.c_str());
     if (prof_.hotFraction < 0 || prof_.hotFraction > 1)
-        fatal("profile %s: hotFraction out of range", prof_.name.c_str());
+        throwSimError(ErrorCategory::Config, "profile %s: hotFraction out of range", prof_.name.c_str());
     if (prof_.seqFraction + prof_.chaseFraction > 1.0)
-        fatal("profile %s: category fractions exceed 1", prof_.name.c_str());
+        throwSimError(ErrorCategory::Config, "profile %s: category fractions exceed 1", prof_.name.c_str());
     if (prof_.numStreams == 0 || prof_.numWriteStreams == 0)
-        fatal("profile %s: need at least one stream", prof_.name.c_str());
+        throwSimError(ErrorCategory::Config, "profile %s: need at least one stream", prof_.name.c_str());
 
     // Carve the footprint into: read-stream regions (first half),
     // write-stream regions (next quarter), chase region (last quarter).

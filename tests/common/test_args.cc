@@ -10,6 +10,8 @@
 
 #include "common/args.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 
 namespace
@@ -139,8 +141,8 @@ TEST(ArgsDeath, NonNumericU64Fatal)
     Argv a({"--count", "abc"});
     std::ostringstream err;
     ASSERT_TRUE(p.parse(a.argc(), a.argv(), err));
-    EXPECT_EXIT(p.u64("count"), testing::ExitedWithCode(1),
-                "not a number");
+    EXPECT_SIM_ERROR(p.u64("count"), bsim::ErrorCategory::Config,
+                     "not a number");
 }
 
 TEST(ArgsDeath, UndeclaredAccessPanics)

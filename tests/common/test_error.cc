@@ -1,0 +1,73 @@
+/**
+ * @file
+ * SimError unit tests: category names, transiency policy, describe()
+ * rendering and the printf-style throw helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+using namespace bsim;
+
+TEST(ErrorCategory, NamesRoundTrip)
+{
+    const ErrorCategory all[] = {
+        ErrorCategory::Config, ErrorCategory::Trace,
+        ErrorCategory::Protocol, ErrorCategory::Resource,
+        ErrorCategory::Internal};
+    for (const ErrorCategory c : all)
+        EXPECT_EQ(parseErrorCategory(errorCategoryName(c)), c);
+}
+
+TEST(ErrorCategory, ParseRejectsUnknownName)
+{
+    try {
+        parseErrorCategory("flaky");
+        FAIL() << "no throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Config);
+    }
+}
+
+TEST(ErrorCategory, OnlyResourceIsTransient)
+{
+    EXPECT_TRUE(errorCategoryTransient(ErrorCategory::Resource));
+    EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Config));
+    EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Trace));
+    EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Protocol));
+    EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Internal));
+}
+
+TEST(SimError, CarriesCategoryMessageAndContext)
+{
+    const SimError e(ErrorCategory::Trace, "bad line",
+                     "line 3: L xyz");
+    EXPECT_EQ(e.category(), ErrorCategory::Trace);
+    EXPECT_STREQ(e.what(), "bad line");
+    EXPECT_EQ(e.context(), "line 3: L xyz");
+}
+
+TEST(SimError, DescribePrefixesCategoryAndAppendsContext)
+{
+    const SimError plain(ErrorCategory::Config, "oops");
+    EXPECT_EQ(plain.describe(), "[config] oops");
+
+    const SimError rich(ErrorCategory::Internal, "hang", "snapshot\nhere");
+    const std::string d = rich.describe();
+    EXPECT_EQ(d.find("[internal] hang"), 0u);
+    EXPECT_NE(d.find("snapshot\nhere"), std::string::npos);
+}
+
+TEST(SimError, ThrowHelperFormats)
+{
+    try {
+        throwSimError(ErrorCategory::Resource, "disk %s after %d tries",
+                      "full", 3);
+        FAIL() << "no throw";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.category(), ErrorCategory::Resource);
+        EXPECT_STREQ(e.what(), "disk full after 3 tries");
+        EXPECT_TRUE(e.context().empty());
+    }
+}

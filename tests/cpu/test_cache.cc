@@ -8,6 +8,8 @@
 
 #include "cpu/cache.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::cpu;
 
@@ -170,8 +172,7 @@ TEST(Cache, ProbeDoesNotTouchLru)
 
 TEST(CacheDeath, RejectsNonPowerOfTwoGeometry)
 {
-    EXPECT_EXIT(Cache({500, 2, 64}), testing::ExitedWithCode(1),
-                "power of two");
+    EXPECT_SIM_ERROR(Cache({500, 2, 64}), bsim::ErrorCategory::Config, "power of two");
 }
 
 TEST(Cache, Table3Geometries)

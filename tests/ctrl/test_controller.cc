@@ -12,6 +12,8 @@
 #include "ctrl/controller.hh"
 #include "dram/memory_system.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 
 namespace
@@ -303,8 +305,8 @@ TEST(ControllerDeath, WriteCapAbovePoolRejected)
     ctrl::ControllerConfig cfg;
     cfg.poolCap = 4;
     cfg.writeCap = 8;
-    EXPECT_EXIT(ctrl::MemoryController(mem, cfg),
-                testing::ExitedWithCode(1), "writeCap");
+    EXPECT_SIM_ERROR(ctrl::MemoryController(mem, cfg), bsim::ErrorCategory::Config,
+                     "writeCap");
 }
 
 TEST(Controller, MechanismNamesRoundTrip)
@@ -315,8 +317,8 @@ TEST(Controller, MechanismNamesRoundTrip)
 
 TEST(ControllerDeath, UnknownMechanismNameFatal)
 {
-    EXPECT_EXIT(ctrl::parseMechanism("NotAMechanism"),
-                testing::ExitedWithCode(1), "unknown mechanism");
+    EXPECT_SIM_ERROR(ctrl::parseMechanism("NotAMechanism"), bsim::ErrorCategory::Config,
+                     "unknown mechanism");
 }
 
 TEST(Controller, WriteCoalescingMergesDuplicates)

@@ -9,6 +9,8 @@
 #include "common/rng.hh"
 #include "dram/address_map.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::dram;
 
@@ -243,8 +245,7 @@ TEST(AddressMapDeath, RejectsNonPowerOfTwo)
 {
     DramConfig cfg;
     cfg.rowsPerBank = 1000;
-    EXPECT_EXIT(AddressMap{cfg}, testing::ExitedWithCode(1),
-                "power of two");
+    EXPECT_SIM_ERROR(AddressMap{cfg}, bsim::ErrorCategory::Config, "power of two");
 }
 
 TEST(AddressMap, CapacityMatchesTable3)

@@ -7,6 +7,8 @@
 
 #include "dram/timing.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim::dram;
 
 TEST(Timing, Ddr2PresetMatchesTable3)
@@ -71,33 +73,33 @@ TEST(TimingDeath, RejectsOddBurstLength)
 {
     Timing t = Timing::ddr2_800();
     t.burstLength = 5;
-    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "burstLength");
+    EXPECT_SIM_ERROR(t.validate(), bsim::ErrorCategory::Config, "burstLength");
 }
 
 TEST(TimingDeath, RejectsZeroCoreTiming)
 {
     Timing t = Timing::ddr2_800();
     t.tCL = 0;
-    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tCL");
+    EXPECT_SIM_ERROR(t.validate(), bsim::ErrorCategory::Config, "tCL");
 }
 
 TEST(TimingDeath, RejectsTrcBelowTras)
 {
     Timing t = Timing::ddr2_800();
     t.tRC = t.tRAS - 1;
-    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tRC");
+    EXPECT_SIM_ERROR(t.validate(), bsim::ErrorCategory::Config, "tRC");
 }
 
 TEST(TimingDeath, RejectsRefreshLongerThanInterval)
 {
     Timing t = Timing::ddr2_800();
     t.tRFC = t.tREFI + 1;
-    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tRFC");
+    EXPECT_SIM_ERROR(t.validate(), bsim::ErrorCategory::Config, "tRFC");
 }
 
 TEST(TimingDeath, RejectsWriteLatencyAboveCl)
 {
     Timing t = Timing::ddr2_800();
     t.tWL = t.tCL + 1;
-    EXPECT_EXIT(t.validate(), testing::ExitedWithCode(1), "tWL");
+    EXPECT_SIM_ERROR(t.validate(), bsim::ErrorCategory::Config, "tWL");
 }

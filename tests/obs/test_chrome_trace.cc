@@ -86,7 +86,9 @@ TEST(ChromeTrace, UnitExportRoundTripsThroughParser)
             continue;
         found_read = true;
         EXPECT_DOUBLE_EQ(e.find("ts")->number, clk.usOf(rd_at));
-        const auto &rec = log.records()[1];
+        // records() returns a fresh vector; copy the element so it
+        // outlives the temporary.
+        const auto rec = log.records()[1];
         EXPECT_DOUBLE_EQ(e.find("dur")->number,
                          clk.usOf(rec.dataEnd - rec.at));
         EXPECT_DOUBLE_EQ(e.find("args")->find("row")->number, 3.0);

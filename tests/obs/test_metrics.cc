@@ -14,6 +14,8 @@
 #include "obs/observability.hh"
 #include "sim/experiment.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::obs;
 
@@ -116,7 +118,7 @@ TEST(MetricsSampler, PartialEpochScalesUtilizationByElapsed)
 
 TEST(MetricsSamplerDeath, ZeroIntervalIsFatal)
 {
-    EXPECT_DEATH(MetricsSampler(0, {}), "interval");
+    EXPECT_SIM_ERROR(MetricsSampler(0, {}), bsim::ErrorCategory::Config, "interval");
 }
 
 TEST(MetricsSampler, CsvHasHeaderAndOneLinePerRow)

@@ -19,6 +19,8 @@
 #include "dram/config.hh"
 #include "obs/protocol_audit.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::dram;
 using namespace bsim::obs;
@@ -232,15 +234,12 @@ TEST(ProtocolAudit, BurstSchedulingInvariants)
     EXPECT_EQ(g.violations()[1].rule, "wp_gate");
 }
 
-TEST(ProtocolAuditDeathTest, FatalModeExitsNonZero)
+TEST(ProtocolAuditDeathTest, FatalModeThrowsProtocolError)
 {
-    EXPECT_EXIT(
-        {
-            ProtocolAuditor a(AuditMode::Fatal, auditCfg());
-            a.onCommand(act(0, 0));
-            a.onCommand(pre(10, 0));
-        },
-        ::testing::ExitedWithCode(1), "t_ras");
+    ProtocolAuditor a(AuditMode::Fatal, auditCfg());
+    a.onCommand(act(0, 0));
+    EXPECT_SIM_ERROR(a.onCommand(pre(10, 0)),
+                     bsim::ErrorCategory::Protocol, "t_ras");
 }
 
 TEST(ProtocolAudit, JsonSummaryRoundTrips)

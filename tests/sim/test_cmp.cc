@@ -10,6 +10,8 @@
 #include "sim/system.hh"
 #include "trace/trace_gen.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::sim;
 
@@ -128,6 +130,6 @@ TEST(Cmp, MoreCoresMoreTraffic)
 TEST(CmpDeath, NoTracesFatal)
 {
     SystemConfig cfg = SystemConfig::baseline();
-    EXPECT_EXIT(System(cfg, std::vector<trace::TraceSource *>{}),
-                testing::ExitedWithCode(1), "at least one workload");
+    EXPECT_SIM_ERROR(System(cfg, std::vector<trace::TraceSource *>{}),
+                     bsim::ErrorCategory::Config, "at least one workload");
 }

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Forward-progress watchdog and wall-clock deadline tests, driven by the
+ * FaultyScheduler fault-injection wrapper: a scheduler that freezes
+ * after N column accesses produces the canonical hang signature (busy
+ * controller, no retirements), which the watchdog must convert into a
+ * diagnosable SimError instead of an infinite loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ctrl/schedulers/factory.hh"
+#include "ctrl/schedulers/faulty.hh"
+#include "sim/experiment.hh"
+
+#include "sim_error_util.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+namespace
+{
+
+/** Small, fast experiment: enough traffic to freeze mid-stream. */
+ExperimentConfig
+smallConfig(EngineKind engine)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.instructions = 4000;
+    cfg.engine = engine;
+    cfg.watchdogCycles = 2000; // >> any legitimate completion gap here
+    return cfg;
+}
+
+/** Factory wrapping the real policy in a freeze-after-N decorator. */
+auto
+freezeFactory(std::uint64_t after)
+{
+    return [after](ctrl::Mechanism m, const ctrl::SchedulerContext &ctx) {
+        return std::make_unique<ctrl::FaultyScheduler>(
+            ctx, ctrl::makeScheduler(m, ctx), after);
+    };
+}
+
+} // namespace
+
+TEST(Watchdog, FrozenSchedulerTripsWatchdogStepEngine)
+{
+    ExperimentConfig cfg = smallConfig(EngineKind::Step);
+    cfg.schedulerFactory = freezeFactory(5);
+    EXPECT_SIM_ERROR(runExperiment(cfg), ErrorCategory::Internal,
+                     "forward-progress watchdog");
+}
+
+TEST(Watchdog, FrozenSchedulerTripsWatchdogSkipEngine)
+{
+    // The frozen wrapper pins nextEventTick to `now`, so the
+    // cycle-skipping engine cannot leap over the hang window: the
+    // watchdog must fire there too.
+    ExperimentConfig cfg = smallConfig(EngineKind::Skip);
+    cfg.schedulerFactory = freezeFactory(5);
+    EXPECT_SIM_ERROR(runExperiment(cfg), ErrorCategory::Internal,
+                     "forward-progress watchdog");
+}
+
+TEST(Watchdog, ErrorCarriesQueueSnapshot)
+{
+    ExperimentConfig cfg = smallConfig(EngineKind::Skip);
+    cfg.schedulerFactory = freezeFactory(5);
+    try {
+        runExperiment(cfg);
+        FAIL() << "no throw";
+    } catch (const SimError &e) {
+        // The context must be the controller snapshot: global pool
+        // occupancy plus per-channel queue depths.
+        EXPECT_NE(e.context().find("pool"), std::string::npos)
+            << e.context();
+        EXPECT_NE(e.context().find("ch0:"), std::string::npos)
+            << e.context();
+        EXPECT_NE(e.context().find("queued reads"), std::string::npos)
+            << e.context();
+    }
+}
+
+TEST(Watchdog, ZeroDisablesIt)
+{
+    // With the watchdog off, the frozen run must instead hit the
+    // drain cap and report that as an internal error — not hang.
+    ExperimentConfig cfg = smallConfig(EngineKind::Skip);
+    cfg.instructions = 400; // keep the capped run short
+    cfg.watchdogCycles = 0;
+    cfg.schedulerFactory = freezeFactory(5);
+    EXPECT_SIM_ERROR(runExperiment(cfg), ErrorCategory::Internal,
+                     "did not drain");
+}
+
+TEST(Watchdog, QuietRunsAreUnaffected)
+{
+    // A healthy run with the default watchdog must complete and match
+    // the unwrapped result exactly (the wrapper is a pure pass-through
+    // until its fault triggers).
+    ExperimentConfig plain = smallConfig(EngineKind::Skip);
+    ExperimentConfig wrapped = plain;
+    wrapped.schedulerFactory =
+        freezeFactory(std::uint64_t(-1)); // never freezes
+    const RunResult a = runExperiment(plain);
+    const RunResult b = runExperiment(wrapped);
+    EXPECT_EQ(a.execCpuCycles, b.execCpuCycles);
+    EXPECT_EQ(a.ctrl.reads, b.ctrl.reads);
+    EXPECT_EQ(a.ctrl.writes, b.ctrl.writes);
+    EXPECT_EQ(a.ctrl.rowHits, b.ctrl.rowHits);
+}
+
+TEST(Watchdog, DeadlineFiresAsResourceError)
+{
+    ExperimentConfig cfg = smallConfig(EngineKind::Step);
+    cfg.instructions = 200000; // long enough to exceed a ~0 deadline
+    cfg.deadlineSec = 1e-9;
+    EXPECT_SIM_ERROR(runExperiment(cfg), ErrorCategory::Resource,
+                     "deadline");
+}

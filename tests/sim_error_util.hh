@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared assertion for structured-error tests: EXPECT_SIM_ERROR checks
+ * that a statement throws SimError with the expected category and a
+ * diagnostic containing the given substring. Replaces the EXPECT_EXIT
+ * patterns from the era when library code called fatal() directly.
+ */
+
+#ifndef BURSTSIM_TESTS_SIM_ERROR_UTIL_HH
+#define BURSTSIM_TESTS_SIM_ERROR_UTIL_HH
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+
+#define EXPECT_SIM_ERROR(stmt, cat, substr)                              \
+    do {                                                                 \
+        bool caught_sim_error_ = false;                                  \
+        try {                                                            \
+            stmt;                                                        \
+        } catch (const bsim::SimError &e_) {                             \
+            caught_sim_error_ = true;                                    \
+            EXPECT_EQ(e_.category(), cat) << "category mismatch for "    \
+                                          << e_.describe();              \
+            EXPECT_NE(e_.describe().find(substr), std::string::npos)     \
+                << "expected substring '" << substr                      \
+                << "' in: " << e_.describe();                            \
+        }                                                                \
+        EXPECT_TRUE(caught_sim_error_)                                   \
+            << #stmt " did not throw SimError";                          \
+    } while (0)
+
+#endif // BURSTSIM_TESTS_SIM_ERROR_UTIL_HH

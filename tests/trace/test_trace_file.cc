@@ -5,10 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "trace/trace_file.hh"
 #include "trace/trace_gen.hh"
+
+#include "sim_error_util.hh"
 
 using namespace bsim;
 using namespace bsim::trace;
@@ -72,15 +76,15 @@ TEST(TraceFile, SkipsCommentsAndBlankLines)
 TEST(TraceFileDeath, UnknownRecordFatal)
 {
     std::stringstream ss("X 1234\n");
-    EXPECT_EXIT(readTrace(ss), testing::ExitedWithCode(1),
-                "unknown record");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "unknown record");
 }
 
 TEST(TraceFileDeath, MissingAddressFatal)
 {
     std::stringstream ss("L\n");
-    EXPECT_EXIT(readTrace(ss), testing::ExitedWithCode(1),
-                "missing address");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "missing address");
 }
 
 TEST(VectorTrace, ReplaysAndRewinds)
@@ -99,6 +103,79 @@ TEST(VectorTrace, ReplaysAndRewinds)
 
 TEST(TraceFileDeath, MissingFileFatal)
 {
-    EXPECT_EXIT(loadTraceFile("/nonexistent/path/trace.txt"),
-                testing::ExitedWithCode(1), "cannot open");
+    EXPECT_SIM_ERROR(loadTraceFile("/nonexistent/path/trace.txt"),
+                     bsim::ErrorCategory::Trace, "cannot open");
+}
+
+// --- malformed-input corpus (structured Trace errors with position) ---
+
+TEST(TraceFileMalformed, NonHexAddressReportsColumn)
+{
+    std::stringstream ss("C\nL 12xz\n");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "non-hex address");
+}
+
+TEST(TraceFileMalformed, ErrorsCarryLineNumber)
+{
+    std::stringstream ss("C\nC\nS nope\n");
+    try {
+        readTrace(ss);
+        FAIL() << "no throw";
+    } catch (const bsim::SimError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceFileMalformed, TruncatedLineIsMissingAddress)
+{
+    std::stringstream ss("L 1000\nS\n");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "missing address");
+}
+
+TEST(TraceFileMalformed, TrailingTextAfterAddress)
+{
+    std::stringstream ss("L 1000 extra\n");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "unexpected text");
+}
+
+TEST(TraceFileMalformed, AddressWiderThan64Bits)
+{
+    std::stringstream ss("L 123456789abcdef01\n");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "wider than 64 bits");
+}
+
+TEST(TraceFileMalformed, EmbeddedNulByte)
+{
+    std::string line = "L 1000\nC\n";
+    line[7] = '\0'; // NUL where the record char should be
+    std::stringstream ss(line);
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace, "NUL");
+}
+
+TEST(TraceFileMalformed, ComputeWithTrailingTextRejected)
+{
+    std::stringstream ss("C 1234\n");
+    EXPECT_SIM_ERROR(readTrace(ss), bsim::ErrorCategory::Trace,
+                     "unexpected text");
+}
+
+TEST(TraceFileMalformed, CrlfLineEndingsAccepted)
+{
+    std::stringstream ss("C\r\nL 40\r\n");
+    EXPECT_EQ(readTrace(ss).size(), 2u);
+}
+
+TEST(TraceFileMalformed, EmptyFileRejectedByLoader)
+{
+    const std::string path = testing::TempDir() + "/bsim_empty.trace";
+    { std::ofstream(path) << "# only a comment\n"; }
+    EXPECT_SIM_ERROR(loadTraceFile(path), bsim::ErrorCategory::Trace,
+                     "no instructions");
+    std::remove(path.c_str());
 }

@@ -11,6 +11,8 @@
 #include "trace/spec_profiles.hh"
 #include "trace/trace_gen.hh"
 
+#include "sim_error_util.hh"
+
 using namespace bsim;
 using namespace bsim::trace;
 
@@ -203,16 +205,16 @@ TEST(TraceGenDeath, RejectsBadFractions)
     WorkloadProfile p = simpleProfile();
     p.seqFraction = 0.8;
     p.chaseFraction = 0.5;
-    EXPECT_EXIT(SyntheticGenerator(p, 10, 1), testing::ExitedWithCode(1),
-                "fractions");
+    EXPECT_SIM_ERROR(SyntheticGenerator(p, 10, 1),
+                     bsim::ErrorCategory::Config, "fractions");
 }
 
 TEST(TraceGenDeath, RejectsBadMemFraction)
 {
     WorkloadProfile p = simpleProfile();
     p.memFraction = 1.5;
-    EXPECT_EXIT(SyntheticGenerator(p, 10, 1), testing::ExitedWithCode(1),
-                "memFraction");
+    EXPECT_SIM_ERROR(SyntheticGenerator(p, 10, 1),
+                     bsim::ErrorCategory::Config, "memFraction");
 }
 
 TEST(SpecProfiles, SixteenBenchmarksInFigureOrder)
@@ -249,6 +251,6 @@ TEST(SpecProfiles, PointerBenchmarksHaveChains)
 
 TEST(SpecProfilesDeath, UnknownNameFatal)
 {
-    EXPECT_EXIT(profileByName("doom3"), testing::ExitedWithCode(1),
-                "unknown workload");
+    EXPECT_SIM_ERROR(profileByName("doom3"),
+                     bsim::ErrorCategory::Config, "unknown workload");
 }

@@ -10,6 +10,9 @@
  *   burstsim --list
  */
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,17 +20,28 @@
 #include <vector>
 
 #include "common/args.hh"
+#include "common/error.hh"
 #include "common/log.hh"
 #include "common/table.hh"
 #include "obs/observability.hh"
 #include "sim/experiment.hh"
 #include "sim/report.hh"
+#include "sim/sweep.hh"
 #include "trace/spec_profiles.hh"
 
 using namespace bsim;
 
 namespace
 {
+
+/** SIGINT: finish in-flight sweep points, flush the journal, exit 130. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    g_interrupted.store(true);
+}
 
 std::vector<std::string>
 splitCommas(const std::string &s)
@@ -105,6 +119,15 @@ configFrom(const ArgParser &args)
         cfg.obs.audit = obs::AuditMode::Fatal;
     else if (audit != "off")
         fatal("--audit must be 'off', 'warn' or 'fatal'");
+
+    cfg.watchdogCycles = args.u64("watchdog-cycles");
+    const std::string &deadline = args.str("deadline-sec");
+    if (!deadline.empty()) {
+        char *end = nullptr;
+        cfg.deadlineSec = std::strtod(deadline.c_str(), &end);
+        if (end == deadline.c_str() || *end || cfg.deadlineSec < 0)
+            fatal("--deadline-sec must be a non-negative number");
+    }
     return cfg;
 }
 
@@ -123,8 +146,8 @@ writeFileOrDie(const std::string &path, Fn emit)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+runCli(int argc, char **argv)
 {
     ArgParser args("burstsim",
                    "cycle-level DDR2 memory system simulator reproducing "
@@ -149,7 +172,25 @@ main(int argc, char **argv)
                    "parallel runs in --sweep mode (0 = all cores)");
     args.addOption("cmp", "",
                    "comma-separated workloads, one core each (CMP mode)");
-    args.addFlag("sweep", "run all eight mechanisms and compare");
+    args.addFlag("sweep", "run all eight mechanisms and compare; "
+                          "--workload may list several (commas), and "
+                          "'@/path' entries replay trace files");
+    args.addOption("retries", "2",
+                   "extra attempts for transiently failed sweep points");
+    args.addOption("max-failures", "",
+                   "abort the sweep after this many failed points "
+                   "(default: never abort)");
+    args.addOption("sweep-journal", "",
+                   "checkpoint file: completed points are appended and "
+                   "skipped on rerun (resumable sweeps)");
+    args.addOption("sweep-out", "",
+                   "write the sweep report as CSV to this path");
+    args.addOption("watchdog-cycles", "50000",
+                   "fail a run when no access retires for this many "
+                   "busy memory cycles (0 = off)");
+    args.addOption("deadline-sec", "0",
+                   "fail a run exceeding this wall-clock budget "
+                   "(0 = none)");
     args.addFlag("json", "emit machine-readable JSON");
     args.addFlag("list", "list workloads and mechanisms, then exit");
     args.addFlag("dynamic-threshold",
@@ -211,26 +252,54 @@ main(int argc, char **argv)
     }
 
     if (args.flag("sweep")) {
-        std::vector<ctrl::Mechanism> mechs(
-            std::begin(ctrl::kAllMechanisms),
-            std::end(ctrl::kAllMechanisms));
-        const auto results = sim::runMechanismSweep(
-            args.str("workload"), mechs, args.u64("instructions"),
-            unsigned(args.u64("jobs")), parseEngine(args));
-        Table t;
-        t.header({"mechanism", "exec cycles", "norm", "read lat",
-                  "write lat", "row hit", "GB/s"});
-        const double base = double(results[0].execCpuCycles);
-        for (const auto &r : results) {
-            t.row({ctrl::mechanismName(r.mechanism),
-                   std::to_string(r.execCpuCycles),
-                   Table::num(double(r.execCpuCycles) / base, 3),
-                   Table::num(r.ctrl.readLatency.mean(), 1),
-                   Table::num(r.ctrl.writeLatency.mean(), 1),
-                   Table::pct(r.ctrl.rowHitRate()),
-                   Table::num(r.bandwidthGBs, 2)});
+        // Points: every listed workload under every mechanism, in
+        // workload-major order (deterministic slot layout).
+        const sim::ExperimentConfig base = configFrom(args);
+        std::vector<sim::ExperimentConfig> points;
+        for (const std::string &wl : splitCommas(args.str("workload"))) {
+            for (ctrl::Mechanism m : ctrl::kAllMechanisms) {
+                sim::ExperimentConfig cfg = base;
+                cfg.workload = wl;
+                cfg.mechanism = m;
+                points.push_back(cfg);
+            }
         }
-        t.print(std::cout);
+
+        sim::SweepOptions opt;
+        opt.jobs = unsigned(args.u64("jobs"));
+        opt.maxAttempts = unsigned(args.u64("retries")) + 1;
+        if (!args.str("max-failures").empty())
+            opt.maxFailures = args.u64("max-failures");
+        opt.journal = args.str("sweep-journal");
+        opt.cancel = &g_interrupted;
+
+        std::signal(SIGINT, onSigint);
+        const sim::SweepReport rep = sim::runExperimentSweep(points, opt);
+        std::signal(SIGINT, SIG_DFL);
+
+        sim::writeSweepTable(std::cout, points, rep);
+        if (const std::string &path = args.str("sweep-out");
+            !path.empty()) {
+            writeFileOrDie(path, [&](std::ostream &os) {
+                sim::writeSweepCsv(os, points, rep);
+            });
+        }
+        if (const std::size_t failed = rep.failures())
+            std::cerr << "burstsim: " << failed << " of "
+                      << points.size() << " sweep points failed\n";
+        if (rep.journaled())
+            std::cerr << "burstsim: " << rep.journaled()
+                      << " points restored from journal\n";
+        if (rep.cancelled) {
+            std::cerr << "burstsim: sweep interrupted; completed points "
+                         "are journaled\n";
+            return 130;
+        }
+        if (rep.aborted) {
+            std::cerr << "burstsim: sweep aborted after exceeding "
+                         "--max-failures\n";
+            return 3;
+        }
         return 0;
     }
 
@@ -261,4 +330,17 @@ main(int argc, char **argv)
         });
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    // Library code reports failures as SimError; turning one into a
+    // process exit happens here and nowhere else.
+    try {
+        return runCli(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << "burstsim: " << e.describe() << '\n';
+        return 1;
+    }
 }
