@@ -395,8 +395,27 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
     const auto &dcfg = mem_.config();
     if (!dcfg.timing.tREFI)
         return false;
-    if (eventDriven_ && now < refreshWake_[channel])
+    if (eventDriven_ && now < refreshWake_[channel]) {
+        // Memo invariant: a nonzero wake means no rank of this channel
+        // is pending (every pending path below zeroes the memo first)
+        // and the earliest deadline is >= wake (nextDue only grows).
+        // If either ever breaks, a pending rank's refresh would be
+        // deferred past its deadline silently — fail loudly instead.
+        for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
+            const auto &st =
+                refresh_[channel * dcfg.ranksPerChannel + r];
+            if (st.pending || st.nextDue < refreshWake_[channel])
+                throwSimError(
+                    ErrorCategory::Internal,
+                    "refresh wake memo stale: ch%u wake=%llu rank%u "
+                    "pending=%d nextDue=%llu at tick %llu",
+                    channel,
+                    (unsigned long long)refreshWake_[channel], r,
+                    int(st.pending), (unsigned long long)st.nextDue,
+                    (unsigned long long)now);
+        }
         return false; // no rank pending and none due before this tick
+    }
 
     Tick wake = kTickMax;
     for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
@@ -411,12 +430,17 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
             }
         }
 
-        // Precharge any open bank; then refresh the rank.
+        // Precharge any open bank; then refresh the rank. The drain
+        // gate bars the scheduler from re-activating banks we close
+        // here — without it a busy burst scheduler re-opens rows as
+        // fast as we precharge them and the refresh starves forever
+        // (watchdog livelock: ACT/PRE ping-pong, nothing retires).
         dram::Coords c;
         c.channel = channel;
         c.rank = r;
 
         refreshWake_[channel] = 0; // a rank is pending: run every tick
+        mem_.setRefreshDrain(channel, r, true);
 
         dram::Command ref{dram::CmdType::RefreshAll, c, 0};
         if (mem_.canIssue(ref, now)) {
@@ -424,6 +448,7 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
             st.pending = false;
             st.nextDue += dcfg.timing.tREFI;
             stats_.refreshes += 1;
+            mem_.setRefreshDrain(channel, r, false);
             return true;
         }
         for (std::uint32_t b = 0; b < dcfg.banksPerRank; ++b) {

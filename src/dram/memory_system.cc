@@ -17,6 +17,9 @@ MemorySystem::MemorySystem(const DramConfig &cfg)
     predictor_.assign(std::size_t(cfg_.channels) * cfg_.ranksPerChannel *
                           cfg_.banksPerRank,
                       1);
+    refreshDrain_.assign(std::size_t(cfg_.channels) *
+                             cfg_.ranksPerChannel,
+                         0);
 }
 
 std::uint8_t &
@@ -140,6 +143,8 @@ MemorySystem::whyBlocked(const Command &cmd, Tick now) const
       case CmdType::Activate:
         if (b.isOpen())
             return StallCause::WrongState;
+        if (refreshDraining(cmd.at.channel, cmd.at.rank))
+            return StallCause::RefreshDrain;
         if (now < b.actAllowedAt())
             return b.actBlockCause();
         return r.activateBlock(now, t);
@@ -192,6 +197,10 @@ MemorySystem::blockedUntil(const Command &cmd, Tick now) const
         return now;
       case CmdType::Activate:
         if (b.isOpen())
+            return kTickMax;
+        // A drain gate only clears when the refresh engine issues the
+        // pending RefreshAll — an external state change, like WrongState.
+        if (refreshDraining(cmd.at.channel, cmd.at.rank))
             return kTickMax;
         if (now < b.actAllowedAt())
             return b.actAllowedAt();

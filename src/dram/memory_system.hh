@@ -162,6 +162,31 @@ class MemorySystem
         return channels_[channel].rank(rank);
     }
 
+    /**
+     * Refresh-drain gate: while set for a rank, Activate commands to it
+     * are reported blocked (StallCause::RefreshDrain), so schedulers
+     * stop opening rows and the rank's banks can close for the pending
+     * RefreshAll. Without this gate a busy scheduler can re-activate
+     * banks as fast as the refresh engine precharges them and starve
+     * the refresh forever. Set and cleared by the controller's refresh
+     * engine; never by the device itself.
+     */
+    void
+    setRefreshDrain(std::uint32_t channel, std::uint32_t rank, bool on)
+    {
+        refreshDrain_[std::size_t(channel) * cfg_.ranksPerChannel +
+                      rank] = on;
+    }
+
+    /** Is the refresh-drain gate set for this rank? */
+    bool
+    refreshDraining(std::uint32_t channel, std::uint32_t rank) const
+    {
+        return refreshDrain_[std::size_t(channel) *
+                                 cfg_.ranksPerChannel +
+                             rank] != 0;
+    }
+
   private:
     Bank &bankRef(const Coords &c);
 
@@ -178,6 +203,7 @@ class MemorySystem
     class CommandLog *log_ = nullptr;
     class CommandObserver *observer_ = nullptr;
     std::vector<std::uint8_t> predictor_;
+    std::vector<std::uint8_t> refreshDrain_;
     std::uint64_t predCloses_ = 0;
     std::uint64_t predColumns_ = 0;
     CommandCounts cmdCounts_;

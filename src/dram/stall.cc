@@ -27,6 +27,7 @@ stallCauseName(StallCause c)
       case StallCause::TimingCmdBus: return "cmd_bus_busy";
       case StallCause::ThresholdGated: return "threshold_gated";
       case StallCause::ArbLoss: return "arb_loss";
+      case StallCause::RefreshDrain: return "refresh_drain";
       case StallCause::WrongState: return "wrong_state";
     }
     return "?";

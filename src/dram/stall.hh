@@ -55,6 +55,7 @@ enum class StallCause : std::uint8_t
     // Policy causes (reported by Scheduler::stallScan).
     ThresholdGated, //!< writes postponed by read-priority / RP-WP policy
     ArbLoss,        //!< issuable (or near), but lost arbitration
+    RefreshDrain,   //!< new activates barred: rank drains for refresh
 
     WrongState, //!< bank state does not match the command (defensive)
 };

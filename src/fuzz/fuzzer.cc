@@ -1,0 +1,74 @@
+#include "fuzz/fuzzer.hh"
+
+#include <chrono>
+#include <ostream>
+
+namespace bsim::fuzz
+{
+
+FuzzReport
+runFuzz(const FuzzOptions &opt)
+{
+    using clock = std::chrono::steady_clock;
+    const auto started = clock::now();
+    const auto overBudget = [&] {
+        if (opt.timeBudgetSec <= 0)
+            return false;
+        const std::chrono::duration<double> spent =
+            clock::now() - started;
+        return spent.count() >= opt.timeBudgetSec;
+    };
+
+    FuzzReport rep;
+    // Offset the seed stream from the experiment seeds the points
+    // themselves use, so campaign seed 20070212 does not correlate the
+    // sampler with the workload generators.
+    Rng rng(opt.seed ^ 0xf022ed5eedULL);
+
+    for (unsigned i = 0; i < opt.runs; ++i) {
+        if (overBudget()) {
+            rep.outOfTime = true;
+            break;
+        }
+        const FuzzPoint p = samplePoint(rng);
+        const OracleVerdict v = checkPoint(p, opt.oracle);
+        rep.executed += 1;
+        if (v.ok) {
+            if (opt.progress && (i + 1) % 25 == 0)
+                *opt.progress << "fuzz: " << (i + 1) << '/' << opt.runs
+                              << " points clean\n";
+            continue;
+        }
+
+        FuzzFailure f;
+        f.runIndex = i;
+        f.original = p;
+        f.minimized = p;
+        f.verdict = v;
+        if (opt.progress)
+            *opt.progress << "fuzz: run " << i << " FAILED [" << v.oracle
+                          << "] " << pointLabel(p) << ": " << v.detail
+                          << '\n';
+        if (opt.shrink) {
+            ShrinkOptions so = opt.shrinkOpt;
+            so.oracle = opt.oracle;
+            const ShrinkOutcome sh = shrinkPoint(p, so);
+            if (!sh.verdict.ok) {
+                f.minimized = sh.point;
+                f.verdict = sh.verdict;
+                if (opt.progress)
+                    *opt.progress
+                        << "fuzz: shrunk to " << pointLabel(sh.point)
+                        << " (" << axesChangedFromDefault(sh.point)
+                        << " axes off default, " << sh.evaluations
+                        << " probes)\n";
+            }
+        }
+        rep.failures.push_back(std::move(f));
+        if (opt.maxFailures && rep.failures.size() >= opt.maxFailures)
+            break;
+    }
+    return rep;
+}
+
+} // namespace bsim::fuzz

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The differential fuzzing campaign driver.
+ *
+ * Deterministic by construction: a campaign is fully described by
+ * (seed, runs) — the xoshiro-based Rng stream drives every sampled
+ * axis, so `burstsim_fuzz --seed 7 --runs 50` explores the same fifty
+ * points on any machine. Each point is evaluated against the oracle
+ * battery (oracle.hh); failures are minimised by the shrinker
+ * (shrink.hh) and reported with a replayable repro file body.
+ *
+ * The optional wall-clock budget exists for CI smoke jobs: the
+ * campaign stops *between* points when the budget is exceeded, so a
+ * budgeted run is a deterministic prefix of the unbudgeted one.
+ */
+
+#ifndef BURSTSIM_FUZZ_FUZZER_HH
+#define BURSTSIM_FUZZ_FUZZER_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+#include "fuzz/point.hh"
+#include "fuzz/shrink.hh"
+
+namespace bsim::fuzz
+{
+
+/** Campaign policy. */
+struct FuzzOptions
+{
+    std::uint64_t seed = 1;
+    unsigned runs = 100;
+    /** Stop early after this many seconds of wall clock (0 = none). */
+    double timeBudgetSec = 0.0;
+    /** Minimise failures before reporting them. */
+    bool shrink = true;
+    /** Stop the campaign after this many failures (0 = keep going). */
+    unsigned maxFailures = 0;
+    OracleOptions oracle;
+    ShrinkOptions shrinkOpt;
+    /** Progress notes ("run 12/200 FAIL ..."), null = quiet. */
+    std::ostream *progress = nullptr;
+};
+
+/** One failure: the sampled point, its minimised form, the verdict. */
+struct FuzzFailure
+{
+    unsigned runIndex = 0;   //!< which sampled point (0-based)
+    FuzzPoint original;
+    FuzzPoint minimized;     //!< == original when shrinking is off
+    OracleVerdict verdict;   //!< verdict of the minimised point
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    unsigned executed = 0;   //!< points actually evaluated
+    bool outOfTime = false;  //!< stopped by the wall-clock budget
+    std::vector<FuzzFailure> failures;
+};
+
+/** Run one campaign. */
+FuzzReport runFuzz(const FuzzOptions &opt = {});
+
+} // namespace bsim::fuzz
+
+#endif // BURSTSIM_FUZZ_FUZZER_HH

@@ -1,0 +1,185 @@
+#include "fuzz/oracle.hh"
+
+#include <sstream>
+
+#include "common/error.hh"
+#include "obs/observability.hh"
+#include "sim/report.hh"
+#include "trace/spec_profiles.hh"
+
+namespace bsim::fuzz
+{
+
+namespace
+{
+
+/** First byte position where @p a and @p b differ, with context. */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::size_t i = 0;
+    const std::size_t n = std::min(a.size(), b.size());
+    while (i < n && a[i] == b[i])
+        i += 1;
+    const std::size_t from = i > 30 ? i - 30 : 0;
+    std::ostringstream os;
+    os << "first diff at byte " << i << ": step=\""
+       << a.substr(from, 60) << "\" skip=\"" << b.substr(from, 60)
+       << '"';
+    return os.str();
+}
+
+std::string
+resultJson(const sim::RunResult &r)
+{
+    std::ostringstream os;
+    sim::writeResultJson(os, r);
+    return os.str();
+}
+
+std::string
+stallJson(const sim::RunResult &r)
+{
+    std::ostringstream os;
+    if (r.obs)
+        r.obs->writeStallJson(os);
+    return os.str();
+}
+
+/**
+ * Run @p p on @p engine with the auditing pillars on. SimErrors are
+ * translated into oracle verdicts: protocol errors are audit findings,
+ * anything else (watchdog, drain cap, unexpected config rejection) is
+ * a simulator defect the fuzzer must report, not swallow.
+ */
+bool
+runOne(const FuzzPoint &p, const OracleOptions &opt,
+       sim::EngineKind engine, sim::RunResult &out, OracleVerdict &v)
+{
+    sim::ExperimentConfig cfg = toConfig(p, opt.scratchDir);
+    cfg.engine = engine;
+    cfg.obs.audit = obs::AuditMode::Fatal;
+    cfg.obs.stallAttribution = true;
+    if (opt.configTweak)
+        opt.configTweak(cfg);
+    try {
+        out = sim::runExperiment(cfg);
+        return true;
+    } catch (const SimError &e) {
+        v.ok = false;
+        switch (e.category()) {
+          case ErrorCategory::Protocol:
+            v.oracle = "audit_clean";
+            break;
+          case ErrorCategory::Internal:
+            v.oracle = "no_hang";
+            break;
+          case ErrorCategory::Config:
+            v.oracle = "valid_config";
+            break;
+          default:
+            v.oracle = "run_error";
+            break;
+        }
+        v.detail = std::string(sim::engineKindName(engine)) +
+                   " engine: " + e.describe();
+        return false;
+    }
+}
+
+/**
+ * Row-hit-heavy means the miss stream is dominated by sequential
+ * same-row runs: exactly the workloads for which the paper's Figure 10
+ * ordering (Burst at least matches BkInOrder) must hold. Pointer-chase
+ * or latency-bound profiles are excluded — with MLP 1 there is nothing
+ * to reorder and the comparison is noise.
+ */
+bool
+rowHitHeavy(const FuzzPoint &p)
+{
+    if (p.workload == kInlineTraceWorkload)
+        return false;
+    const trace::WorkloadProfile &prof =
+        trace::profileByName(p.workload);
+    return prof.seqFraction >= 0.5 && prof.chaseFraction == 0.0 &&
+           prof.clusterBlocks >= 2;
+}
+
+} // namespace
+
+OracleVerdict
+checkPoint(const FuzzPoint &p, const OracleOptions &opt)
+{
+    OracleVerdict v;
+
+    sim::RunResult step, skip;
+    if (!runOne(p, opt, sim::EngineKind::Step, step, v))
+        return v;
+    if (!runOne(p, opt, sim::EngineKind::Skip, skip, v))
+        return v;
+
+    // Engine equivalence: every exported statistic, byte for byte.
+    const std::string sj = resultJson(step), kj = resultJson(skip);
+    if (sj != kj) {
+        v.ok = false;
+        v.oracle = "engine_equivalence";
+        v.detail = "result JSON diverges; " + firstDiff(sj, kj);
+        return v;
+    }
+    const std::string ss = stallJson(step), ks = stallJson(skip);
+    if (ss != ks) {
+        v.ok = false;
+        v.oracle = "engine_equivalence";
+        v.detail = "stall JSON diverges; " + firstDiff(ss, ks);
+        return v;
+    }
+
+    // Telescoping identity: each channel's cause counts partition its
+    // attributed cycles, and every channel was attributed for exactly
+    // the run's memory cycles.
+    if (const obs::StallAttribution *st =
+            skip.obs ? skip.obs->stalls() : nullptr) {
+        for (std::uint32_t ch = 0; ch < st->numChannels(); ++ch) {
+            std::uint64_t sum = 0;
+            for (std::size_t c = 0; c < dram::kNumStallCauses; ++c)
+                sum += st->count(ch, dram::StallCause(c));
+            if (sum != st->cycles(ch) ||
+                st->cycles(ch) != skip.memCycles) {
+                v.ok = false;
+                v.oracle = "telescoping";
+                std::ostringstream os;
+                os << "channel " << ch << ": cause sum " << sum
+                   << ", attributed cycles " << st->cycles(ch)
+                   << ", mem cycles " << skip.memCycles;
+                v.detail = os.str();
+                return v;
+            }
+        }
+    }
+
+    // Cross-scheduler sanity bound on row-hit-heavy streams.
+    if (opt.crossScheduler && rowHitHeavy(p)) {
+        FuzzPoint burst = p, base = p;
+        burst.mechanism = ctrl::Mechanism::Burst;
+        base.mechanism = ctrl::Mechanism::BkInOrder;
+        sim::RunResult rb, r0;
+        if (!runOne(burst, opt, sim::EngineKind::Skip, rb, v))
+            return v;
+        if (!runOne(base, opt, sim::EngineKind::Skip, r0, v))
+            return v;
+        if (double(rb.execCpuCycles) >
+            double(r0.execCpuCycles) * opt.crossSchedTolerance) {
+            v.ok = false;
+            v.oracle = "cross_scheduler";
+            std::ostringstream os;
+            os << "Burst " << rb.execCpuCycles
+               << " cycles vs BkInOrder " << r0.execCpuCycles
+               << " (tolerance " << opt.crossSchedTolerance << "x)";
+            v.detail = os.str();
+            return v;
+        }
+    }
+    return v;
+}
+
+} // namespace bsim::fuzz

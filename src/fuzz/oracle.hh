@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The oracles: properties every FuzzPoint must satisfy.
+ *
+ *  - valid_config    the sampled point must be accepted by the config
+ *                    validators (a rejection is a sampler bug);
+ *  - audit_clean     with the protocol auditor fatal, no run may
+ *                    violate a DDR2 timing rule or burst invariant;
+ *  - no_hang         the forward-progress watchdog must never fire
+ *                    (and no other internal error may surface);
+ *  - engine_equivalence
+ *                    the step and skip engines must produce byte-
+ *                    identical result and stall-attribution JSON;
+ *  - telescoping     per channel, the per-cause stall counts must sum
+ *                    exactly to the attributed cycles, which must equal
+ *                    the run's memory cycles;
+ *  - cross_scheduler on row-hit-heavy synthetic streams, Burst must
+ *                    not be slower than BkInOrder beyond a tolerance
+ *                    (the paper's headline ordering, Figure 10).
+ *
+ * checkPoint() runs them all and returns the first failure. The
+ * configTweak hook exists for the test suite: it lets a test inject a
+ * deliberate bug (e.g. a freezing scheduler decorator) underneath the
+ * oracles to prove the fuzzer catches and shrinks it.
+ */
+
+#ifndef BURSTSIM_FUZZ_ORACLE_HH
+#define BURSTSIM_FUZZ_ORACLE_HH
+
+#include <functional>
+#include <string>
+
+#include "fuzz/point.hh"
+
+namespace bsim::fuzz
+{
+
+/** Oracle evaluation knobs. */
+struct OracleOptions
+{
+    /** Scratch dir for inline-trace materialisation ("" = temp dir). */
+    std::string scratchDir;
+    /** Burst may be at most this factor slower than BkInOrder. */
+    double crossSchedTolerance = 1.15;
+    /** Skip the (expensive) two-run cross-scheduler bound. */
+    bool crossScheduler = true;
+    /** Test hook: mutate the lowered config before each run. */
+    std::function<void(sim::ExperimentConfig &)> configTweak;
+};
+
+/** Outcome of evaluating one point against every oracle. */
+struct OracleVerdict
+{
+    bool ok = true;
+    std::string oracle; //!< failing oracle id ("" when ok)
+    std::string detail; //!< human-readable failure description
+};
+
+/** Evaluate @p p against all oracles; first failure wins. */
+OracleVerdict checkPoint(const FuzzPoint &p,
+                         const OracleOptions &opt = {});
+
+} // namespace bsim::fuzz
+
+#endif // BURSTSIM_FUZZ_ORACLE_HH

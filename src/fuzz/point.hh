@@ -1,0 +1,96 @@
+/**
+ * @file
+ * One point of the differential fuzzer's search space.
+ *
+ * A FuzzPoint is a flat, serialisable description of everything a run
+ * depends on: workload (a synthetic SPEC profile, or an inline text
+ * trace carried inside the point), scheduler mechanism, threshold,
+ * DRAM geometry and page/mapping policy, device generation, timing
+ * variant, and the extension switches. Points round-trip through a
+ * text "repro file" format, so every failure the fuzzer finds becomes
+ * a checked-in file anyone can replay with
+ *     burstsim_fuzz --replay <file>
+ * and the shrinker (shrink.hh) can walk the space axis by axis.
+ *
+ * The point deliberately excludes std::function hooks and file paths:
+ * everything needed to reproduce a run travels in the file itself.
+ */
+
+#ifndef BURSTSIM_FUZZ_POINT_HH
+#define BURSTSIM_FUZZ_POINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/experiment.hh"
+
+namespace bsim::fuzz
+{
+
+/** Sentinel workload name: the point carries its own trace lines. */
+inline const char *const kInlineTraceWorkload = "@inline";
+
+/** One sampled / shrunk / replayed configuration point. */
+struct FuzzPoint
+{
+    /** Synthetic profile name, or kInlineTraceWorkload with `trace`. */
+    std::string workload = "swim";
+    /** Trace-file lines (without newlines) when workload is inline. */
+    std::vector<std::string> trace;
+
+    ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+    std::uint64_t instructions = 6000; //!< ignored for inline traces
+    std::uint64_t seed = 20070212;
+    std::size_t threshold = 52;
+    dram::PagePolicy pagePolicy = dram::PagePolicy::OpenPage;
+    dram::AddressMapKind addressMap = dram::AddressMapKind::PageInterleave;
+    sim::DeviceGen device = sim::DeviceGen::DDR2_800;
+    sim::TimingVariant timingVariant = sim::TimingVariant::Baseline;
+    std::uint32_t channels = 0; //!< 0 = Table 3 baseline
+    std::uint32_t ranksPerChannel = 0;
+    std::uint32_t banksPerRank = 0;
+    bool dynamicThreshold = false;
+    bool sortBurstsBySize = false;
+    bool criticalFirst = false;
+    bool rankAware = true;
+    bool coalesceWrites = false;
+    std::uint32_t robSize = 0;
+    std::uint32_t issueWidth = 0;
+};
+
+/** The all-defaults point (the shrinker's target). */
+FuzzPoint defaultPoint();
+
+/** Deterministically sample one point from @p rng. */
+FuzzPoint samplePoint(Rng &rng);
+
+/**
+ * Lower @p p onto an ExperimentConfig. Inline traces are materialised
+ * under @p scratch_dir (content-addressed file name, so repeated runs
+ * of the same point reuse one file); empty uses the system temp dir.
+ */
+sim::ExperimentConfig toConfig(const FuzzPoint &p,
+                               const std::string &scratch_dir = "");
+
+/**
+ * Number of config axes of @p p that differ from defaultPoint().
+ * `instructions` and the inline trace length do not count: they are
+ * the "trace prefix" dimension, minimised separately by the shrinker.
+ */
+int axesChangedFromDefault(const FuzzPoint &p);
+
+/** Compact one-line description, e.g. "mcf/Burst pp=predictive". */
+std::string pointLabel(const FuzzPoint &p);
+
+/** Render @p p as a repro file; @p note becomes a header comment. */
+std::string serializePoint(const FuzzPoint &p,
+                           const std::string &note = "");
+
+/** Parse a repro file; throws SimError(Config) on malformed input. */
+FuzzPoint parsePoint(const std::string &text);
+
+} // namespace bsim::fuzz
+
+#endif // BURSTSIM_FUZZ_POINT_HH

@@ -235,7 +235,15 @@ ProtocolAuditor::checkRead(const CommandRecord &rec)
         b.open = false;
         b.preValid = true;
         b.lastPreAt = pre_at;
-        b.disturbed = true;
+        // An auto-precharge is tracked apart from explicit PRE/REF
+        // disturbances: the burst hook for this very command fires at
+        // the same tick and must not count it against this access (see
+        // noteBurstRead). An older unconsumed one folds into the
+        // ordinary disturbed flag first.
+        if (b.selfPre)
+            b.disturbed = true;
+        b.selfPre = true;
+        b.selfPreAt = at;
     }
 
     ch.dataUsed = true;
@@ -280,7 +288,10 @@ ProtocolAuditor::checkWrite(const CommandRecord &rec)
         b.open = false;
         b.preValid = true;
         b.lastPreAt = pre_at;
-        b.disturbed = true;
+        if (b.selfPre)
+            b.disturbed = true;
+        b.selfPre = true;
+        b.selfPreAt = at;
     }
 
     r.rdReadyAt = std::max(r.rdReadyAt, b.lastWrDataEnd + t_.tWTR);
@@ -363,13 +374,23 @@ ProtocolAuditor::noteBurstRead(Tick now, const Coords &coords,
                                dram::RowOutcome outcome)
 {
     BankShadow &b = bankOf(coords);
-    if (!first_of_burst && !b.disturbed &&
+    // This hook fires after the column access itself was audited, so a
+    // close-page auto-precharge carried by this very command is already
+    // recorded (selfPre at tick `now`). That precharge is an intervening
+    // disturbance for the NEXT access of the burst, not for this one:
+    // judge this access only on disturbances strictly before `now`, and
+    // consume only those, leaving a same-tick auto-precharge armed.
+    const bool disturbed_before =
+        b.disturbed || (b.selfPre && b.selfPreAt < now);
+    if (!first_of_burst && !disturbed_before &&
         outcome != dram::RowOutcome::Hit)
         flag(now, CmdType::Read, coords, "burst_row_hit",
              std::string("non-first access of a burst classified ") +
                  rowOutcomeName(outcome) +
                  " with no intervening precharge/refresh");
     b.disturbed = false;
+    if (b.selfPre && b.selfPreAt < now)
+        b.selfPre = false;
 }
 
 void

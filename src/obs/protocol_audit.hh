@@ -114,6 +114,8 @@ class ProtocolAuditor : public dram::CommandObserver
         bool wrValid = false;
         Tick lastWrDataEnd = 0; //!< latest write's data end, this interval
         bool disturbed = true;  //!< PRE/REF since the last burst access
+        bool selfPre = false;   //!< unconsumed auto-precharge disturbance
+        Tick selfPreAt = 0;     //!< tick of that auto-precharge
     };
 
     struct RankShadow

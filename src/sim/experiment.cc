@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 
@@ -78,6 +79,31 @@ deviceGenName(DeviceGen g)
     return "?";
 }
 
+const char *
+timingVariantName(TimingVariant v)
+{
+    switch (v) {
+      case TimingVariant::Baseline: return "baseline";
+      case TimingVariant::ZeroWindows: return "zero-windows";
+      case TimingVariant::RefreshPrime: return "refresh-prime";
+      case TimingVariant::RefreshHeavy: return "refresh-heavy";
+      case TimingVariant::NoRefresh: return "no-refresh";
+    }
+    return "?";
+}
+
+TimingVariant
+timingVariantByName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumTimingVariants; ++i) {
+        const auto v = TimingVariant(i);
+        if (name == timingVariantName(v))
+            return v;
+    }
+    throwSimError(ErrorCategory::Config, "unknown timing variant '%s'",
+                  name.c_str());
+}
+
 std::uint64_t
 defaultInstructions()
 {
@@ -123,6 +149,30 @@ runExperiment(const ExperimentConfig &cfg)
         sys_cfg.dram.timing.burstLength = 8;
         sys_cfg.busMHz = 133.0;
         sys_cfg.cpuCyclesPerMemCycle = 30; // 4 GHz / 133 MHz
+    }
+    {
+        // Timing perturbations stack on the device preset (fuzz axis).
+        dram::Timing &t = sys_cfg.dram.timing;
+        switch (cfg.timingVariant) {
+          case TimingVariant::Baseline:
+            break;
+          case TimingVariant::ZeroWindows:
+            t.tFAW = 0;
+            t.tRRD = 0;
+            break;
+          case TimingVariant::RefreshPrime:
+            // Primes near the presets' tREFI, so refresh deadlines never
+            // fall on any periodic span lattice of the skip engine.
+            t.tREFI = cfg.device == DeviceGen::DDR_266 ? 1039 : 3119;
+            break;
+          case TimingVariant::RefreshHeavy:
+            t.tREFI = std::max(t.tREFI / 8, t.tRFC + 1);
+            break;
+          case TimingVariant::NoRefresh:
+            t.tREFI = 0;
+            break;
+        }
+        t.validate();
     }
 
     sys_cfg.ctrl.schedulerFactory = cfg.schedulerFactory;

@@ -34,6 +34,30 @@ enum class DeviceGen : std::uint8_t
 /** Printable device name. */
 const char *deviceGenName(DeviceGen g);
 
+/**
+ * Systematic timing perturbation layered on top of the device preset.
+ * These are the corner geometries the differential fuzzer (src/fuzz/)
+ * sweeps: zeroed inter-activate windows (DDR1-style), refresh intervals
+ * prime to any cycle-skipping span lattice, refresh-dominated devices,
+ * and refresh disabled outright.
+ */
+enum class TimingVariant : std::uint8_t
+{
+    Baseline,     //!< the device preset unchanged
+    ZeroWindows,  //!< tFAW = 0, tRRD = 0 (DDR1-style relaxation)
+    RefreshPrime, //!< tREFI moved to a nearby prime number
+    RefreshHeavy, //!< tREFI cut to ~1/8th (refresh-dominated)
+    NoRefresh,    //!< tREFI = 0 (refresh engine off)
+};
+
+constexpr std::size_t kNumTimingVariants = 5;
+
+/** Printable variant name (also the repro-file token). */
+const char *timingVariantName(TimingVariant v);
+
+/** Parse a variant token; throws SimError(Config) on unknown names. */
+TimingVariant timingVariantByName(const std::string &name);
+
 /** One simulation run specification. */
 struct ExperimentConfig
 {
@@ -47,6 +71,8 @@ struct ExperimentConfig
     dram::PagePolicy pagePolicy = dram::PagePolicy::OpenPage;
     dram::AddressMapKind addressMap = dram::AddressMapKind::PageInterleave;
     DeviceGen device = DeviceGen::DDR2_800;
+    /** Timing perturbation applied after the device preset. */
+    TimingVariant timingVariant = TimingVariant::Baseline;
     /** Simulation engine; both report identical statistics. */
     EngineKind engine = EngineKind::Skip;
     /** Organization overrides (0 = keep the Table 3 baseline value). */
@@ -77,6 +103,15 @@ struct ExperimentConfig
     std::function<std::unique_ptr<ctrl::Scheduler>(
         ctrl::Mechanism, const ctrl::SchedulerContext &)>
         schedulerFactory;
+    /**
+     * Stable identity of schedulerFactory for sweep journaling: a
+     * std::function has no comparable identity of its own, so any user
+     * of schedulerFactory who wants resumable sweeps must name the
+     * decoration here (e.g. "faulty:freeze@100"). Points whose factory
+     * differs then hash to different journal keys instead of silently
+     * reusing each other's results.
+     */
+    std::string schedulerFactoryId;
 };
 
 /** Metrics of one run (the quantities behind Figures 7-12). */

@@ -78,27 +78,49 @@ faultFromEnv()
 
 } // namespace
 
-std::uint64_t
-configKey(const ExperimentConfig &cfg)
+std::string
+canonicalConfig(const ExperimentConfig &cfg)
 {
-    // Canonical text encoding of every statistic-determining field.
+    // Canonical text encoding of every fate-determining field.
     // cfg.instructions == 0 is resolved first so "default count" and
     // "explicitly the default count" journal identically even if the
     // BURSTSIM_INSTR override changes between runs.
     const std::uint64_t instr =
         cfg.instructions ? cfg.instructions : defaultInstructions();
     std::ostringstream os;
-    os << "v1|" << cfg.workload << '|'
+    os << "v2|" << cfg.workload << '|'
        << ctrl::mechanismName(cfg.mechanism) << '|' << instr << '|'
        << cfg.seed << '|' << cfg.threshold << '|'
        << int(cfg.pagePolicy) << '|' << int(cfg.addressMap) << '|'
-       << int(cfg.device) << '|' << int(cfg.engine) << '|'
+       << int(cfg.device) << '|' << int(cfg.timingVariant) << '|'
+       << int(cfg.engine) << '|'
        << cfg.channels << '|' << cfg.ranksPerChannel << '|'
        << cfg.banksPerRank << '|' << cfg.dynamicThreshold << '|'
        << cfg.sortBurstsBySize << '|' << cfg.criticalFirst << '|'
        << cfg.rankAware << '|' << cfg.coalesceWrites << '|'
-       << cfg.robSize << '|' << cfg.issueWidth;
-    return fnv1a(os.str());
+       << cfg.robSize << '|' << cfg.issueWidth << '|'
+       // Fault-policy fields: a point that failed a 10k-cycle watchdog
+       // is a different journal identity from one run without it.
+       << cfg.watchdogCycles << '|' << cfg.deadlineSec << '|'
+       // Scheduler-factory identity. A set factory with no declared id
+       // still flavours the key (the run is NOT a stock run), but two
+       // anonymous factories cannot be told apart — name them.
+       << (cfg.schedulerFactory
+               ? (cfg.schedulerFactoryId.empty()
+                      ? std::string("factory:?")
+                      : "factory:" + cfg.schedulerFactoryId)
+               : std::string());
+    std::string s = os.str();
+    for (char &c : s)
+        if (c == '"' || c == '\n' || c == '\r')
+            c = '?'; // keep the journal echo one parseable line
+    return s;
+}
+
+std::uint64_t
+configKey(const ExperimentConfig &cfg)
+{
+    return fnv1a(canonicalConfig(cfg));
 }
 
 SweepSummary
@@ -170,6 +192,11 @@ loadSweepJournal(const std::string &path)
         rec.summary.writeLatMean = wrlat;
         rec.summary.rowHitRate = rowhit;
         rec.summary.bandwidthGBs = bw;
+        // Optional config echo: cfg="..." through the line's last quote.
+        const std::size_t open = line.find(" cfg=\"");
+        const std::size_t close = line.rfind('"');
+        if (open != std::string::npos && close > open + 6)
+            rec.configEcho = line.substr(open + 6, close - (open + 6));
         out[key] = rec;
     }
     return out;
@@ -186,15 +213,30 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
         opt.fault.point >= 0 ? opt.fault : faultFromEnv();
 
     // Resume: restore journaled points, collect the rest for execution.
+    std::vector<std::string> canon(points.size());
     std::vector<std::uint64_t> keys(points.size());
-    for (std::size_t i = 0; i < points.size(); ++i)
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        canon[i] = canonicalConfig(points[i]);
         keys[i] = configKey(points[i]);
+    }
     std::vector<std::size_t> pending;
     if (!opt.journal.empty()) {
         const auto journal = loadSweepJournal(opt.journal);
         for (std::size_t i = 0; i < points.size(); ++i) {
             const auto it = journal.find(keys[i]);
             if (it == journal.end()) {
+                pending.push_back(i);
+                continue;
+            }
+            if (!it->second.configEcho.empty() &&
+                it->second.configEcho != canon[i]) {
+                // Same 64-bit key, different config: a hash collision.
+                // Trusting the record would silently report another
+                // point's numbers — rerun this point instead.
+                warn("sweep journal %s: key %016llx collides with a "
+                     "different config; rerunning point %zu",
+                     opt.journal.c_str(),
+                     (unsigned long long)keys[i], i);
                 pending.push_back(i);
                 continue;
             }
@@ -240,7 +282,7 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
             std::snprintf(line, sizeof(line),
                           "P %016" PRIx64
                           " attempts=%u exec=%llu rdlat=%a wrlat=%a "
-                          "rowhit=%a bw=%a\n",
+                          "rowhit=%a bw=%a cfg=",
                           keys[slot], attempt,
                           (unsigned long long)
                               rep.slots[slot].summary.execCpuCycles,
@@ -249,7 +291,7 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
                           rep.slots[slot].summary.rowHitRate,
                           rep.slots[slot].summary.bandwidthGBs);
             std::lock_guard<std::mutex> g(journal_mu);
-            journal_os << line;
+            journal_os << line << '"' << canon[slot] << "\"\n";
             journal_os.flush(); // crash loses only in-flight points
         }
     };

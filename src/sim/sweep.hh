@@ -13,12 +13,19 @@
  *
  * Journal format: a text file, one record per completed point,
  *   P <key> attempts=<n> exec=<u64> rdlat=<a> wrlat=<a> rowhit=<a> bw=<a>
- * where <key> is the point's configKey() in hex and the four <a> fields
- * are C99 hexfloats (%a), which round-trip doubles exactly — the
- * property the byte-identical-resume guarantee rests on. Records are
- * appended and flushed after each point, so a crash loses at most the
- * in-flight points; a torn final line is skipped (with a warning) on
- * load. Lines starting with '#' are comments.
+ *       cfg="<canonical>"
+ * (one line) where <key> is the point's configKey() in hex, the four
+ * <a> fields are C99 hexfloats (%a), which round-trip doubles exactly —
+ * the property the byte-identical-resume guarantee rests on — and
+ * <canonical> echoes the canonicalConfig() encoding the key was hashed
+ * from. On resume the echo is compared against the point's own
+ * canonical string: a 64-bit hash collision between two different
+ * configs is then detected and the point reruns instead of silently
+ * reusing the colliding record. Records written before the echo existed
+ * (no cfg= field) are still accepted, without collision protection.
+ * Records are appended and flushed after each point, so a crash loses
+ * at most the in-flight points; a torn final line is skipped (with a
+ * warning) on load. Lines starting with '#' are comments.
  */
 
 #ifndef BURSTSIM_SIM_SWEEP_HH
@@ -40,12 +47,21 @@ namespace bsim::sim
 {
 
 /**
- * Deterministic 64-bit digest (FNV-1a over a canonical text encoding)
- * of everything in @p cfg that determines the run's statistics: the
- * journal's point identity. Robustness knobs (watchdog, deadline,
- * scheduler factory) and observability sinks are excluded — they do
- * not change the summarised results.
+ * Canonical text encoding of every field of @p cfg that can affect the
+ * run's summarised fate: the statistic-determining axes (workload,
+ * mechanism, geometry, timing variant, engine, ...), plus the fault-
+ * policy fields (watchdog, deadline) — a point that failed under a
+ * tight watchdog must not be resumed as if it had run under a loose
+ * one — and the scheduler-factory identity (schedulerFactoryId; a bare
+ * anonymous factory is encoded as present-but-unnamed). Observability
+ * sinks are excluded: they never change the summary. This string is
+ * what configKey() hashes and what the journal echoes for collision
+ * detection; double quotes and newlines are sanitised to '?' so the
+ * echo always stays one parseable line.
  */
+std::string canonicalConfig(const ExperimentConfig &cfg);
+
+/** FNV-1a digest of canonicalConfig(): the journal's point identity. */
 std::uint64_t configKey(const ExperimentConfig &cfg);
 
 /** The per-point statistics a sweep report is rendered from. */
@@ -143,6 +159,8 @@ struct JournalRecord
 {
     unsigned attempts = 0;
     SweepSummary summary;
+    /** canonicalConfig() echo; empty for pre-echo (legacy) records. */
+    std::string configEcho;
 };
 
 /** Load @p path (missing file = empty map; torn lines are skipped). */

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Corpus replay: every checked-in repro under tests/fuzz/corpus/ must
+ * parse and pass the full oracle battery. Each file is a minimised
+ * witness of a bug that was fixed — a failure here means a fixed bug
+ * has come back. The directory is baked in at compile time
+ * (BURSTSIM_FUZZ_CORPUS_DIR) so ctest can run from anywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+
+using namespace bsim;
+using namespace bsim::fuzz;
+
+#ifndef BURSTSIM_FUZZ_CORPUS_DIR
+#error "BURSTSIM_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace
+{
+
+std::vector<std::string>
+corpusFiles()
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &e : fs::directory_iterator(BURSTSIM_FUZZ_CORPUS_DIR))
+        if (e.is_regular_file() && e.path().extension() == ".repro")
+            files.push_back(e.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Corpus, HasTheKnownRegressionEntries)
+{
+    const auto files = corpusFiles();
+    ASSERT_GE(files.size(), 4u)
+        << "corpus lost entries: " << BURSTSIM_FUZZ_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryEntryParsesAndPassesAllOracles)
+{
+    for (const std::string &path : corpusFiles()) {
+        SCOPED_TRACE(path);
+        FuzzPoint p;
+        ASSERT_NO_THROW(p = parsePoint(slurp(path)));
+        const OracleVerdict v = checkPoint(p);
+        EXPECT_TRUE(v.ok) << pointLabel(p) << ": [" << v.oracle << "] "
+                          << v.detail;
+    }
+}

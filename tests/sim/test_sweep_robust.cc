@@ -185,12 +185,52 @@ TEST(ConfigKey, DistinguishesPointsAndIsStable)
     tweaked.seed += 1;
     EXPECT_NE(configKey(tweaked), configKey(points[0]));
 
-    // Robustness knobs don't change what the run computes, so they
-    // must not change its journal identity.
+    // The key covers everything that decides a point's fate, including
+    // the engine, the fault policy (a watchdog can abort a point that
+    // would otherwise succeed) and the scheduler-factory identity — a
+    // resume under a different policy must re-run, never silently reuse
+    // the prior journal record.
     ExperimentConfig guarded = points[0];
     guarded.watchdogCycles = 1;
     guarded.deadlineSec = 99.0;
-    EXPECT_EQ(configKey(guarded), configKey(points[0]));
+    EXPECT_NE(configKey(guarded), configKey(points[0]));
+
+    ExperimentConfig step = points[0];
+    step.engine = EngineKind::Step;
+    EXPECT_NE(configKey(step), configKey(points[0]));
+
+    ExperimentConfig variant = points[0];
+    variant.timingVariant = TimingVariant::ZeroWindows;
+    EXPECT_NE(configKey(variant), configKey(points[0]));
+
+    ExperimentConfig faulty = points[0];
+    faulty.schedulerFactory = [](ctrl::Mechanism,
+                                 const ctrl::SchedulerContext &) {
+        return std::unique_ptr<ctrl::Scheduler>();
+    };
+    faulty.schedulerFactoryId = "faulty:freeze@100";
+    EXPECT_NE(configKey(faulty), configKey(points[0]));
+
+    // Distinct factory identities hash apart even when the std::function
+    // itself is opaque.
+    ExperimentConfig faulty2 = faulty;
+    faulty2.schedulerFactoryId = "faulty:freeze@200";
+    EXPECT_NE(configKey(faulty2), configKey(faulty));
+}
+
+TEST(ConfigKey, CanonicalEchoSanitizesAndRoundTrips)
+{
+    const auto points = tinyPoints();
+    const std::string canon = canonicalConfig(points[0]);
+    // The echo is embedded in a quoted journal field: it must never
+    // contain a quote or newline, whatever the workload string held.
+    ExperimentConfig hostile = points[0];
+    hostile.workload = "we\"ird\nname";
+    const std::string sane = canonicalConfig(hostile);
+    EXPECT_EQ(sane.find('"'), std::string::npos);
+    EXPECT_EQ(sane.find('\n'), std::string::npos);
+    EXPECT_NE(canon, sane);
+    EXPECT_NE(canon.find("swim"), std::string::npos);
 }
 
 TEST(SweepJournal, TornFinalLineIsSkipped)
