@@ -26,6 +26,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/json.hh"
+#include "obs/engine_introspect.hh"
+#include "obs/observability.hh"
+#include "obs/selfprof.hh"
 #include "sim/experiment.hh"
 
 using namespace bsim;
@@ -92,6 +100,81 @@ BENCHMARK(BM_Engine_pchase)
     ->Apply(engineArgs)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * --introspect-out=PATH mode: instead of timing the engines, run the
+ * skip engine with engine introspection + host self-profiling across
+ * the five scheduler classes on both bracket workloads and write the
+ * wake-reason attribution baseline (the committed BENCH_selfprof.json;
+ * the numbers docs/performance.md quotes for "why can't mcf skip").
+ * The engine_introspect sections are deterministic; selfprof_us is
+ * host wall time and varies run to run, like every BENCH_*.json.
+ */
+int
+writeIntrospectBaseline(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot open '" << path << "' for writing\n";
+        return 1;
+    }
+
+    constexpr std::uint64_t kInstructions = 60'000;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("instructions").value(kInstructions);
+    w.key("engine").value("skip");
+    w.key("runs").beginArray();
+    for (const char *workload : {"pchase", "mcf"}) {
+        for (const ctrl::Mechanism mech : kSchedulerClasses) {
+            sim::ExperimentConfig cfg;
+            cfg.workload = workload;
+            cfg.mechanism = mech;
+            cfg.instructions = kInstructions;
+            cfg.engine = sim::EngineKind::Skip;
+            cfg.obs.engineIntrospect = true;
+            cfg.obs.selfProf = true;
+            const sim::RunResult r = sim::runExperiment(cfg);
+
+            w.beginObject();
+            w.key("workload").value(workload);
+            w.key("mechanism").value(ctrl::mechanismName(mech));
+            w.key("mem_cycles").value(r.memCycles);
+            w.key("engine_introspect");
+            r.obs->introspect()->writeJson(w);
+            if (r.selfprof && r.selfprof->valid) {
+                w.key("selfprof_us").beginObject();
+                w.key("total").value(r.selfprof->totalUs);
+                for (std::size_t p = 0; p < obs::prof::kNumPhases; ++p)
+                    if (r.selfprof->selfUsByPhase[p] > 0)
+                        w.key(obs::prof::phaseName(obs::prof::Phase(p)))
+                            .value(r.selfprof->selfUsByPhase[p]);
+                w.endObject();
+            }
+            w.endObject();
+        }
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    return os ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        constexpr const char *kPrefix = "--introspect-out=";
+        if (arg.rfind(kPrefix, 0) == 0)
+            return writeIntrospectBaseline(
+                arg.substr(std::string(kPrefix).size()));
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -4,9 +4,32 @@
 #include "common/log.hh"
 #include "ctrl/schedulers/factory.hh"
 #include "obs/observability.hh"
+#include "obs/selfprof.hh"
 
 namespace bsim::ctrl
 {
+
+namespace
+{
+
+/** Map a scheduler's horizon pin onto the wake-reason taxonomy. */
+obs::WakeReason
+reasonOf(HorizonPin pin)
+{
+    switch (pin) {
+      case HorizonPin::ArbFill: return obs::WakeReason::SchedArbFill;
+      case HorizonPin::Preempt: return obs::WakeReason::SchedPreempt;
+      case HorizonPin::DrainFlip: return obs::WakeReason::SchedDrainFlip;
+      case HorizonPin::Piggyback: return obs::WakeReason::SchedPiggyback;
+      case HorizonPin::Timing: return obs::WakeReason::SchedBound;
+      case HorizonPin::Conservative:
+        return obs::WakeReason::SchedConservative;
+      case HorizonPin::None: break;
+    }
+    return obs::WakeReason::SchedBound;
+}
+
+} // namespace
 
 SchedulerParams
 ControllerConfig::schedulerParams() const
@@ -152,6 +175,8 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
         panic("submit() while controller cannot accept");
 
     stateVersion_ += 1; // queue contents / counts are changing
+    if (intro_)
+        intro_->noteMemoInvalidate();
 
     auto access = std::make_unique<MemAccess>();
     MemAccess *a = access.get();
@@ -211,14 +236,20 @@ MemoryController::tick(Tick now)
 
     for (std::uint32_t ch = 0; ch < mem_.numChannels(); ++ch) {
         SchedMemo &memo = schedMemo_[ch];
-        if (refreshTick(ch, now)) {
-            // Refresh engine used this channel's command slot (and
-            // changed the channel's device state).
-            memo.version = 0;
-            schedulers_[ch]->onExternalCommand();
-            if (stalls_)
-                stalls_->account(ch, now, true, dram::StallCause::None);
-            continue;
+        {
+            obs::prof::Scope prof(obs::prof::Phase::RefreshEngine);
+            if (refreshTick(ch, now)) {
+                // Refresh engine used this channel's command slot (and
+                // changed the channel's device state).
+                memo.version = 0;
+                if (intro_)
+                    intro_->noteMemoInvalidate();
+                schedulers_[ch]->onExternalCommand();
+                if (stalls_)
+                    stalls_->account(ch, now, true,
+                                     dram::StallCause::None);
+                continue;
+            }
         }
         if (eventDriven_ && !stalls_ &&
             memo.version == memoVersion(ch) && now < memo.until) {
@@ -226,10 +257,16 @@ MemoryController::tick(Tick now)
             // move is possible strictly before memo.until, so a full
             // scan would be a no-op apart from the idempotent idle-tick
             // effect — replay just that.
+            if (intro_)
+                intro_->noteMemoHit();
             schedulers_[ch]->onIdleSpan(now, 1);
             continue;
         }
-        Scheduler::Issued issued = schedulers_[ch]->tick(now);
+        Scheduler::Issued issued;
+        {
+            obs::prof::Scope prof(obs::prof::Phase::SchedPick);
+            issued = schedulers_[ch]->tick(now);
+        }
         if (stalls_) {
             if (issued.access) {
                 if (issued.columnAccess)
@@ -237,6 +274,7 @@ MemoryController::tick(Tick now)
                                        issued.dataEnd);
                 stalls_->account(ch, now, true, dram::StallCause::None);
             } else {
+                obs::prof::Scope prof(obs::prof::Phase::StallScan);
                 stalls_->account(ch, now, false,
                                  schedulers_[ch]->stallScan(now,
                                                             *stalls_));
@@ -244,10 +282,15 @@ MemoryController::tick(Tick now)
         }
         if (issued.access) {
             memo.version = 0; // the issue changed channel state
+            if (intro_)
+                intro_->noteMemoInvalidate();
             handleIssued(issued);
         } else if (eventDriven_ && !stalls_) {
             memo.until = schedulers_[ch]->nextEventTick(now);
             memo.version = memoVersion(ch);
+            memo.pin = schedulers_[ch]->lastHorizonPin();
+            if (intro_)
+                intro_->noteMemoMiss();
         }
     }
 
@@ -258,16 +301,25 @@ MemoryController::tick(Tick now)
 }
 
 Tick
-MemoryController::nextEventTick(Tick now) const
+MemoryController::nextEventTick(Tick now, obs::WakeSource *src) const
 {
     Tick horizon = kTickMax;
-    const auto consider = [&](Tick t) {
-        if (t < horizon)
+    // First minimum wins, in scan order — attribution must never move
+    // the computed horizon, only label it.
+    const auto consider = [&](Tick t, obs::WakeReason r,
+                              std::int32_t ch = -1) {
+        if (t < horizon) {
             horizon = t;
+            if (src) {
+                src->reason = r;
+                src->channel = ch;
+            }
+        }
     };
 
     if (!pendingReads_.empty())
-        consider(pendingReads_.begin()->first);
+        consider(pendingReads_.begin()->first,
+                 obs::WakeReason::PendingData);
 
     // Refresh engine mirror: walk ranks exactly as refreshTick() does.
     // Ranks before the first pending-blocked one flip pending at their
@@ -282,20 +334,23 @@ MemoryController::nextEventTick(Tick now) const
                 const auto &st =
                     refresh_[ch * dcfg.ranksPerChannel + r];
                 if (!st.pending) {
-                    consider(st.nextDue);
+                    consider(st.nextDue, obs::WakeReason::Refresh,
+                             std::int32_t(ch));
                     continue;
                 }
                 dram::Coords c;
                 c.channel = ch;
                 c.rank = r;
                 dram::Command ref{dram::CmdType::RefreshAll, c, 0};
-                consider(mem_.blockedUntil(ref, now));
+                consider(mem_.blockedUntil(ref, now),
+                         obs::WakeReason::Refresh, std::int32_t(ch));
                 for (std::uint32_t b = 0; b < dcfg.banksPerRank; ++b) {
                     c.bank = b;
                     if (!mem_.bank(c).isOpen())
                         continue;
                     dram::Command pre{dram::CmdType::Precharge, c, 0};
-                    consider(mem_.blockedUntil(pre, now));
+                    consider(mem_.blockedUntil(pre, now),
+                             obs::WakeReason::Refresh, std::int32_t(ch));
                 }
                 break;
             }
@@ -304,13 +359,15 @@ MemoryController::nextEventTick(Tick now) const
 
     for (std::uint32_t ch = 0;
          ch < mem_.numChannels() && horizon > now; ++ch)
-        consider(schedHorizon(ch, now));
+        consider(schedHorizon(ch, now), reasonOf(schedMemo_[ch].pin),
+                 std::int32_t(ch));
 
     if (sampler_ && horizon > now) {
         // The epoch-boundary tick must run for real so its snapshot row
         // is emitted at the same tick as in the step engine.
         const Tick interval = sampler_->interval();
-        consider(now + (interval - 1 - now % interval));
+        consider(now + (interval - 1 - now % interval),
+                 obs::WakeReason::MetricsEpoch);
     }
     return horizon;
 }
@@ -327,6 +384,11 @@ MemoryController::schedHorizon(std::uint32_t channel, Tick now) const
     if (memo.version != memoVersion(channel) || memo.until <= now) {
         memo.until = schedulers_[channel]->nextEventTick(now);
         memo.version = memoVersion(channel);
+        memo.pin = schedulers_[channel]->lastHorizonPin();
+        if (intro_)
+            intro_->noteMemoMiss();
+    } else if (intro_) {
+        intro_->noteMemoHit();
     }
     return memo.until;
 }
@@ -511,6 +573,8 @@ void
 MemoryController::finishAccess(MemAccess *a)
 {
     stateVersion_ += 1; // counts / pool occupancy are changing
+    if (intro_)
+        intro_->noteMemoInvalidate();
     auto it = inflight_.find(a->id);
     if (it == inflight_.end())
         panic("finishAccess: unknown access id %llu",
@@ -538,13 +602,17 @@ MemoryController::attachObservability(obs::Observability *o)
     sampler_ = o ? o->sampler() : nullptr;
     stalls_ = o ? o->stalls() : nullptr;
     audit_ = o ? o->auditor() : nullptr;
-    for (auto &s : schedulers_)
+    intro_ = o ? o->introspect() : nullptr;
+    for (auto &s : schedulers_) {
         s->setAuditor(audit_);
+        s->setIntrospect(intro_);
+    }
 }
 
 void
 MemoryController::sampleMetrics(Tick now)
 {
+    obs::prof::Scope prof(obs::prof::Phase::ObsExport);
     obs::MetricsSnapshot s;
     s.now = now;
     s.dataBusyCycles = mem_.dataBusyCycles();
@@ -578,6 +646,11 @@ MemoryController::sampleMetrics(Tick now)
     if (stalls_) {
         const auto totals = stalls_->totals();
         s.stallCounts.assign(totals.begin(), totals.end());
+    }
+    if (intro_) {
+        s.haveEngine = true;
+        s.steppedCycles = intro_->steppedCycles();
+        s.skippedCycles = intro_->skippedCycles();
     }
 
     sampler_->sample(s);

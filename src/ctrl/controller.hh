@@ -31,11 +31,13 @@
 
 namespace bsim::obs
 {
+class EngineIntrospect;
 class LatencyBreakdown;
 class MetricsSampler;
 class Observability;
 class ProtocolAuditor;
 class StallAttribution;
+struct WakeSource;
 } // namespace bsim::obs
 
 namespace bsim::ctrl
@@ -165,8 +167,16 @@ class MemoryController
      * complete a read, run the refresh engine, issue through a
      * scheduler, or close a metrics epoch — assuming no new submissions.
      * Never overshoots; kTickMax means idle until new work arrives.
+     *
+     * When @p src is non-null the winning bound is attributed to its
+     * component (first-minimum-wins over the same scan order, so the
+     * returned horizon is identical with and without attribution).
      */
-    Tick nextEventTick(Tick now) const;
+    Tick nextEventTick(Tick now, obs::WakeSource *src) const;
+    Tick nextEventTick(Tick now) const
+    {
+        return nextEventTick(now, nullptr);
+    }
 
     /**
      * Bulk-apply the dead span [@p from, @p from + @p span): per-cycle
@@ -260,6 +270,9 @@ class MemoryController
         Tick until = 0;            //!< no issue strictly before this
         std::uint64_t version = 0; //!< version stamp when computed
         bool global = false;       //!< scheduler reads global counts
+        /** Why `until` is where it is (from the computing scheduler);
+         *  carried alongside so memo hits stay attributable. */
+        HorizonPin pin = HorizonPin::None;
     };
 
     /** Version stamp a channel's memo must match to stay valid. */
@@ -316,6 +329,7 @@ class MemoryController
     obs::MetricsSampler *sampler_ = nullptr;
     obs::StallAttribution *stalls_ = nullptr;
     obs::ProtocolAuditor *audit_ = nullptr;
+    obs::EngineIntrospect *intro_ = nullptr;
 };
 
 } // namespace bsim::ctrl

@@ -22,15 +22,34 @@
 #include "common/types.hh"
 #include "ctrl/access.hh"
 #include "dram/memory_system.hh"
+#include "obs/selfprof.hh"
 
 namespace bsim::obs
 {
+class EngineIntrospect;
 class ProtocolAuditor;
 class StallAttribution;
 } // namespace bsim::obs
 
 namespace bsim::ctrl
 {
+
+/**
+ * Why a scheduler's nextEventTick returned the bound it did — set as a
+ * side effect of the most recent nextEventTick call and read back by
+ * the controller for wake-reason attribution (engine introspection).
+ * Purely observational: pins never influence the computed horizon.
+ */
+enum class HorizonPin : std::uint8_t
+{
+    None,         //!< no nextEventTick call yet / channel idle
+    ArbFill,      //!< an idle bank slot could be filled right now
+    Preempt,      //!< a read preemption decision is pending
+    DrainFlip,    //!< the write drain mode is about to flip
+    Piggyback,    //!< an end-of-burst piggyback window is open
+    Timing,       //!< bounded by a device-timing release
+    Conservative, //!< the policy cannot bound itself (default impl)
+};
 
 /** Controller-wide occupancy shared with per-channel schedulers. */
 struct GlobalCounts
@@ -164,8 +183,12 @@ class Scheduler
     virtual Tick
     nextEventTick(Tick now) const
     {
+        pin_ = hasWork() ? HorizonPin::Conservative : HorizonPin::None;
         return hasWork() ? now : kTickMax;
     }
+
+    /** Why the most recent nextEventTick returned its bound. */
+    HorizonPin lastHorizonPin() const { return pin_; }
 
     /**
      * Tell the scheduler it is driving the event-driven engine: it may
@@ -207,6 +230,13 @@ class Scheduler
 
     /** Burst-invariant audit hook sink; nullptr when auditing is off. */
     void setAuditor(obs::ProtocolAuditor *auditor) { auditor_ = auditor; }
+
+    /** Engine-introspection sink (horizon-cache hit/miss counters);
+     *  nullptr when the pillar is off. */
+    virtual void setIntrospect(obs::EngineIntrospect *intro)
+    {
+        intro_ = intro;
+    }
 
     /**
      * Append this channel's per-bank queued access counts (waiting or
@@ -250,6 +280,7 @@ class Scheduler
     bool
     canIssueFor(const MemAccess *a, Tick now) const
     {
+        obs::prof::Scope prof(obs::prof::Phase::TimingCheck);
         dram::Command cmd{nextCmd(a), a->coords, a->id};
         return ctx_.mem->canIssue(cmd, now);
     }
@@ -267,6 +298,7 @@ class Scheduler
     Tick
     blockedUntilFor(const MemAccess *a, Tick now) const
     {
+        obs::prof::Scope prof(obs::prof::Phase::TimingCheck);
         dram::Command cmd{nextCmd(a), a->coords, a->id};
         return ctx_.mem->blockedUntil(cmd, now);
     }
@@ -296,7 +328,10 @@ class Scheduler
 
     SchedulerContext ctx_;
     obs::ProtocolAuditor *auditor_ = nullptr;
+    obs::EngineIntrospect *intro_ = nullptr; //!< nullptr = pillar off
     bool eventDriven_ = false; //!< horizon caches allowed (skip engine)
+    /** Set by nextEventTick implementations at each bound site. */
+    mutable HorizonPin pin_ = HorizonPin::None;
 
   private:
     std::unordered_map<Addr, MemAccess *> latestWrite_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/engine_introspect.hh"
 #include "obs/stall_attribution.hh"
 
 namespace bsim::ctrl
@@ -106,6 +107,8 @@ BkInOrderScheduler::nextEventTick(Tick now) const
     // horizon is simply when the first bank front's binding constraint
     // expires. Bank fronts are the only candidates this policy ever
     // considers.
+    obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
+    pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
     const bool fast = cached();
     for (std::uint32_t b = 0; b < std::uint32_t(queues_.size()); ++b) {
@@ -117,12 +120,18 @@ BkInOrderScheduler::nextEventTick(Tick now) const
             t = blockedUntilFor(q.front(), now);
             if (fast)
                 frontHorizon_[b] = t;
+            if (intro_)
+                intro_->noteFrontHorizonMiss();
+        } else if (intro_) {
+            intro_->noteFrontHorizonHit();
         }
         if (t < horizon)
             horizon = t;
         if (horizon <= now)
             return now;
     }
+    if (horizon == kTickMax)
+        pin_ = HorizonPin::None;
     return horizon;
 }
 

@@ -355,6 +355,7 @@ BurstScheduler::nextEventTick(Tick now) const
     // only when no arbiter can make a move: no preemption, no idle bank
     // that could pick up a write or start a burst. Each possible move
     // forces one real tick ("return now").
+    obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
     const std::size_t global_writes = ctx_.global->writesOutstanding;
     const bool write_q_full = global_writes >= ctx_.params.writeCap;
     const std::size_t threshold = effectiveThreshold();
@@ -362,16 +363,22 @@ BurstScheduler::nextEventTick(Tick now) const
     for (const BankState &bs : banks_) {
         if (bs.ongoing) {
             if (ctx_.params.readPreemption && bs.ongoing->isWrite() &&
-                !bs.bursts.empty() && global_writes < threshold)
+                !bs.bursts.empty() && global_writes < threshold) {
+                pin_ = HorizonPin::Preempt;
                 return now; // maybePreempt() would fire
+            }
             continue;
         }
-        if (!bs.bursts.empty())
+        if (!bs.bursts.empty()) {
+            pin_ = HorizonPin::ArbFill;
             return now; // arbitrate() would start a burst read
+        }
         if (bs.writeQ.empty())
             continue;
-        if (write_q_full || reads_ == 0)
+        if (write_q_full || reads_ == 0) {
+            pin_ = HorizonPin::ArbFill;
             return now; // arbitrate() would take the oldest write
+        }
         if (ctx_.params.writePiggyback && global_writes > threshold &&
             bs.endOfBurst) {
             // Const replay of findPiggybackWrite(): any queued write to
@@ -380,11 +387,14 @@ BurstScheduler::nextEventTick(Tick now) const
                 ctx_.mem->bank(bs.writeQ.front()->coords);
             if (bank.isOpen())
                 for (const MemAccess *w : bs.writeQ)
-                    if (w->coords.row == bank.openRow())
+                    if (w->coords.row == bank.openRow()) {
+                        pin_ = HorizonPin::Piggyback;
                         return now;
+                    }
         }
     }
 
+    pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
     for (const BankState &bs : banks_) {
         if (!bs.ongoing)
@@ -395,6 +405,8 @@ BurstScheduler::nextEventTick(Tick now) const
         if (horizon <= now)
             return now;
     }
+    if (horizon == kTickMax)
+        pin_ = HorizonPin::None;
     return horizon;
 }
 

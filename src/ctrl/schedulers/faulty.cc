@@ -42,9 +42,13 @@ FaultyScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
 Tick
 FaultyScheduler::nextEventTick(Tick now) const
 {
-    if (frozen())
+    if (frozen()) {
+        pin_ = hasWork() ? HorizonPin::Conservative : HorizonPin::None;
         return hasWork() ? now : kTickMax;
-    return inner_->nextEventTick(now);
+    }
+    const Tick t = inner_->nextEventTick(now);
+    pin_ = inner_->lastHorizonPin();
+    return t;
 }
 
 } // namespace bsim::ctrl

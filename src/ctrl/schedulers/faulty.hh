@@ -58,6 +58,11 @@ class FaultyScheduler : public Scheduler
     Tick nextEventTick(Tick now) const override;
 
     void onExternalCommand() override { inner_->onExternalCommand(); }
+    void setIntrospect(obs::EngineIntrospect *intro) override
+    {
+        Scheduler::setIntrospect(intro);
+        inner_->setIntrospect(intro);
+    }
     bool globallySensitive() const override
     {
         return inner_->globallySensitive();

@@ -172,9 +172,13 @@ AdaptiveHistoryScheduler::nextEventTick(Tick now) const
     // Scores and decayed mixes change only when something issues or
     // arrives, so an idle tick is a pure no-op once every bank with
     // backlog has an ongoing candidate.
+    obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
     for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
-        if (!ongoing_[b] && !queues_[b].empty())
+        if (!ongoing_[b] && !queues_[b].empty()) {
+            pin_ = HorizonPin::ArbFill;
             return now;
+        }
+    pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
     for (const MemAccess *a : ongoing_) {
         if (!a)
@@ -185,6 +189,8 @@ AdaptiveHistoryScheduler::nextEventTick(Tick now) const
         if (horizon <= now)
             return now;
     }
+    if (horizon == kTickMax)
+        pin_ = HorizonPin::None;
     return horizon;
 }
 

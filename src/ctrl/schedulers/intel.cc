@@ -202,14 +202,17 @@ IntelScheduler::nextEventTick(Tick now) const
     // flips, filling ongoing slots), so skipping is legal only when the
     // next arbitration pass is provably a no-op. Each possible move
     // below forces "return now" — one real tick — instead.
+    obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
     const std::size_t global_writes = ctx_.global->writesOutstanding;
     const bool write_q_full = global_writes >= ctx_.params.writeCap;
 
     if (ctx_.params.readPreemption && !write_q_full && !drainMode_)
         for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
             if (ongoing_[b] && ongoing_[b]->isWrite() &&
-                !readQ_[b].empty())
+                !readQ_[b].empty()) {
+                pin_ = HorizonPin::Preempt;
                 return now;
+            }
 
     // A pending drain-mode flip is itself a state change the next
     // arbitration pass applies.
@@ -218,8 +221,10 @@ IntelScheduler::nextEventTick(Tick now) const
             ? true
             : (global_writes <= ctx_.params.writeCap / 2 ? false
                                                          : drainMode_);
-    if (drain_next != drainMode_)
+    if (drain_next != drainMode_) {
+        pin_ = HorizonPin::DrainFlip;
         return now;
+    }
 
     std::size_t busy = 0;
     for (const MemAccess *a : ongoing_)
@@ -230,14 +235,19 @@ IntelScheduler::nextEventTick(Tick now) const
         !writeQ_.empty() && (drainMode_ || reads_ == 0);
     if (service_writes && busy < 4)
         for (const MemAccess *w : writeQ_)
-            if (!ongoing_[bankIndex(w->coords)])
+            if (!ongoing_[bankIndex(w->coords)]) {
+                pin_ = HorizonPin::ArbFill;
                 return now;
+            }
 
     if (busy < 4) // kMaxOngoing read-fill headroom
         for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
-            if (!ongoing_[b] && !readQ_[b].empty())
+            if (!ongoing_[b] && !readQ_[b].empty()) {
+                pin_ = HorizonPin::ArbFill;
                 return now;
+            }
 
+    pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
     for (const MemAccess *a : ongoing_) {
         if (!a)
@@ -248,6 +258,8 @@ IntelScheduler::nextEventTick(Tick now) const
         if (horizon <= now)
             return now;
     }
+    if (horizon == kTickMax)
+        pin_ = HorizonPin::None;
     return horizon;
 }
 

@@ -106,9 +106,13 @@ RowHitScheduler::nextEventTick(Tick now) const
     // A tick can still pull backlog into an empty ongoing slot, which is
     // a real arbitration state change — no skipping until every slot
     // with backlog is filled.
+    obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
     for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b)
-        if (!ongoing_[b] && !queues_[b].empty())
+        if (!ongoing_[b] && !queues_[b].empty()) {
+            pin_ = HorizonPin::ArbFill;
             return now;
+        }
+    pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
     for (const MemAccess *a : ongoing_) {
         if (!a)
@@ -119,6 +123,8 @@ RowHitScheduler::nextEventTick(Tick now) const
         if (horizon <= now)
             return now;
     }
+    if (horizon == kTickMax)
+        pin_ = HorizonPin::None;
     return horizon;
 }
 

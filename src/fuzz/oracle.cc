@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hh"
+#include "obs/engine_introspect.hh"
 #include "obs/observability.hh"
 #include "sim/report.hh"
 #include "trace/spec_profiles.hh"
@@ -154,6 +155,55 @@ checkPoint(const FuzzPoint &p, const OracleOptions &opt)
                 v.detail = os.str();
                 return v;
             }
+        }
+    }
+
+    // Wake-reason attribution identity: rerun the skip engine with
+    // introspection on (a separate run — introspection output would
+    // break the byte-equality compare above) and require its counters
+    // to telescope: stepped + skipped cycles equal the run's memory
+    // cycles, and every per-reason resume/blocked sum matches its
+    // total. A miss means skipHorizon() attributed a wake to the wrong
+    // place or the engine skipped cycles nobody accounted for.
+    if (opt.selfprofIdentity) {
+        OracleOptions iopt = opt;
+        iopt.configTweak = [&opt](sim::ExperimentConfig &cfg) {
+            cfg.obs.engineIntrospect = true;
+            if (opt.configTweak)
+                opt.configTweak(cfg);
+        };
+        sim::RunResult ri;
+        if (!runOne(p, iopt, sim::EngineKind::Skip, ri, v))
+            return v;
+        const obs::EngineIntrospect *in =
+            ri.obs ? ri.obs->introspect() : nullptr;
+        if (!in || !in->identityHolds(ri.memCycles)) {
+            v.ok = false;
+            v.oracle = "selfprof_identity";
+            std::ostringstream os;
+            if (in)
+                os << "stepped " << in->steppedCycles() << " + skipped "
+                   << in->skippedCycles() << " vs mem cycles "
+                   << ri.memCycles
+                   << " (or a per-reason sum mismatch)";
+            else
+                os << "introspection pillar missing on the skip run";
+            v.detail = os.str();
+            return v;
+        }
+        // The introspected run must not perturb the simulation (its
+        // JSON gains an engine_introspect section by design, so compare
+        // the core statistics rather than bytes).
+        if (ri.memCycles != skip.memCycles ||
+            ri.execCpuCycles != skip.execCpuCycles) {
+            v.ok = false;
+            v.oracle = "selfprof_identity";
+            std::ostringstream os;
+            os << "introspection changed simulated stats: mem "
+               << ri.memCycles << " vs " << skip.memCycles << ", cpu "
+               << ri.execCpuCycles << " vs " << skip.execCpuCycles;
+            v.detail = os.str();
+            return v;
         }
     }
 

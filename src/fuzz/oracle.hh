@@ -14,6 +14,12 @@
  *  - telescoping     per channel, the per-cause stall counts must sum
  *                    exactly to the attributed cycles, which must equal
  *                    the run's memory cycles;
+ *  - selfprof_identity
+ *                    an introspected skip run's wake-reason attribution
+ *                    must telescope exactly: stepped + skipped cycles
+ *                    equal the run's memory cycles and every per-reason
+ *                    sum matches its total (EngineIntrospect's
+ *                    identityHolds);
  *  - cross_scheduler on row-hit-heavy synthetic streams, Burst must
  *                    not be slower than BkInOrder beyond a tolerance
  *                    (the paper's headline ordering, Figure 10).
@@ -44,6 +50,8 @@ struct OracleOptions
     double crossSchedTolerance = 1.15;
     /** Skip the (expensive) two-run cross-scheduler bound. */
     bool crossScheduler = true;
+    /** Skip the extra introspected run of the selfprof_identity oracle. */
+    bool selfprofIdentity = true;
     /** Test hook: mutate the lowered config before each run. */
     std::function<void(sim::ExperimentConfig &)> configTweak;
 };

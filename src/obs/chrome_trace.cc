@@ -161,6 +161,17 @@ writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
                 w.endObject();
                 w.endObject();
             }
+
+            // Host-time track (--selfprof): wall microseconds the
+            // simulator spent on this epoch. Lets "where was the
+            // simulator slow" be read off against simulated activity.
+            if (row.hostWallUs >= 0) {
+                eventHeader(w, "C", "host", ctrl_pid, 0, ts);
+                w.key("args").beginObject();
+                w.key("wall_us").value(row.hostWallUs);
+                w.endObject();
+                w.endObject();
+            }
         }
     }
 

@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <chrono>
 #include <ostream>
 
 #include "common/json.hh"
@@ -11,12 +12,29 @@
 namespace bsim::obs
 {
 
+namespace
+{
+
+double
+wallNowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 MetricsSampler::MetricsSampler(Tick interval,
-                               std::vector<std::string> bank_labels)
-    : interval_(interval), labels_(std::move(bank_labels))
+                               std::vector<std::string> bank_labels,
+                               bool host_track)
+    : interval_(interval), labels_(std::move(bank_labels)),
+      hostTrack_(host_track)
 {
     if (!interval_)
         throwSimError(ErrorCategory::Config, "metrics sampler: interval must be nonzero");
+    if (hostTrack_)
+        lastWallUs_ = wallNowUs();
 }
 
 void
@@ -76,6 +94,17 @@ MetricsSampler::sample(const MetricsSnapshot &s)
         row.stallCycles.push_back(s.stallCounts[i] - prev_count);
     }
 
+    if (s.haveEngine) {
+        row.haveEngine = true;
+        row.steppedCycles = s.steppedCycles - prev_.steppedCycles;
+        row.skippedCycles = s.skippedCycles - prev_.skippedCycles;
+    }
+    if (hostTrack_) {
+        const double now_us = wallNowUs();
+        row.hostWallUs = now_us - lastWallUs_;
+        lastWallUs_ = now_us;
+    }
+
     rows_.push_back(std::move(row));
     prev_ = s;
     lastEnd_ = end;
@@ -90,6 +119,8 @@ MetricsSampler::writeCsv(std::ostream &os) const
         !rows_.empty() && !rows_.front().bankRowHitRate.empty();
     const bool have_stalls =
         !rows_.empty() && !rows_.front().stallCycles.empty();
+    const bool have_engine = !rows_.empty() && rows_.front().haveEngine;
+    const bool have_host = !rows_.empty() && rows_.front().hostWallUs >= 0;
 
     os << "epoch,tick_start,tick_end,data_bus_util,addr_bus_util,"
           "row_hit_rate,epoch_reads,epoch_writes,avg_burst_len,"
@@ -104,6 +135,10 @@ MetricsSampler::writeCsv(std::ostream &os) const
     if (have_stalls)
         for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
             os << ",stall_" << dram::stallCauseName(dram::StallCause(i));
+    if (have_engine)
+        os << ",stepped_cycles,skipped_cycles";
+    if (have_host)
+        os << ",host_wall_us";
     os << '\n';
 
     for (const auto &r : rows_) {
@@ -126,6 +161,10 @@ MetricsSampler::writeCsv(std::ostream &os) const
             for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
                 os << ','
                    << (i < r.stallCycles.size() ? r.stallCycles[i] : 0);
+        if (have_engine)
+            os << ',' << r.steppedCycles << ',' << r.skippedCycles;
+        if (have_host)
+            os << ',' << (r.hostWallUs >= 0 ? r.hostWallUs : 0.0);
         os << '\n';
     }
 }
@@ -179,6 +218,12 @@ MetricsSampler::writeJson(std::ostream &os) const
                         .value(r.stallCycles[i]);
             w.endObject();
         }
+        if (r.haveEngine) {
+            w.key("stepped_cycles").value(r.steppedCycles);
+            w.key("skipped_cycles").value(r.skippedCycles);
+        }
+        if (r.hostWallUs >= 0)
+            w.key("host_wall_us").value(r.hostWallUs);
         w.endObject();
     }
     w.endArray();

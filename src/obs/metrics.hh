@@ -47,6 +47,11 @@ struct MetricsSnapshot
     /** Per-cause stall cycles summed over channels, indexed by
      *  dram::StallCause; empty without the stall-attribution pillar. */
     std::vector<std::uint64_t> stallCounts;
+    /** Cumulative engine cycle split (engine-introspect pillar);
+     *  meaningful only when haveEngine is set. */
+    bool haveEngine = false;
+    std::uint64_t steppedCycles = 0;
+    std::uint64_t skippedCycles = 0;
 
     // Instantaneous.
     std::uint32_t channels = 1;
@@ -82,6 +87,13 @@ struct MetricsRow
     std::vector<double> bankRowHitRate;
     /** Per-cause stall cycles within the epoch (empty when not fed). */
     std::vector<std::uint64_t> stallCycles;
+    /** Engine cycle split within the epoch (introspect pillar only). */
+    bool haveEngine = false;
+    std::uint64_t steppedCycles = 0;
+    std::uint64_t skippedCycles = 0;
+    /** Host wall time spent in the epoch (selfprof host track only;
+     *  negative when the track is off). Nondeterministic by nature. */
+    double hostWallUs = -1.0;
 };
 
 /** Collects MetricsRow time series at a fixed cycle interval. */
@@ -91,9 +103,13 @@ class MetricsSampler
     /**
      * Sample every @p interval memory cycles over banks named
      * @p bank_labels (channel-major, matching the order schedulers
-     * append occupancy in). @p interval must be nonzero.
+     * append occupancy in). @p interval must be nonzero. With
+     * @p host_track each row also records the host wall time spent in
+     * its epoch (the selfprof "host" track; nondeterministic, so it is
+     * only ever emitted into opt-in CSV/trace outputs).
      */
-    MetricsSampler(Tick interval, std::vector<std::string> bank_labels);
+    MetricsSampler(Tick interval, std::vector<std::string> bank_labels,
+                   bool host_track = false);
 
     /** Sampling period in memory cycles. */
     Tick interval() const { return interval_; }
@@ -128,9 +144,11 @@ class MetricsSampler
   private:
     Tick interval_;
     std::vector<std::string> labels_;
+    bool hostTrack_;
     std::vector<MetricsRow> rows_;
     MetricsSnapshot prev_; //!< counters at the last emitted boundary
     Tick lastEnd_ = 0;     //!< exclusive end tick of the last row
+    double lastWallUs_ = 0.0; //!< host clock at the last boundary
 };
 
 } // namespace bsim::obs

@@ -59,12 +59,27 @@ struct ObsConfig
     /** Re-validate the issued command stream against DDR2 timing. */
     AuditMode audit = AuditMode::Off;
 
+    /** Attribute skip-engine wakes and horizon-memo behaviour (the
+     *  counters are deterministic but engine-dependent, so the
+     *  engine-equivalence gates compare runs with this off). */
+    bool engineIntrospect = false;
+
+    /**
+     * Host-side self-profiling (selfprof.hh). Deliberately NOT part of
+     * any(): it needs no pillar object, only the thread-local profiler
+     * armed around the run — and it must never force an Observability
+     * instance into existence, so that simulated output stays
+     * byte-identical with the flag on.
+     */
+    bool selfProf = false;
+
     /** Is any pillar enabled? */
     bool
     any() const
     {
         return latencyBreakdown || metricsInterval != 0 || commandTrace ||
-               stallAttribution || audit != AuditMode::Off;
+               stallAttribution || audit != AuditMode::Off ||
+               engineIntrospect;
     }
 };
 

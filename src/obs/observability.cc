@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hh"
+#include "common/json.hh"
 #include "common/log.hh"
 
 namespace bsim::obs
@@ -35,8 +36,8 @@ Observability::Observability(const ObsConfig &cfg,
     if (cfg_.latencyBreakdown)
         latency_ = std::make_unique<LatencyBreakdown>();
     if (cfg_.metricsInterval)
-        sampler_ = std::make_unique<MetricsSampler>(cfg_.metricsInterval,
-                                                    bankLabels(dram_));
+        sampler_ = std::make_unique<MetricsSampler>(
+            cfg_.metricsInterval, bankLabels(dram_), cfg_.selfProf);
     if (cfg_.commandTrace)
         log_ = std::make_unique<dram::CommandLog>(cfg_.traceCapacity);
     if (cfg_.stallAttribution)
@@ -45,6 +46,18 @@ Observability::Observability(const ObsConfig &cfg,
             bankLabels(dram_));
     if (cfg_.audit != AuditMode::Off)
         auditor_ = std::make_unique<ProtocolAuditor>(cfg_.audit, dram_);
+    if (cfg_.engineIntrospect)
+        introspect_ = std::make_unique<EngineIntrospect>(dram_.channels);
+}
+
+void
+Observability::writeIntrospectJson(std::ostream &os) const
+{
+    if (!introspect_)
+        throwSimError(ErrorCategory::Config, "observability: introspect output requested without the pillar");
+    JsonWriter w(os);
+    introspect_->writeJson(w);
+    os << "\n";
 }
 
 void

@@ -16,6 +16,7 @@
 #include "dram/command_log.hh"
 #include "dram/config.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/engine_introspect.hh"
 #include "obs/latency_breakdown.hh"
 #include "obs/metrics.hh"
 #include "obs/obs_config.hh"
@@ -58,6 +59,13 @@ class Observability
     ProtocolAuditor *auditor() { return auditor_.get(); }
     const ProtocolAuditor *auditor() const { return auditor_.get(); }
 
+    /** Engine-introspection pillar; nullptr when disabled. */
+    EngineIntrospect *introspect() { return introspect_.get(); }
+    const EngineIntrospect *introspect() const { return introspect_.get(); }
+
+    /** Export the wake-reason attribution (introspect pillar on). */
+    void writeIntrospectJson(std::ostream &os) const;
+
     /** Export the command trace as Chrome trace JSON (trace pillar on). */
     void writeChromeTrace(std::ostream &os) const;
 
@@ -78,6 +86,7 @@ class Observability
     std::unique_ptr<dram::CommandLog> log_;
     std::unique_ptr<StallAttribution> stalls_;
     std::unique_ptr<ProtocolAuditor> auditor_;
+    std::unique_ptr<EngineIntrospect> introspect_;
 };
 
 } // namespace bsim::obs

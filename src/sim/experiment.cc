@@ -9,6 +9,7 @@
 #include "common/error.hh"
 #include "common/log.hh"
 #include "obs/observability.hh"
+#include "obs/selfprof.hh"
 #include "sim/sweep_runner.hh"
 #include "trace/spec_profiles.hh"
 #include "trace/trace_file.hh"
@@ -66,6 +67,30 @@ prewarmCaches(cpu::CacheHierarchy &h, const trace::SyntheticGenerator &gen,
         }
     }
 }
+
+/**
+ * Arms the host self-profiler for the guarded region. The enable flag
+ * and the sample tree are thread-local, so parallel sweep slots profile
+ * independently; the destructor disarms on every exit path (including
+ * SimError unwinds) so a failed point never leaks profiling into the
+ * next run on its worker thread.
+ */
+struct SelfProfGuard
+{
+    explicit SelfProfGuard(bool on) : on_(on)
+    {
+        if (on_) {
+            obs::prof::reset();
+            obs::prof::setEnabled(true);
+        }
+    }
+    ~SelfProfGuard()
+    {
+        if (on_)
+            obs::prof::setEnabled(false);
+    }
+    bool on_;
+};
 
 } // namespace
 
@@ -206,6 +231,7 @@ runExperiment(const ExperimentConfig &cfg)
     // Safety net: no run should need more than ~10k memory cycles per
     // thousand instructions; a hang here is a simulator bug.
     const Tick cap = instructions * 100 + 10'000'000;
+    SelfProfGuard prof_guard(cfg.obs.selfProf);
     sys.run(cap);
     if (!sys.done())
         throwSimError(
@@ -218,6 +244,9 @@ runExperiment(const ExperimentConfig &cfg)
     sys.controller().flushMetrics(sys.memCycles());
 
     RunResult r;
+    if (cfg.obs.selfProf)
+        r.selfprof = std::make_shared<obs::prof::SelfProfile>(
+            obs::prof::collect());
     r.obs = sys.releaseObservability();
     r.workload = cfg.workload;
     r.mechanism = cfg.mechanism;

@@ -21,6 +21,11 @@
 #include "sim/system.hh"
 #include "trace/trace_gen.hh"
 
+namespace bsim::obs::prof
+{
+struct SelfProfile;
+} // namespace bsim::obs::prof
+
 namespace bsim::sim
 {
 
@@ -144,6 +149,10 @@ struct RunResult
     /** Observability data collected during the run; null when all
      *  pillars were off. Shared so RunResult stays copyable. */
     std::shared_ptr<obs::Observability> obs;
+
+    /** Host-side self-profile of the run (ObsConfig::selfProf); null
+     *  when off. Host wall time — never part of the result JSON. */
+    std::shared_ptr<obs::prof::SelfProfile> selfprof;
 };
 
 /**

@@ -4,7 +4,9 @@
 
 #include "common/json.hh"
 #include "common/table.hh"
+#include "obs/engine_introspect.hh"
 #include "obs/observability.hh"
+#include "obs/selfprof.hh"
 
 namespace bsim::sim
 {
@@ -137,6 +139,12 @@ writeResultJson(std::ostream &os, const RunResult &r)
         writeCycleAccountingJson(w, *r.obs->stalls());
     if (r.obs && r.obs->auditor())
         writeProtocolAuditJson(w, *r.obs->auditor());
+    if (r.obs && r.obs->introspect()) {
+        // Deterministic (simulated state only); the host self-profile
+        // deliberately never appears here — see writeResultText.
+        w.key("engine_introspect");
+        r.obs->introspect()->writeJson(w);
+    }
     w.endObject();
     os << '\n';
 }
@@ -233,6 +241,18 @@ writeResultText(std::ostream &os, const RunResult &r)
         os << "\nprotocol audit (" << obs::auditModeName(a.mode())
            << "): " << a.commandsAudited() << " commands, "
            << a.violationCount() << " violations\n";
+    }
+
+    if (r.obs && r.obs->introspect()) {
+        os << '\n';
+        r.obs->introspect()->writeText(os, r.memCycles);
+    }
+
+    if (r.selfprof && r.selfprof->valid) {
+        // Host wall time: text report only, never the result JSON, so
+        // simulated outputs stay reproducible byte for byte.
+        os << '\n';
+        r.selfprof->writeText(os);
     }
 }
 

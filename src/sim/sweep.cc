@@ -1,16 +1,24 @@
 #include "sim/sweep.hh"
 
+#include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
+#include <thread>
+#include <unordered_map>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
+#include "obs/selfprof.hh"
 
 namespace bsim::sim
 {
@@ -75,6 +83,245 @@ faultFromEnv()
         f.category = parseErrorCategory(cat);
     return f;
 }
+
+/**
+ * JSONL progress telemetry + stderr heartbeat for one sweep.
+ *
+ * Every event is one compact JSON object per line, flushed immediately
+ * so a tail -f (or the CI validator) always sees whole records. The
+ * runner's workers call the observer callbacks concurrently; one mutex
+ * serialises event assembly, pace bookkeeping and rollup handoff. The
+ * heartbeat runs on its own timer thread and stops before sweep_end.
+ *
+ * The emitted ETA is clamped to be non-increasing across events, so
+ * consumers can render a stable countdown — pace noise (a slow point,
+ * scheduler jitter) never makes the estimate jump back up.
+ */
+class SweepProgress final : public ProgressObserver
+{
+  public:
+    SweepProgress(std::ostream *os, std::vector<std::size_t> slots,
+                  std::vector<std::string> labels, std::size_t total,
+                  std::size_t journaled, unsigned jobs,
+                  double heartbeat_sec)
+        : os_(os), slots_(std::move(slots)), labels_(std::move(labels)),
+          total_(total), started_(std::chrono::steady_clock::now())
+    {
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            emitLocked([&](JsonWriter &w) {
+                w.key("event").value("sweep_start");
+                w.key("points").value(std::uint64_t(total_));
+                w.key("pending").value(std::uint64_t(slots_.size()));
+                w.key("journaled").value(std::uint64_t(journaled));
+                w.key("jobs").value(std::uint64_t(jobs));
+            });
+        }
+        if (heartbeat_sec > 0)
+            heartbeat_ = std::thread(
+                [this, heartbeat_sec] { heartbeatLoop(heartbeat_sec); });
+    }
+
+    ~SweepProgress() override { stopHeartbeat(); }
+
+    void
+    onPointStart(std::size_t i, unsigned attempt) override
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        emitLocked([&](JsonWriter &w) {
+            w.key("event").value(attempt > 1 ? "point_retry"
+                                             : "point_start");
+            w.key("point").value(std::uint64_t(slots_[i]));
+            w.key("label").value(labels_[i]);
+            w.key("attempt").value(std::uint64_t(attempt));
+        });
+    }
+
+    void
+    onPointFinish(std::size_t i, const RunOutcome &o) override
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        std::shared_ptr<obs::prof::SelfProfile> prof;
+        if (const auto it = rollups_.find(slots_[i]);
+            it != rollups_.end()) {
+            prof = std::move(it->second);
+            rollups_.erase(it);
+        }
+        done_ += 1;
+        const double pps = pointsPerSec();
+        const double eta = clampedEtaSec(pps);
+        emitLocked([&](JsonWriter &w) {
+            w.key("event").value("point_finish");
+            w.key("point").value(std::uint64_t(slots_[i]));
+            w.key("label").value(labels_[i]);
+            w.key("status").value(o.ok ? "ok" : "failed");
+            w.key("attempts").value(std::uint64_t(o.attempts));
+            if (!o.ok) {
+                w.key("category").value(errorCategoryName(o.category));
+                w.key("error").value(o.error);
+            }
+            w.key("wall_ms").value(o.wallMs);
+            w.key("done").value(std::uint64_t(done_));
+            w.key("total").value(std::uint64_t(slots_.size()));
+            w.key("points_per_sec").value(pps);
+            w.key("eta_sec").value(eta);
+            if (prof && prof->valid) {
+                w.key("selfprof").beginObject();
+                w.key("total_us").value(prof->totalUs);
+                w.key("phases").beginObject();
+                for (std::size_t p = 0; p < obs::prof::kNumPhases; ++p)
+                    if (prof->selfUsByPhase[p] > 0)
+                        w.key(obs::prof::phaseName(obs::prof::Phase(p)))
+                            .value(prof->selfUsByPhase[p]);
+                w.endObject();
+                w.endObject();
+            }
+        });
+    }
+
+    /** Self-profile to fold into slot @p slot's point_finish event
+     *  (called from the point's own worker thread, before the runner
+     *  fires onPointFinish). */
+    void
+    attachRollup(std::size_t slot,
+                 std::shared_ptr<obs::prof::SelfProfile> prof)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        rollups_[slot] = std::move(prof);
+    }
+
+    /** Final sweep_end event; the heartbeat stops first so no event
+     *  ever follows sweep_end in the file. */
+    void
+    finish(std::size_t failures, bool aborted, bool cancelled)
+    {
+        stopHeartbeat();
+        std::lock_guard<std::mutex> g(mu_);
+        emitLocked([&](JsonWriter &w) {
+            w.key("event").value("sweep_end");
+            w.key("done").value(std::uint64_t(done_));
+            w.key("total").value(std::uint64_t(slots_.size()));
+            w.key("failures").value(std::uint64_t(failures));
+            w.key("aborted").value(aborted);
+            w.key("cancelled").value(cancelled);
+            w.key("elapsed_sec").value(elapsedSec());
+        });
+    }
+
+  private:
+    template <typename Fn>
+    void
+    emitLocked(Fn &&fields) // mu_ held by the caller
+    {
+        if (!os_)
+            return;
+        JsonWriter w(*os_, /*pretty=*/false);
+        w.beginObject();
+        fields(w);
+        w.endObject();
+        *os_ << '\n';
+        os_->flush(); // tail -f / validators see whole records
+    }
+
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started_)
+            .count();
+    }
+
+    double
+    pointsPerSec() const // mu_ held
+    {
+        const double el = elapsedSec();
+        return el > 0 ? double(done_) / el : 0.0;
+    }
+
+    double
+    clampedEtaSec(double pps) // mu_ held
+    {
+        const std::size_t remaining =
+            slots_.size() > done_ ? slots_.size() - done_ : 0;
+        if (remaining == 0) {
+            etaCap_ = 0.0;
+            return 0.0;
+        }
+        if (pps <= 0)
+            return -1.0; // no estimate until the first point lands
+        double eta = double(remaining) / pps;
+        if (eta > etaCap_)
+            eta = etaCap_;
+        etaCap_ = eta;
+        return eta;
+    }
+
+    void
+    heartbeatLoop(double period)
+    {
+        std::unique_lock<std::mutex> lk(hbMu_);
+        while (!hbStop_) {
+            if (hbCv_.wait_for(lk, std::chrono::duration<double>(period),
+                               [this] { return hbStop_; }))
+                return;
+            beat();
+        }
+    }
+
+    void
+    beat()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        const double pps = pointsPerSec();
+        const double eta = clampedEtaSec(pps);
+        emitLocked([&](JsonWriter &w) {
+            w.key("event").value("heartbeat");
+            w.key("done").value(std::uint64_t(done_));
+            w.key("total").value(std::uint64_t(slots_.size()));
+            w.key("points_per_sec").value(pps);
+            w.key("eta_sec").value(eta);
+            w.key("elapsed_sec").value(elapsedSec());
+        });
+        if (eta < 0)
+            std::fprintf(stderr,
+                         "sweep: %zu/%zu points, %.2f pts/s, eta ?\n",
+                         done_, slots_.size(), pps);
+        else
+            std::fprintf(stderr,
+                         "sweep: %zu/%zu points, %.2f pts/s, eta %.0f s\n",
+                         done_, slots_.size(), pps, eta);
+    }
+
+    void
+    stopHeartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> g(hbMu_);
+            hbStop_ = true;
+        }
+        hbCv_.notify_all();
+        if (heartbeat_.joinable())
+            heartbeat_.join();
+    }
+
+    std::ostream *os_; //!< may be null (heartbeat-only operation)
+    const std::vector<std::size_t> slots_;  //!< pending -> point index
+    const std::vector<std::string> labels_; //!< pending -> display label
+    const std::size_t total_;               //!< all points, incl. journaled
+    const std::chrono::steady_clock::time_point started_;
+
+    std::mutex mu_; //!< serialises events, pace state and rollups
+    std::size_t done_ = 0;
+    double etaCap_ = std::numeric_limits<double>::infinity();
+    std::unordered_map<std::size_t,
+                       std::shared_ptr<obs::prof::SelfProfile>>
+        rollups_;
+
+    std::thread heartbeat_;
+    std::mutex hbMu_;
+    std::condition_variable hbCv_;
+    bool hbStop_ = false;
+};
 
 } // namespace
 
@@ -264,6 +511,34 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
                           opt.journal.c_str());
     }
 
+    SweepRunner runner(opt.jobs);
+
+    // Progress telemetry: JSONL sink (file or injected stream) plus the
+    // optional stderr heartbeat. Built before any work starts so that
+    // sweep_start is always the first record; an unwritable path fails
+    // the sweep up front, exactly like the journal.
+    std::ofstream progress_file;
+    std::ostream *progress_os = opt.progressStream;
+    if (!progress_os && !opt.progressPath.empty()) {
+        progress_file.open(opt.progressPath);
+        if (!progress_file)
+            throwSimError(ErrorCategory::Resource,
+                          "cannot open progress file '%s' for writing",
+                          opt.progressPath.c_str());
+        progress_os = &progress_file;
+    }
+    std::unique_ptr<SweepProgress> progress;
+    if (progress_os || opt.heartbeatSec > 0) {
+        std::vector<std::string> labels;
+        labels.reserve(pending.size());
+        for (const std::size_t i : pending)
+            labels.push_back(pointLabel(points[i]));
+        progress = std::make_unique<SweepProgress>(
+            progress_os, pending, std::move(labels), points.size(),
+            points.size() - pending.size(), runner.jobs(),
+            opt.heartbeatSec);
+    }
+
     // Per-point attempt counters for journal records: each point is
     // claimed by exactly one worker and retried on that same thread,
     // so plain (non-atomic) counters are safe.
@@ -277,6 +552,8 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
                           attempt);
         const RunResult r = runExperiment(points[slot]);
         rep.slots[slot].summary = summarize(r);
+        if (progress && r.selfprof)
+            progress->attachRollup(slot, r.selfprof);
         if (journal_os.is_open()) {
             char line[256];
             std::snprintf(line, sizeof(line),
@@ -301,15 +578,16 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
     policy.maxFailures = opt.maxFailures;
     policy.cancel = opt.cancel;
 
-    SweepRunner runner(opt.jobs);
     const SweepRunner::GuardedReport gr = runner.guardedRun(
         pending.size(), [&](std::size_t j) { runPoint(pending[j]); },
-        policy);
+        policy, progress.get());
 
     for (std::size_t j = 0; j < pending.size(); ++j)
         rep.slots[pending[j]].run = gr.points[j];
     rep.aborted = gr.aborted;
     rep.cancelled = gr.cancelled;
+    if (progress)
+        progress->finish(rep.failures(), rep.aborted, rep.cancelled);
     return rep;
 }
 

@@ -113,6 +113,19 @@ struct SweepOptions
     const std::atomic<bool> *cancel = nullptr;
     /** Programmatic fault injection (tests). */
     SweepFault fault;
+
+    // --- progress telemetry (see docs/observability.md) ---
+    // One JSON object per line (JSONL): sweep_start, point_start,
+    // point_retry, point_finish, heartbeat, sweep_end. Host wall times
+    // appear here by design — this is a telemetry side channel, never
+    // part of the deterministic result set (CSV/table/journal).
+
+    /** Progress JSONL path; empty disables file telemetry. */
+    std::string progressPath;
+    /** Progress JSONL stream override (tests); wins over progressPath. */
+    std::ostream *progressStream = nullptr;
+    /** Stderr heartbeat period in seconds; 0 disables the heartbeat. */
+    double heartbeatSec = 0.0;
 };
 
 /** Slot-ordered outcome of a whole sweep. */

@@ -63,7 +63,8 @@ SweepRunner::run(std::size_t count,
 SweepRunner::GuardedReport
 SweepRunner::guardedRun(std::size_t count,
                         const std::function<void(std::size_t)> &fn,
-                        const FaultPolicy &policy) const
+                        const FaultPolicy &policy,
+                        ProgressObserver *progress) const
 {
     GuardedReport rep;
     rep.points.resize(count);
@@ -80,6 +81,8 @@ SweepRunner::guardedRun(std::size_t count,
         const auto t0 = std::chrono::steady_clock::now();
         for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
             o.attempts = attempt;
+            if (progress)
+                progress->onPointStart(i, attempt);
             try {
                 fn(i);
                 o.ok = true;
@@ -99,6 +102,8 @@ SweepRunner::guardedRun(std::size_t count,
         o.wallMs = std::chrono::duration<double, std::milli>(
                        std::chrono::steady_clock::now() - t0)
                        .count();
+        if (progress)
+            progress->onPointFinish(i, o);
         if (!o.ok &&
             failures.fetch_add(1) + 1 > policy.maxFailures)
             aborted.store(true);

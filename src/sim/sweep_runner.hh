@@ -62,6 +62,23 @@ struct Outcome
     std::optional<T> value;
 };
 
+/**
+ * Observer of guarded-sweep progress. Workers invoke the callbacks
+ * concurrently from pool threads, so implementations must synchronize
+ * internally; callbacks should be cheap (they sit between points, not
+ * inside them). Attempt numbers are 1-based — onPointStart with
+ * attempt > 1 is a retry of a transient failure.
+ */
+class ProgressObserver
+{
+  public:
+    virtual ~ProgressObserver() = default;
+    /** Point @p i begins attempt @p attempt on some worker thread. */
+    virtual void onPointStart(std::size_t i, unsigned attempt) = 0;
+    /** Point @p i is done (after any retries); @p o is its final fate. */
+    virtual void onPointFinish(std::size_t i, const RunOutcome &o) = 0;
+};
+
 /** Retry / abort / cancellation policy for guarded execution. */
 struct FaultPolicy
 {
@@ -129,12 +146,13 @@ class SweepRunner
      */
     template <typename T, typename Fn>
     GuardedResults<T> mapGuarded(std::size_t count, Fn &&fn,
-                                 const FaultPolicy &policy = {}) const
+                                 const FaultPolicy &policy = {},
+                                 ProgressObserver *progress = nullptr) const
     {
         std::vector<std::optional<T>> slots(count);
         GuardedReport rep = guardedRun(
             count, [&](std::size_t i) { slots[i].emplace(fn(i)); },
-            policy);
+            policy, progress);
         GuardedResults<T> out;
         out.aborted = rep.aborted;
         out.cancelled = rep.cancelled;
@@ -159,12 +177,14 @@ class SweepRunner
      * points have failed, or policy.cancel becomes true, no further
      * point is claimed; skipped points report attempts == 0. A retry of
      * a point always happens on the thread that claimed it, so @p fn
-     * may keep plain per-index state.
+     * may keep plain per-index state. When @p progress is non-null its
+     * callbacks bracket every attempt (see ProgressObserver).
      */
     GuardedReport
     guardedRun(std::size_t count,
                const std::function<void(std::size_t)> &fn,
-               const FaultPolicy &policy = {}) const;
+               const FaultPolicy &policy = {},
+               ProgressObserver *progress = nullptr) const;
 
   private:
     unsigned jobs_;

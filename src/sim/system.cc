@@ -5,7 +5,9 @@
 
 #include "common/error.hh"
 #include "common/log.hh"
+#include "obs/engine_introspect.hh"
 #include "obs/observability.hh"
+#include "obs/selfprof.hh"
 
 namespace bsim::sim
 {
@@ -95,6 +97,7 @@ System::build(const std::vector<trace::TraceSource *> &traces)
         if (obs_->auditor())
             mem_->attachObserver(obs_->auditor());
         ctrl_->attachObservability(obs_.get());
+        intro_ = obs_->introspect();
     }
 
     cores_.resize(traces.size());
@@ -121,6 +124,7 @@ System::releaseObservability()
         mem_->attachLog(nullptr);
         mem_->attachObserver(nullptr);
         ctrl_->attachObservability(nullptr);
+        intro_ = nullptr;
     }
     return std::move(obs_);
 }
@@ -182,6 +186,9 @@ System::admitFsb()
 void
 System::tick()
 {
+    if (intro_)
+        intro_->noteStepped();
+
     // 1. Deliver read data that has crossed the bus back to its core.
     while (!respQueue_.empty() && respQueue_.top().at <= now_) {
         const Response r = respQueue_.top();
@@ -191,12 +198,19 @@ System::tick()
     }
 
     // 2. Memory controller cycle (schedules SDRAM transactions).
-    ctrl_->tick(now_);
+    {
+        obs::prof::Scope prof(obs::prof::Phase::CtrlTick);
+        ctrl_->tick(now_);
+    }
 
     // 3. FSB admission.
-    admitFsb();
+    {
+        obs::prof::Scope prof(obs::prof::Phase::FsbAdmit);
+        admitFsb();
+    }
 
     // 4. CPU cycles within this memory cycle, for every running core.
+    obs::prof::Scope cpu_prof(obs::prof::Phase::CpuPhase);
     const bool ed = cfg_.engine == EngineKind::Skip;
     const std::uint32_t window = cfg_.cpuCyclesPerMemCycle;
     bool all_done = true;
@@ -274,8 +288,16 @@ System::fastTick()
     // quiescent through this tick's whole CPU-cycle window. Each of
     // those CPU cycles would only bump headStalls_, so apply them in
     // bulk; the memory side runs exactly as in tick().
-    ctrl_->tick(now_);
-    admitFsb();
+    if (intro_)
+        intro_->noteStepped();
+    {
+        obs::prof::Scope prof(obs::prof::Phase::CtrlTick);
+        ctrl_->tick(now_);
+    }
+    {
+        obs::prof::Scope prof(obs::prof::Phase::FsbAdmit);
+        admitFsb();
+    }
     for (CoreNode &node : cores_)
         if (!node.done)
             node.core->skipStallCycles(cfg_.cpuCyclesPerMemCycle);
@@ -295,12 +317,23 @@ System::done() const
 }
 
 Tick
-System::skipHorizon()
+System::skipHorizon(obs::WakeSource *src)
 {
+    obs::prof::Scope prof(obs::prof::Phase::Horizon);
+    if (src)
+        *src = obs::WakeSource{}; // Unbounded until a bound wins
     Tick h = kTickMax;
-    const auto consider = [&h](Tick t) {
-        if (t < h)
+    const auto consider = [&h, src](Tick t, obs::WakeReason r) {
+        // Strict < keeps first-minimum-wins over the unchanged scan
+        // order, so the returned horizon is identical with and without
+        // attribution.
+        if (t < h) {
             h = t;
+            if (src) {
+                src->reason = r;
+                src->channel = -1;
+            }
+        }
     };
 
     // Cores: every running core must be provably quiescent, and its
@@ -310,18 +343,29 @@ System::skipHorizon()
     for (CoreNode &node : cores_) {
         if (node.done)
             continue;
-        if (!coreQuiescent(node))
+        if (!coreQuiescent(node)) {
+            if (src)
+                src->reason = obs::WakeReason::CoreActive;
             return now_;
+        }
         if (node.quiesceEventCpu != kTickMax)
             consider(now_ + (node.quiesceEventCpu - cpuNow_) /
-                                cfg_.cpuCyclesPerMemCycle);
+                                cfg_.cpuCyclesPerMemCycle,
+                     obs::WakeReason::CoreWake);
     }
 
     // Response delivery, controller activity (completions, refresh,
     // scheduler issue opportunities, metrics epochs).
     if (!respQueue_.empty())
-        consider(respQueue_.top().at);
-    consider(ctrl_->nextEventTick(now_));
+        consider(respQueue_.top().at, obs::WakeReason::Response);
+    obs::WakeSource ctrl_src;
+    const Tick ctrl_t =
+        ctrl_->nextEventTick(now_, src ? &ctrl_src : nullptr);
+    if (ctrl_t < h) {
+        h = ctrl_t;
+        if (src)
+            *src = ctrl_src;
+    }
 
     // FSB admission: with room in the controller, the next request to
     // come of age is admitted that very tick. (Without room, the
@@ -329,7 +373,8 @@ System::skipHorizon()
     if (ctrl_->canAccept()) {
         for (const CoreNode &node : cores_)
             if (!node.fsbQueue.empty())
-                consider(node.fsbQueue.front().readyAt);
+                consider(node.fsbQueue.front().readyAt,
+                         obs::WakeReason::FsbAdmit);
     }
 
     return h;
@@ -338,6 +383,7 @@ System::skipHorizon()
 void
 System::skipTo(Tick target)
 {
+    obs::prof::Scope prof(obs::prof::Phase::SkipSpan);
     const Tick span = target - now_;
     ctrl_->tickSpan(now_, span);
     const std::uint64_t cpu_span =
@@ -400,6 +446,7 @@ System::checkProgress(WatchState &w)
 Tick
 System::run(Tick max_ticks)
 {
+    obs::prof::Scope prof(obs::prof::Phase::Run);
     const Tick start = now_;
     const bool skip = cfg_.engine == EngineKind::Skip;
     WatchState watch;
@@ -424,13 +471,22 @@ System::run(Tick max_ticks)
             tick();
         if (done())
             continue;
-        Tick h = skipHorizon();
-        if (h == kTickMax)
+        obs::WakeSource wake;
+        Tick h = skipHorizon(intro_ ? &wake : nullptr);
+        if (h == kTickMax) {
+            if (intro_)
+                intro_->noteBlocked(wake); // wake stays Unbounded
             continue; // no bounded dead span provable; keep stepping
+        }
         if (h - start > max_ticks)
             h = start + max_ticks; // stop exactly where stepping would
-        if (h > now_)
+        if (h > now_) {
+            if (intro_)
+                intro_->noteSkip(wake, h - now_);
             skipTo(h);
+        } else if (intro_) {
+            intro_->noteBlocked(wake);
+        }
     }
     return now_ - start;
 }

@@ -32,7 +32,9 @@
 
 namespace bsim::obs
 {
+class EngineIntrospect;
 class Observability;
+struct WakeSource;
 } // namespace bsim::obs
 
 namespace bsim::sim
@@ -270,8 +272,12 @@ class System
      * a core leaving quiescence, a response delivery, a controller
      * event, or an FSB admission. now_ itself when any core is not
      * quiescent (no skip possible). Assumes tick() has just run.
+     *
+     * When @p src is non-null the winning bound is attributed to the
+     * component that pinned it (first-minimum-wins over the same scan
+     * order, so the horizon is identical with and without attribution).
      */
-    Tick skipHorizon();
+    Tick skipHorizon(obs::WakeSource *src = nullptr);
 
     /** Bulk-apply the dead span [now_, @p target) and jump to it. */
     void skipTo(Tick target);
@@ -280,6 +286,8 @@ class System
     std::unique_ptr<dram::MemorySystem> mem_;
     std::unique_ptr<ctrl::MemoryController> ctrl_;
     std::unique_ptr<obs::Observability> obs_;
+    /** Engine introspection sink; null unless the pillar is on. */
+    obs::EngineIntrospect *intro_ = nullptr;
     std::vector<CoreNode> cores_;
 
     std::priority_queue<Response, std::vector<Response>, ResponseLater>

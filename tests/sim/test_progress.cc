@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Sweep progress telemetry tests: every emitted line is a parseable,
+ * schema-valid JSON object; `done` is strictly increasing and the
+ * clamped `eta_sec` never increases, at jobs=1 and jobs=8; retries
+ * surface as point_retry events; selfprof rollups ride point_finish;
+ * journaled reruns report zero pending points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/sweep.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+namespace
+{
+
+std::vector<ExperimentConfig>
+tinyPoints(std::size_t n, bool selfprof = false)
+{
+    static const ctrl::Mechanism mechs[] = {
+        ctrl::Mechanism::BkInOrder, ctrl::Mechanism::RowHit,
+        ctrl::Mechanism::Intel, ctrl::Mechanism::Burst,
+        ctrl::Mechanism::AdaptiveHistory,
+    };
+    std::vector<ExperimentConfig> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        ExperimentConfig cfg;
+        cfg.workload = "swim";
+        cfg.instructions = 1200 + 100 * (i / 5);
+        cfg.mechanism = mechs[i % 5];
+        cfg.obs.selfProf = selfprof;
+        points.push_back(cfg);
+    }
+    return points;
+}
+
+/** Parse the stream: one JSON object per line, no blank lines. */
+std::vector<JsonValue>
+parseLines(const std::string &text)
+{
+    std::vector<JsonValue> events;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_FALSE(line.empty()) << "blank line in progress JSONL";
+        std::string err;
+        auto v = parseJson(line, &err);
+        EXPECT_TRUE(v) << err << " in: " << line;
+        if (v) {
+            EXPECT_TRUE(v->isObject());
+            events.push_back(std::move(*v));
+        }
+    }
+    return events;
+}
+
+std::string
+eventName(const JsonValue &e)
+{
+    const JsonValue *n = e.find("event");
+    return n && n->isString() ? n->string : "";
+}
+
+/** Full schema + monotonicity check over one sweep's stream. */
+void
+checkStream(const std::string &text, std::size_t npoints)
+{
+    const std::vector<JsonValue> ev = parseLines(text);
+    ASSERT_GE(ev.size(), 2 + 2 * npoints);
+
+    ASSERT_EQ(eventName(ev.front()), "sweep_start");
+    for (const char *k : {"points", "pending", "journaled", "jobs"})
+        ASSERT_NE(ev.front().find(k), nullptr) << k;
+    EXPECT_EQ(ev.front().find("pending")->number, double(npoints));
+    EXPECT_GE(ev.front().find("jobs")->number, 1.0);
+
+    ASSERT_EQ(eventName(ev.back()), "sweep_end");
+    for (const char *k :
+         {"done", "total", "failures", "aborted", "cancelled",
+          "elapsed_sec"})
+        ASSERT_NE(ev.back().find(k), nullptr) << k;
+    EXPECT_EQ(ev.back().find("done")->number, double(npoints));
+
+    double last_done = 0.0;
+    double last_eta = std::numeric_limits<double>::infinity();
+    std::size_t starts = 0, finishes = 0;
+    for (const JsonValue &e : ev) {
+        const std::string name = eventName(e);
+        if (name == "point_start" || name == "point_retry") {
+            starts += name == "point_start" ? 1 : 0;
+            for (const char *k : {"point", "label", "attempt"})
+                ASSERT_NE(e.find(k), nullptr) << name << "." << k;
+        } else if (name == "point_finish") {
+            finishes += 1;
+            for (const char *k :
+                 {"point", "label", "status", "attempts", "wall_ms",
+                  "done", "total", "points_per_sec", "eta_sec"})
+                ASSERT_NE(e.find(k), nullptr) << k;
+            EXPECT_EQ(e.find("total")->number, double(npoints));
+            // One finish per point, serialized under the sink's mutex:
+            // done counts up one at a time, in stream order.
+            const double done = e.find("done")->number;
+            EXPECT_EQ(done, last_done + 1.0);
+            last_done = done;
+            // The advertised ETA is clamped: a stable countdown, never
+            // bouncing back up when a slow point lands.
+            const double eta = e.find("eta_sec")->number;
+            EXPECT_LE(eta, last_eta);
+            EXPECT_GE(eta, 0.0);
+            last_eta = eta;
+        } else if (name == "heartbeat") {
+            for (const char *k : {"done", "total", "points_per_sec",
+                                  "eta_sec", "elapsed_sec"})
+                ASSERT_NE(e.find(k), nullptr) << k;
+            // Before the first finish there is no rate to extrapolate:
+            // the ETA is -1 (unknown), never a bogus 0 that would pin
+            // the clamped countdown.
+            if (e.find("done")->number == 0.0)
+                EXPECT_EQ(e.find("eta_sec")->number, -1.0);
+            else
+                EXPECT_GE(e.find("eta_sec")->number, 0.0);
+        } else {
+            EXPECT_TRUE(name == "sweep_start" || name == "sweep_end")
+                << "unknown event: " << name;
+        }
+    }
+    EXPECT_EQ(starts, npoints);
+    EXPECT_EQ(finishes, npoints);
+}
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+} // namespace
+
+TEST(SweepProgress, SchemaAndMonotonicityAtJobs1)
+{
+    const auto points = tinyPoints(6);
+    std::ostringstream os;
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.progressStream = &os;
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.failures(), 0u);
+    checkStream(os.str(), points.size());
+}
+
+TEST(SweepProgress, SchemaAndMonotonicityAtJobs8)
+{
+    const auto points = tinyPoints(10);
+    std::ostringstream os;
+    SweepOptions opt;
+    opt.jobs = 8;
+    opt.progressStream = &os;
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.failures(), 0u);
+    checkStream(os.str(), points.size());
+}
+
+TEST(SweepProgress, RetriesSurfaceAsPointRetryEvents)
+{
+    const auto points = tinyPoints(3);
+    std::ostringstream os;
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.maxAttempts = 3;
+    opt.progressStream = &os;
+    opt.fault.point = 1;
+    opt.fault.times = 2;
+    opt.fault.category = ErrorCategory::Resource; // transient: retried
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.failures(), 0u);
+    EXPECT_EQ(rep.slots[1].run.attempts, 3u);
+
+    std::size_t retries = 0;
+    bool saw_attempts_3 = false;
+    for (const JsonValue &e : parseLines(os.str())) {
+        if (eventName(e) == "point_retry") {
+            retries += 1;
+            EXPECT_EQ(e.find("point")->number, 1.0);
+            EXPECT_GE(e.find("attempt")->number, 2.0);
+        }
+        if (eventName(e) == "point_finish" &&
+            e.find("point")->number == 1.0) {
+            EXPECT_EQ(e.find("status")->string, "ok");
+            EXPECT_EQ(e.find("attempts")->number, 3.0);
+            saw_attempts_3 = true;
+        }
+    }
+    EXPECT_EQ(retries, 2u);
+    EXPECT_TRUE(saw_attempts_3);
+}
+
+TEST(SweepProgress, SelfprofRollupsRidePointFinish)
+{
+    const auto points = tinyPoints(2, /*selfprof=*/true);
+    std::ostringstream os;
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.progressStream = &os;
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.failures(), 0u);
+
+    std::size_t rollups = 0;
+    for (const JsonValue &e : parseLines(os.str())) {
+        if (eventName(e) != "point_finish")
+            continue;
+        const JsonValue *sp = e.find("selfprof");
+        ASSERT_NE(sp, nullptr);
+        ASSERT_TRUE(sp->isObject());
+        ASSERT_NE(sp->find("total_us"), nullptr);
+        const JsonValue *phases = sp->find("phases");
+        ASSERT_NE(phases, nullptr);
+        EXPECT_TRUE(phases->isObject());
+        EXPECT_GT(phases->size(), 0u);
+        rollups += 1;
+    }
+    EXPECT_EQ(rollups, points.size());
+}
+
+TEST(SweepProgress, HeartbeatsNeverPinTheEta)
+{
+    // A sub-millisecond period all but guarantees heartbeats land
+    // before the first point finishes; an early heartbeat must not cap
+    // the later (real) ETAs at zero.
+    const auto points = tinyPoints(5);
+    std::ostringstream os;
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.progressStream = &os;
+    opt.heartbeatSec = 0.0005;
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.failures(), 0u);
+    checkStream(os.str(), points.size());
+
+    bool nonzero_eta = false;
+    for (const JsonValue &e : parseLines(os.str()))
+        if (eventName(e) == "point_finish" &&
+            e.find("done")->number < double(points.size()))
+            nonzero_eta |= e.find("eta_sec")->number > 0.0;
+    EXPECT_TRUE(nonzero_eta);
+}
+
+TEST(SweepProgress, JournaledRerunReportsZeroPending)
+{
+    const auto points = tinyPoints(3);
+    const std::string journal = tempPath("progress_journal.txt");
+    std::remove(journal.c_str());
+
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.journal = journal;
+    runExperimentSweep(points, opt); // populate the journal
+
+    std::ostringstream os;
+    opt.progressStream = &os;
+    const SweepReport rep = runExperimentSweep(points, opt);
+    EXPECT_EQ(rep.journaled(), points.size());
+
+    const std::vector<JsonValue> ev = parseLines(os.str());
+    ASSERT_GE(ev.size(), 2u);
+    EXPECT_EQ(eventName(ev.front()), "sweep_start");
+    EXPECT_EQ(ev.front().find("pending")->number, 0.0);
+    EXPECT_EQ(ev.front().find("journaled")->number, double(points.size()));
+    EXPECT_EQ(eventName(ev.back()), "sweep_end");
+    EXPECT_EQ(ev.back().find("done")->number, 0.0);
+    std::remove(journal.c_str());
+}

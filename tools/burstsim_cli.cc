@@ -119,6 +119,9 @@ configFrom(const ArgParser &args)
         cfg.obs.audit = obs::AuditMode::Fatal;
     else if (audit != "off")
         fatal("--audit must be 'off', 'warn' or 'fatal'");
+    cfg.obs.engineIntrospect =
+        args.flag("introspect") || !args.str("introspect-out").empty();
+    cfg.obs.selfProf = args.flag("selfprof");
 
     cfg.watchdogCycles = args.u64("watchdog-cycles");
     const std::string &deadline = args.str("deadline-sec");
@@ -214,6 +217,18 @@ runCli(int argc, char **argv)
                    "write stall attribution JSON (implies the pillar)");
     args.addOption("audit", "off",
                    "DDR2 protocol auditor: off | warn | fatal");
+    args.addFlag("introspect",
+                 "engine introspection: attribute every resume-from-skip "
+                 "to a wake reason (deterministic)");
+    args.addOption("introspect-out", "",
+                   "write wake-reason JSON (implies --introspect)");
+    args.addFlag("selfprof",
+                 "host-side self-profile of the simulator (text report "
+                 "only; never changes simulated output)");
+    args.addOption("progress-out", "",
+                   "write sweep progress events as JSONL to this path");
+    args.addOption("heartbeat-sec", "0",
+                   "sweep stderr heartbeat period in seconds (0 = off)");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -272,6 +287,14 @@ runCli(int argc, char **argv)
             opt.maxFailures = args.u64("max-failures");
         opt.journal = args.str("sweep-journal");
         opt.cancel = &g_interrupted;
+        opt.progressPath = args.str("progress-out");
+        const std::string &hb = args.str("heartbeat-sec");
+        if (!hb.empty()) {
+            char *end = nullptr;
+            opt.heartbeatSec = std::strtod(hb.c_str(), &end);
+            if (end == hb.c_str() || *end || opt.heartbeatSec < 0)
+                fatal("--heartbeat-sec must be a non-negative number");
+        }
 
         std::signal(SIGINT, onSigint);
         const sim::SweepReport rep = sim::runExperimentSweep(points, opt);
@@ -327,6 +350,12 @@ runCli(int argc, char **argv)
     if (const std::string &path = args.str("stall-out"); !path.empty()) {
         writeFileOrDie(path, [&](std::ostream &os) {
             r.obs->writeStallJson(os);
+        });
+    }
+    if (const std::string &path = args.str("introspect-out");
+        !path.empty()) {
+        writeFileOrDie(path, [&](std::ostream &os) {
+            r.obs->writeIntrospectJson(os);
         });
     }
     return 0;

@@ -86,6 +86,8 @@ runCli(int argc, char **argv)
     args.addFlag("no-shrink", "report failures without minimising");
     args.addFlag("no-cross-scheduler",
                  "skip the Burst-vs-BkInOrder bound oracle");
+    args.addFlag("no-selfprof-identity",
+                 "skip the wake-reason attribution identity oracle");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -93,6 +95,7 @@ runCli(int argc, char **argv)
     fuzz::OracleOptions oracle;
     oracle.scratchDir = args.str("scratch-dir");
     oracle.crossScheduler = !args.flag("no-cross-scheduler");
+    oracle.selfprofIdentity = !args.flag("no-selfprof-identity");
 
     if (!args.str("replay").empty())
         return replayFile(args.str("replay"), oracle) ? 0 : 3;
