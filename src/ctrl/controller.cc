@@ -225,7 +225,27 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
         }
         sched.enqueue(a);
     }
+    if (crit_)
+        crit_->onAdmit(*a);
+    if (perCore_) {
+        touchCore(a->tag);
+        if (type == AccessType::Read)
+            coreReadQ_[a->tag] += 1;
+        else
+            coreWriteQ_[a->tag] += 1;
+    }
     return a->id;
+}
+
+void
+MemoryController::touchCore(std::uint64_t tag)
+{
+    if (tag < coreReadQ_.size())
+        return;
+    coreReadQ_.resize(tag + 1, 0);
+    coreWriteQ_.resize(tag + 1, 0);
+    coreRowHits_.resize(tag + 1, 0);
+    coreRowAccesses_.resize(tag + 1, 0);
 }
 
 void
@@ -248,6 +268,8 @@ MemoryController::tick(Tick now)
                 if (stalls_)
                     stalls_->account(ch, now, true,
                                      dram::StallCause::None);
+                if (crit_)
+                    crit_->noteSlot(ch, now);
                 continue;
             }
         }
@@ -273,11 +295,19 @@ MemoryController::tick(Tick now)
                     stalls_->noteBurst(ch, issued.dataStart,
                                        issued.dataEnd);
                 stalls_->account(ch, now, true, dram::StallCause::None);
+                if (crit_)
+                    crit_->noteIssue(ch, now, *issued.access,
+                                     issued.columnAccess,
+                                     issued.dataStart, issued.dataEnd);
             } else {
                 obs::prof::Scope prof(obs::prof::Phase::StallScan);
-                stalls_->account(ch, now, false,
-                                 schedulers_[ch]->stallScan(now,
-                                                            *stalls_));
+                const dram::StallCause cause =
+                    schedulers_[ch]->stallScan(now, *stalls_);
+                stalls_->account(ch, now, false, cause);
+                if (crit_)
+                    crit_->noteStall(
+                        ch, now, cause,
+                        schedulers_[ch]->lastStallVictim());
             }
         }
         if (issued.access) {
@@ -412,6 +442,10 @@ MemoryController::tickSpan(Tick from, Tick span)
                 schedulers_[ch]->stallScan(from, *stalls_);
             stalls_->setBankStallWeight(1);
             stalls_->accountSpan(ch, from, span, cause);
+            if (crit_)
+                crit_->noteStallSpan(
+                    ch, from, span, cause,
+                    schedulers_[ch]->lastStallVictim());
         }
     }
 
@@ -434,8 +468,14 @@ MemoryController::completeReads(Tick now)
         }
         counts_.readsOutstanding -= 1;
 
+        if (perCore_) {
+            touchCore(a->tag);
+            coreReadQ_[a->tag] -= 1;
+        }
         if (lat_)
             lat_->record(*a);
+        if (crit_)
+            crit_->onComplete(*a);
         if (readCb_)
             readCb_(*a, now);
         finishAccess(a);
@@ -555,6 +595,12 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
     stats_.bankRowAccesses[flat_bank] += 1;
     if (a->outcome == dram::RowOutcome::Hit)
         stats_.bankRowHits[flat_bank] += 1;
+    if (perCore_) {
+        touchCore(a->tag);
+        coreRowAccesses_[a->tag] += 1;
+        if (a->outcome == dram::RowOutcome::Hit)
+            coreRowHits_[a->tag] += 1;
+    }
 
     if (a->isRead()) {
         pendingReads_.emplace(a->dataEnd, a);
@@ -563,8 +609,12 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
         stats_.writeLatency.sample(double(a->dataEnd - a->arrival));
         stats_.bytesTransferred += mem_.config().blockBytes;
         counts_.writesOutstanding -= 1;
+        if (perCore_)
+            coreWriteQ_[a->tag] -= 1;
         if (lat_)
             lat_->record(*a);
+        if (crit_)
+            crit_->onComplete(*a);
         finishAccess(a);
     }
 }
@@ -603,6 +653,8 @@ MemoryController::attachObservability(obs::Observability *o)
     stalls_ = o ? o->stalls() : nullptr;
     audit_ = o ? o->auditor() : nullptr;
     intro_ = o ? o->introspect() : nullptr;
+    crit_ = o ? o->critpath() : nullptr;
+    perCore_ = o && o->config().perCoreMetrics;
     for (auto &s : schedulers_) {
         s->setAuditor(audit_);
         s->setIntrospect(intro_);
@@ -652,6 +704,12 @@ MemoryController::sampleMetrics(Tick now)
         s.steppedCycles = intro_->steppedCycles();
         s.skippedCycles = intro_->skippedCycles();
     }
+    if (perCore_) {
+        s.coreReadQ = coreReadQ_;
+        s.coreWriteQ = coreWriteQ_;
+        s.coreRowHits = coreRowHits_;
+        s.coreRowAccesses = coreRowAccesses_;
+    }
 
     sampler_->sample(s);
 }
@@ -659,6 +717,8 @@ MemoryController::sampleMetrics(Tick now)
 void
 MemoryController::flushMetrics(Tick end)
 {
+    if (crit_)
+        crit_->flush(); // push buffered JSONL records to disk
     if (!sampler_ || end == 0)
         return;
     sampleMetrics(end - 1);

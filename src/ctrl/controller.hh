@@ -31,6 +31,7 @@
 
 namespace bsim::obs
 {
+class CritPathTracer;
 class EngineIntrospect;
 class LatencyBreakdown;
 class MetricsSampler;
@@ -292,6 +293,8 @@ class MemoryController
     bool refreshTick(std::uint32_t channel, Tick now);
     void handleIssued(const Scheduler::Issued &issued);
     void finishAccess(MemAccess *a);
+    /** Ensure the per-requester vectors cover @p tag (perCore_ only). */
+    void touchCore(std::uint64_t tag);
 
     dram::MemorySystem &mem_;
     ControllerConfig cfg_;
@@ -330,6 +333,15 @@ class MemoryController
     obs::StallAttribution *stalls_ = nullptr;
     obs::ProtocolAuditor *audit_ = nullptr;
     obs::EngineIntrospect *intro_ = nullptr;
+    obs::CritPathTracer *crit_ = nullptr;
+
+    /** Per-requester telemetry (obs perCoreMetrics); indexed by the
+     *  MemAccess tag, grown on first sight of a tag. */
+    bool perCore_ = false;
+    std::vector<std::uint32_t> coreReadQ_;
+    std::vector<std::uint32_t> coreWriteQ_;
+    std::vector<std::uint64_t> coreRowHits_;
+    std::vector<std::uint64_t> coreRowAccesses_;
 };
 
 } // namespace bsim::ctrl

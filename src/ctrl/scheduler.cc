@@ -11,6 +11,7 @@ Scheduler::stallScan(Tick now, obs::StallAttribution &sink) const
 {
     (void)now;
     (void)sink;
+    stallVictim_ = nullptr; // coarse split: no specific access visible
     return hasWork() ? dram::StallCause::ArbLoss
                      : dram::StallCause::NoWork;
 }

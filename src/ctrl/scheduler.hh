@@ -169,6 +169,18 @@ class Scheduler
                                        obs::StallAttribution &sink) const;
 
     /**
+     * The blocked access behind the channel-level cause the most recent
+     * stallScan() returned — the critical-path tracer's stall victim.
+     * nullptr when the cause had no specific queued access behind it
+     * (NoWork, or a policy-level fallback with nothing nominated).
+     * Purely observational: reading it never changes scheduling.
+     */
+    virtual const MemAccess *lastStallVictim() const
+    {
+        return stallVictim_;
+    }
+
+    /**
      * Earliest future tick at which this channel might issue a command
      * or change observable state, assuming no new work arrives: the
      * cycle-skipping engine's per-channel horizon. Must never overshoot
@@ -332,6 +344,9 @@ class Scheduler
     bool eventDriven_ = false; //!< horizon caches allowed (skip engine)
     /** Set by nextEventTick implementations at each bound site. */
     mutable HorizonPin pin_ = HorizonPin::None;
+    /** Set by stallScan implementations: the access behind the returned
+     *  channel-level cause (see lastStallVictim()). */
+    mutable const MemAccess *stallVictim_ = nullptr;
 
   private:
     std::unordered_map<Addr, MemAccess *> latestWrite_;

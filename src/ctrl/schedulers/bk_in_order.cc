@@ -83,6 +83,7 @@ BkInOrderScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     // The channel-level cause is whatever blocks the oldest of them.
     dram::StallCause channel_cause = dram::StallCause::NoWork;
     Tick oldest = kTickMax;
+    stallVictim_ = nullptr;
     for (std::uint32_t b = 0; b < std::uint32_t(queues_.size()); ++b) {
         const auto &q = queues_[b];
         if (q.empty())
@@ -95,6 +96,7 @@ BkInOrderScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
         if (a->arrival < oldest) {
             oldest = a->arrival;
             channel_cause = c;
+            stallVictim_ = a;
         }
     }
     return channel_cause;

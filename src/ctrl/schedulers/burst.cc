@@ -322,7 +322,8 @@ BurstScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     // closed) hold queued writes but no ongoing access.
     dram::StallCause channel_cause = dram::StallCause::NoWork;
     Tick oldest = kTickMax;
-    bool gated_writes = false;
+    const MemAccess *gated_front = nullptr;
+    stallVictim_ = nullptr;
     for (std::uint32_t b = 0; b < std::uint32_t(banks_.size()); ++b) {
         const BankState &bs = banks_[b];
         const MemAccess *a = bs.ongoing;
@@ -330,7 +331,8 @@ BurstScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
             if (bs.bursts.empty() && !bs.writeQ.empty()) {
                 sink.noteBankStall(ctx_.channel, b,
                                    dram::StallCause::ThresholdGated);
-                gated_writes = true;
+                if (!gated_front)
+                    gated_front = bs.writeQ.front();
             }
             continue;
         }
@@ -341,10 +343,13 @@ BurstScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
         if (a->arrival < oldest) {
             oldest = a->arrival;
             channel_cause = c;
+            stallVictim_ = a;
         }
     }
-    if (channel_cause == dram::StallCause::NoWork && gated_writes)
+    if (channel_cause == dram::StallCause::NoWork && gated_front) {
         channel_cause = dram::StallCause::ThresholdGated;
+        stallVictim_ = gated_front;
+    }
     return channel_cause;
 }
 

@@ -33,10 +33,14 @@ FaultyScheduler::extraStats() const
 dram::StallCause
 FaultyScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
 {
-    if (frozen())
+    if (frozen()) {
+        stallVictim_ = nullptr; // frozen: nothing is being served
         return hasWork() ? dram::StallCause::ArbLoss
                          : dram::StallCause::NoWork;
-    return inner_->stallScan(now, sink);
+    }
+    const dram::StallCause c = inner_->stallScan(now, sink);
+    stallVictim_ = inner_->lastStallVictim();
+    return c;
 }
 
 Tick

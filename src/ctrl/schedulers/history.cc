@@ -150,6 +150,7 @@ AdaptiveHistoryScheduler::stallScan(Tick now,
     // tick() arbitrated every bank before coming up empty.
     dram::StallCause channel_cause = dram::StallCause::NoWork;
     Tick oldest = kTickMax;
+    stallVictim_ = nullptr;
     for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
         const MemAccess *a = ongoing_[b];
         if (!a)
@@ -161,6 +162,7 @@ AdaptiveHistoryScheduler::stallScan(Tick now,
         if (a->arrival < oldest) {
             oldest = a->arrival;
             channel_cause = c;
+            stallVictim_ = a;
         }
     }
     return channel_cause;

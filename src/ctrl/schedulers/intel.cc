@@ -165,6 +165,7 @@ IntelScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     dram::StallCause channel_cause = dram::StallCause::NoWork;
     std::uint64_t oldest_seq = ~std::uint64_t{0};
     bool any_ongoing = false;
+    stallVictim_ = nullptr;
     for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
         const MemAccess *a = ongoing_[b];
         if (!a) {
@@ -184,14 +185,25 @@ IntelScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
         if (startSeq_[b] < oldest_seq) {
             oldest_seq = startSeq_[b];
             channel_cause = c;
+            stallVictim_ = a;
         }
     }
     if (any_ongoing)
         return channel_cause;
-    if (reads_ > 0)
+    if (reads_ > 0) {
+        // Reads queued behind the reordering cap: nominate the first
+        // bank's backlog head so the tracer has an access to blame.
+        for (const auto &q : readQ_)
+            if (!q.empty()) {
+                stallVictim_ = q.front();
+                break;
+            }
         return dram::StallCause::ArbLoss;
-    if (writes_ > 0)
+    }
+    if (writes_ > 0) {
+        stallVictim_ = writeQ_.empty() ? nullptr : writeQ_.front();
         return dram::StallCause::ThresholdGated; // waiting for drain mode
+    }
     return dram::StallCause::NoWork;
 }
 

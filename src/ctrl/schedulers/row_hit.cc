@@ -84,6 +84,7 @@ RowHitScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
     // chosen access and the queues hold pure backlog.
     dram::StallCause channel_cause = dram::StallCause::NoWork;
     Tick oldest = kTickMax;
+    stallVictim_ = nullptr;
     for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
         const MemAccess *a = ongoing_[b];
         if (!a)
@@ -95,6 +96,7 @@ RowHitScheduler::stallScan(Tick now, obs::StallAttribution &sink) const
         if (a->arrival < oldest) {
             oldest = a->arrival;
             channel_cause = c;
+            stallVictim_ = a;
         }
     }
     return channel_cause;

@@ -207,6 +207,86 @@ checkPoint(const FuzzPoint &p, const OracleOptions &opt)
         }
     }
 
+    // Per-access blame identity: rerun both engines with the critical-
+    // path tracer on (separate runs — the result JSON gains a
+    // critical_path section by design) and require (a) the per-access
+    // telescoping identity, (b) the tracer's internal cycle ledger to
+    // reconcile with the aggregate stall accountant, (c) byte-identical
+    // access streams across engines (FNV digest over the JSONL lines),
+    // and (d) unperturbed simulated statistics.
+    if (opt.critpathIdentity) {
+        OracleOptions copt = opt;
+        copt.configTweak = [&opt](sim::ExperimentConfig &cfg) {
+            cfg.obs.critPath = true;
+            if (opt.configTweak)
+                opt.configTweak(cfg);
+        };
+        sim::RunResult cs, ck;
+        if (!runOne(p, copt, sim::EngineKind::Step, cs, v))
+            return v;
+        if (!runOne(p, copt, sim::EngineKind::Skip, ck, v))
+            return v;
+        const obs::CritPathTracer *ts = cs.obs ? cs.obs->critpath() : nullptr;
+        const obs::CritPathTracer *tk = ck.obs ? ck.obs->critpath() : nullptr;
+        if (!ts || !tk) {
+            v.ok = false;
+            v.oracle = "critpath_identity";
+            v.detail = "critical-path pillar missing on a traced run";
+            return v;
+        }
+        const sim::RunResult *runs[2] = {&cs, &ck};
+        const obs::CritPathTracer *tracers[2] = {ts, tk};
+        for (int i = 0; i < 2; ++i) {
+            const obs::CritPathTracer *t = tracers[i];
+            const char *eng = i == 0 ? "step" : "skip";
+            if (!t->identityHolds()) {
+                v.ok = false;
+                v.oracle = "critpath_identity";
+                std::ostringstream os;
+                os << eng << " engine: blame totals do not telescope to "
+                   << t->latencyTotal() << " latency cycles over "
+                   << t->completedCount() << " accesses";
+                v.detail = os.str();
+                return v;
+            }
+            std::string why;
+            const obs::StallAttribution *st =
+                runs[i]->obs ? runs[i]->obs->stalls() : nullptr;
+            if (st && !t->ledgerMatches(*st, &why)) {
+                v.ok = false;
+                v.oracle = "critpath_identity";
+                v.detail = std::string(eng) +
+                           " engine: tracer ledger disagrees with the "
+                           "stall accountant: " +
+                           why;
+                return v;
+            }
+        }
+        if (ts->digest() != tk->digest() ||
+            ts->completedCount() != tk->completedCount()) {
+            v.ok = false;
+            v.oracle = "critpath_identity";
+            std::ostringstream os;
+            os << "access streams diverge across engines: step digest "
+               << ts->digest() << " (" << ts->completedCount()
+               << " accesses) vs skip digest " << tk->digest() << " ("
+               << tk->completedCount() << " accesses)";
+            v.detail = os.str();
+            return v;
+        }
+        if (ck.memCycles != skip.memCycles ||
+            ck.execCpuCycles != skip.execCpuCycles) {
+            v.ok = false;
+            v.oracle = "critpath_identity";
+            std::ostringstream os;
+            os << "tracing changed simulated stats: mem " << ck.memCycles
+               << " vs " << skip.memCycles << ", cpu "
+               << ck.execCpuCycles << " vs " << skip.execCpuCycles;
+            v.detail = os.str();
+            return v;
+        }
+    }
+
     // Cross-scheduler sanity bound on row-hit-heavy streams.
     if (opt.crossScheduler && rowHitHeavy(p)) {
         FuzzPoint burst = p, base = p;

@@ -20,6 +20,13 @@
  *                    equal the run's memory cycles and every per-reason
  *                    sum matches its total (EngineIntrospect's
  *                    identityHolds);
+ *  - critpath_identity
+ *                    with per-access tracing on, every access's blame
+ *                    vector must sum exactly to its measured latency,
+ *                    the tracer's internal ledger must reconcile with
+ *                    the aggregate stall accountant, both engines must
+ *                    stream byte-identical access records (FNV digest),
+ *                    and tracing must not perturb simulated stats;
  *  - cross_scheduler on row-hit-heavy synthetic streams, Burst must
  *                    not be slower than BkInOrder beyond a tolerance
  *                    (the paper's headline ordering, Figure 10).
@@ -52,6 +59,8 @@ struct OracleOptions
     bool crossScheduler = true;
     /** Skip the extra introspected run of the selfprof_identity oracle. */
     bool selfprofIdentity = true;
+    /** Skip the two extra traced runs of the critpath_identity oracle. */
+    bool critpathIdentity = true;
     /** Test hook: mutate the lowered config before each run. */
     std::function<void(sim::ExperimentConfig &)> configTweak;
 };

@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <string>
+#include <unordered_map>
 
 #include "common/json.hh"
 #include "dram/stall.hh"
@@ -83,6 +84,10 @@ writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
     if (sampler)
         nameEvent(w, "process_name", ctrl_pid, -1, "controller");
 
+    // Commands already emitted per access, so flow arrows can tell a
+    // first sighting ("s") from a continuation ("t"/"f").
+    std::unordered_map<std::uint64_t, std::uint32_t> flow_seen;
+
     for (const auto &rec : log.records()) {
         const int pid = int(rec.coords.channel);
         const int bank_tid =
@@ -122,6 +127,16 @@ writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
             w.key("access").value(rec.accessId);
             w.endObject();
             w.endObject();
+
+            // Flow terminator: the column access ends the access's
+            // command chain. A row hit has no earlier command, so a
+            // single-command access draws no arrow.
+            if (rec.accessId && flow_seen.count(rec.accessId)) {
+                eventHeader(w, "f", "access", pid, bank_tid, ts);
+                w.key("bp").value("e");
+                w.key("id").value(rec.accessId);
+                w.endObject();
+            }
         } else {
             // Precharge / activate / refresh: instant on the bank lane
             // (refresh covers the rank; it is drawn on bank 0's lane).
@@ -131,6 +146,17 @@ writeChromeTrace(std::ostream &os, const dram::CommandLog &log,
             w.key("row").value(std::uint64_t(rec.coords.row));
             w.endObject();
             w.endObject();
+
+            // Flow arrows chain an access's preparatory commands to its
+            // column access (refresh records carry accessId 0).
+            if (rec.accessId) {
+                const auto it = flow_seen.find(rec.accessId);
+                eventHeader(w, it == flow_seen.end() ? "s" : "t", "access",
+                            pid, bank_tid, ts);
+                w.key("id").value(rec.accessId);
+                w.endObject();
+                flow_seen[rec.accessId] += 1;
+            }
         }
     }
 

@@ -1,5 +1,6 @@
 #include "obs/metrics.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <ostream>
 
@@ -94,6 +95,21 @@ MetricsSampler::sample(const MetricsSnapshot &s)
         row.stallCycles.push_back(s.stallCounts[i] - prev_count);
     }
 
+    row.coreReadQ = s.coreReadQ;
+    row.coreWriteQ = s.coreWriteQ;
+    // Per-requester row hit rate; the core vectors grow as new tags
+    // appear, so earlier snapshots may be shorter than this one.
+    row.coreRowHitRate.reserve(s.coreRowAccesses.size());
+    for (std::size_t i = 0; i < s.coreRowAccesses.size(); ++i) {
+        const std::uint64_t prev_hits =
+            i < prev_.coreRowHits.size() ? prev_.coreRowHits[i] : 0;
+        const std::uint64_t prev_acc =
+            i < prev_.coreRowAccesses.size() ? prev_.coreRowAccesses[i] : 0;
+        row.coreRowHitRate.push_back(
+            ratio(double(s.coreRowHits[i] - prev_hits),
+                  double(s.coreRowAccesses[i] - prev_acc)));
+    }
+
     if (s.haveEngine) {
         row.haveEngine = true;
         row.steppedCycles = s.steppedCycles - prev_.steppedCycles;
@@ -121,6 +137,13 @@ MetricsSampler::writeCsv(std::ostream &os) const
         !rows_.empty() && !rows_.front().stallCycles.empty();
     const bool have_engine = !rows_.empty() && rows_.front().haveEngine;
     const bool have_host = !rows_.empty() && rows_.front().hostWallUs >= 0;
+    // Requester tags appear over time, so the per-core vectors are
+    // ragged across rows; size the column set to the widest row.
+    std::size_t n_cores = 0;
+    for (const auto &r : rows_) {
+        n_cores = std::max(n_cores, r.coreReadQ.size());
+        n_cores = std::max(n_cores, r.coreRowHitRate.size());
+    }
 
     os << "epoch,tick_start,tick_end,data_bus_util,addr_bus_util,"
           "row_hit_rate,epoch_reads,epoch_writes,avg_burst_len,"
@@ -135,6 +158,12 @@ MetricsSampler::writeCsv(std::ostream &os) const
     if (have_stalls)
         for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
             os << ",stall_" << dram::stallCauseName(dram::StallCause(i));
+    for (std::size_t c = 0; c < n_cores; ++c)
+        os << ",rq_core" << c;
+    for (std::size_t c = 0; c < n_cores; ++c)
+        os << ",wq_core" << c;
+    for (std::size_t c = 0; c < n_cores; ++c)
+        os << ",rhr_core" << c;
     if (have_engine)
         os << ",stepped_cycles,skipped_cycles";
     if (have_host)
@@ -161,6 +190,13 @@ MetricsSampler::writeCsv(std::ostream &os) const
             for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
                 os << ','
                    << (i < r.stallCycles.size() ? r.stallCycles[i] : 0);
+        for (std::size_t c = 0; c < n_cores; ++c)
+            os << ',' << (c < r.coreReadQ.size() ? r.coreReadQ[c] : 0);
+        for (std::size_t c = 0; c < n_cores; ++c)
+            os << ',' << (c < r.coreWriteQ.size() ? r.coreWriteQ[c] : 0);
+        for (std::size_t c = 0; c < n_cores; ++c)
+            os << ','
+               << (c < r.coreRowHitRate.size() ? r.coreRowHitRate[c] : 0.0);
         if (have_engine)
             os << ',' << r.steppedCycles << ',' << r.skippedCycles;
         if (have_host)
@@ -217,6 +253,22 @@ MetricsSampler::writeJson(std::ostream &os) const
                     w.key(dram::stallCauseName(dram::StallCause(i)))
                         .value(r.stallCycles[i]);
             w.endObject();
+        }
+        if (!r.coreReadQ.empty() || !r.coreWriteQ.empty()) {
+            w.key("core_read_q").beginArray();
+            for (auto v : r.coreReadQ)
+                w.value(std::uint64_t(v));
+            w.endArray();
+            w.key("core_write_q").beginArray();
+            for (auto v : r.coreWriteQ)
+                w.value(std::uint64_t(v));
+            w.endArray();
+        }
+        if (!r.coreRowHitRate.empty()) {
+            w.key("core_row_hit_rate").beginArray();
+            for (double v : r.coreRowHitRate)
+                w.value(v);
+            w.endArray();
         }
         if (r.haveEngine) {
             w.key("stepped_cycles").value(r.steppedCycles);

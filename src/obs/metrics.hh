@@ -52,6 +52,10 @@ struct MetricsSnapshot
     bool haveEngine = false;
     std::uint64_t steppedCycles = 0;
     std::uint64_t skippedCycles = 0;
+    /** Per-requester row outcomes, indexed by the MemAccess tag (empty
+     *  without the perCoreMetrics satellite; grows as tags appear). */
+    std::vector<std::uint64_t> coreRowHits;
+    std::vector<std::uint64_t> coreRowAccesses;
 
     // Instantaneous.
     std::uint32_t channels = 1;
@@ -61,6 +65,10 @@ struct MetricsSnapshot
     bool wpActive = false; //!< write piggybacking currently allowed
     std::vector<std::uint32_t> bankReadQ;  //!< one entry per bank
     std::vector<std::uint32_t> bankWriteQ; //!< one entry per bank
+    /** Per-requester outstanding accesses, indexed by the MemAccess tag
+     *  (empty without the perCoreMetrics satellite). */
+    std::vector<std::uint32_t> coreReadQ;
+    std::vector<std::uint32_t> coreWriteQ;
 };
 
 /** One emitted time-series row (rates are per epoch, not cumulative). */
@@ -91,6 +99,11 @@ struct MetricsRow
     bool haveEngine = false;
     std::uint64_t steppedCycles = 0;
     std::uint64_t skippedCycles = 0;
+    /** Per-requester queue occupancy and row hit rate within the epoch
+     *  (perCoreMetrics satellite only; indexed by the MemAccess tag). */
+    std::vector<std::uint32_t> coreReadQ;
+    std::vector<std::uint32_t> coreWriteQ;
+    std::vector<double> coreRowHitRate;
     /** Host wall time spent in the epoch (selfprof host track only;
      *  negative when the track is off). Nondeterministic by nature. */
     double hostWallUs = -1.0;

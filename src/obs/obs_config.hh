@@ -12,6 +12,7 @@
 #define BURSTSIM_OBS_OBS_CONFIG_HH
 
 #include <cstddef>
+#include <string>
 
 #include "common/types.hh"
 
@@ -65,6 +66,32 @@ struct ObsConfig
     bool engineIntrospect = false;
 
     /**
+     * Per-access causal critical-path tracing (critpath.hh). Implies
+     * the stall-attribution pillar: the tracer's victim charges are fed
+     * by the same stall scans.
+     */
+    bool critPath = false;
+
+    /** Stream every completed access as one JSON object per line to
+     *  this path; non-empty implies critPath. */
+    std::string accessTraceOut;
+
+    /** Test hook: make the tracer retain every completed record
+     *  in memory (unbounded) so tests can assert per-access identities. */
+    bool critPathRetain = false;
+
+    /** Per-requester (MemAccess tag) queue-occupancy and row-hit-rate
+     *  columns in the epoch metrics CSV/JSON. */
+    bool perCoreMetrics = false;
+
+    /** Is critical-path tracing requested (flag or stream)? */
+    bool
+    critPathOn() const
+    {
+        return critPath || !accessTraceOut.empty();
+    }
+
+    /**
      * Host-side self-profiling (selfprof.hh). Deliberately NOT part of
      * any(): it needs no pillar object, only the thread-local profiler
      * armed around the run — and it must never force an Observability
@@ -79,7 +106,7 @@ struct ObsConfig
     {
         return latencyBreakdown || metricsInterval != 0 || commandTrace ||
                stallAttribution || audit != AuditMode::Off ||
-               engineIntrospect;
+               engineIntrospect || critPathOn();
     }
 };
 

@@ -40,10 +40,18 @@ Observability::Observability(const ObsConfig &cfg,
             cfg_.metricsInterval, bankLabels(dram_), cfg_.selfProf);
     if (cfg_.commandTrace)
         log_ = std::make_unique<dram::CommandLog>(cfg_.traceCapacity);
-    if (cfg_.stallAttribution)
+    if (cfg_.stallAttribution || cfg_.critPathOn())
+        // The tracer's victim charges ride on the stall scans, so
+        // critical-path tracing implies the accountant.
         stalls_ = std::make_unique<StallAttribution>(
             dram_.channels, dram_.ranksPerChannel * dram_.banksPerRank,
             bankLabels(dram_));
+    if (cfg_.critPathOn()) {
+        critpath_ = std::make_unique<CritPathTracer>(
+            dram_.channels, cfg_.accessTraceOut);
+        if (cfg_.critPathRetain)
+            critpath_->setRetainCompleted(true);
+    }
     if (cfg_.audit != AuditMode::Off)
         auditor_ = std::make_unique<ProtocolAuditor>(cfg_.audit, dram_);
     if (cfg_.engineIntrospect)

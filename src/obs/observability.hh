@@ -16,6 +16,7 @@
 #include "dram/command_log.hh"
 #include "dram/config.hh"
 #include "obs/chrome_trace.hh"
+#include "obs/critpath.hh"
 #include "obs/engine_introspect.hh"
 #include "obs/latency_breakdown.hh"
 #include "obs/metrics.hh"
@@ -63,6 +64,10 @@ class Observability
     EngineIntrospect *introspect() { return introspect_.get(); }
     const EngineIntrospect *introspect() const { return introspect_.get(); }
 
+    /** Critical-path tracing pillar; nullptr when disabled. */
+    CritPathTracer *critpath() { return critpath_.get(); }
+    const CritPathTracer *critpath() const { return critpath_.get(); }
+
     /** Export the wake-reason attribution (introspect pillar on). */
     void writeIntrospectJson(std::ostream &os) const;
 
@@ -87,6 +92,7 @@ class Observability
     std::unique_ptr<StallAttribution> stalls_;
     std::unique_ptr<ProtocolAuditor> auditor_;
     std::unique_ptr<EngineIntrospect> introspect_;
+    std::unique_ptr<CritPathTracer> critpath_;
 };
 
 } // namespace bsim::obs

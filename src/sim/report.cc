@@ -145,6 +145,10 @@ writeResultJson(std::ostream &os, const RunResult &r)
         w.key("engine_introspect");
         r.obs->introspect()->writeJson(w);
     }
+    if (r.obs && r.obs->critpath()) {
+        w.key("critical_path");
+        r.obs->critpath()->writeJson(w);
+    }
     w.endObject();
     os << '\n';
 }
@@ -246,6 +250,11 @@ writeResultText(std::ostream &os, const RunResult &r)
     if (r.obs && r.obs->introspect()) {
         os << '\n';
         r.obs->introspect()->writeText(os, r.memCycles);
+    }
+
+    if (r.obs && r.obs->critpath()) {
+        os << '\n';
+        r.obs->critpath()->writeText(os);
     }
 
     if (r.selfprof && r.selfprof->valid) {

@@ -96,6 +96,42 @@ TEST(ChromeTrace, UnitExportRoundTripsThroughParser)
     EXPECT_TRUE(found_read);
 }
 
+TEST(ChromeTrace, FlowEventsChainAnAccessAcrossItsCommands)
+{
+    const dram::DramConfig cfg = tinyConfig();
+    dram::MemorySystem mem(cfg);
+    dram::CommandLog log;
+    mem.attachLog(&log);
+
+    // Access 7 needs an activate before its read: two commands, so the
+    // exporter should tie them with a flow arrow ("s" then "f").
+    const dram::Coords c{0, 0, 0, 3, 0};
+    mem.issue({dram::CmdType::Activate, c, 7}, 0);
+    const Tick rd_at = mem.timing().tRCD;
+    mem.issue({dram::CmdType::Read, c, 7}, rd_at);
+    // Access 8 row-hits the open row: one command, no arrow to draw.
+    mem.issue({dram::CmdType::Read, {0, 0, 0, 3, 1}, 8}, rd_at + 16);
+
+    std::ostringstream os;
+    writeChromeTrace(os, log, cfg, nullptr);
+    const auto v = parseJson(os.str());
+    ASSERT_TRUE(v.has_value());
+
+    EXPECT_EQ(countPhase(*v, "s"), 1u);
+    EXPECT_EQ(countPhase(*v, "t"), 0u);
+    EXPECT_EQ(countPhase(*v, "f"), 1u);
+    for (const auto &e : v->find("traceEvents")->array) {
+        const std::string &ph = e.find("ph")->string;
+        if (ph != "s" && ph != "f")
+            continue;
+        EXPECT_EQ(e.find("name")->string, "access");
+        EXPECT_DOUBLE_EQ(e.find("id")->number, 7.0);
+        if (ph == "f") {
+            EXPECT_EQ(e.find("bp")->string, "e");
+        }
+    }
+}
+
 TEST(ChromeTrace, SamplerRowsBecomeCounterTracks)
 {
     const dram::DramConfig cfg = tinyConfig();

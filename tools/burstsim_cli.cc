@@ -122,6 +122,9 @@ configFrom(const ArgParser &args)
     cfg.obs.engineIntrospect =
         args.flag("introspect") || !args.str("introspect-out").empty();
     cfg.obs.selfProf = args.flag("selfprof");
+    cfg.obs.critPath = args.flag("crit-path");
+    cfg.obs.accessTraceOut = args.str("access-trace-out");
+    cfg.obs.perCoreMetrics = args.flag("metrics-per-core");
 
     cfg.watchdogCycles = args.u64("watchdog-cycles");
     const std::string &deadline = args.str("deadline-sec");
@@ -132,6 +135,25 @@ configFrom(const ArgParser &args)
             fatal("--deadline-sec must be a non-negative number");
     }
     return cfg;
+}
+
+/**
+ * Fail before the run, not after it: every output path named on the
+ * command line must be writable up front (matching --sweep-journal),
+ * so an hour-long simulation cannot die at the final fopen. Opens in
+ * append mode, which creates the file but never truncates existing
+ * content that a later full write would replace anyway.
+ */
+void
+validateOutputPath(const std::string &path, const char *flag)
+{
+    if (path.empty())
+        return;
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+        throwSimError(ErrorCategory::Resource,
+                      "cannot open %s '%s' for writing", flag,
+                      path.c_str());
 }
 
 /** Write @p path via @p emit, failing loudly on I/O errors. */
@@ -229,9 +251,27 @@ runCli(int argc, char **argv)
                    "write sweep progress events as JSONL to this path");
     args.addOption("heartbeat-sec", "0",
                    "sweep stderr heartbeat period in seconds (0 = off)");
+    args.addFlag("crit-path",
+                 "per-access causal blame: decompose every access's "
+                 "latency over the stall-cause taxonomy");
+    args.addOption("access-trace-out", "",
+                   "stream one JSONL record per completed access "
+                   "(implies --crit-path)");
+    args.addFlag("metrics-per-core",
+                 "add per-requester queue occupancy and row-hit-rate "
+                 "columns to the epoch metrics");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
+
+    // Every named output must be writable before any simulation runs.
+    validateOutputPath(args.str("metrics-out"), "--metrics-out");
+    validateOutputPath(args.str("trace-out"), "--trace-out");
+    validateOutputPath(args.str("stall-out"), "--stall-out");
+    validateOutputPath(args.str("introspect-out"), "--introspect-out");
+    validateOutputPath(args.str("progress-out"), "--progress-out");
+    validateOutputPath(args.str("access-trace-out"), "--access-trace-out");
+    validateOutputPath(args.str("sweep-out"), "--sweep-out");
 
     if (args.flag("list")) {
         std::cout << "workloads:";

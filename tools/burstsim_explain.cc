@@ -1,0 +1,336 @@
+/**
+ * @file
+ * burstsim_explain — answer "why was this access slow?" from an access
+ * trace produced by `burstsim --access-trace-out`.
+ *
+ * Examples:
+ *   burstsim_explain trace.jsonl --access 1234
+ *   burstsim_explain trace.jsonl --top 20 --by t_faw
+ *   burstsim_explain trace.jsonl --per-core
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/error.hh"
+#include "common/json.hh"
+#include "common/log.hh"
+#include "common/table.hh"
+#include "dram/stall.hh"
+
+using namespace bsim;
+
+namespace
+{
+
+/** One parsed access record, kept as blame map plus scalar fields. */
+struct Access
+{
+    std::uint64_t id = 0;
+    std::uint64_t core = 0;
+    std::string type;
+    bool critical = false;
+    std::uint64_t channel = 0, rank = 0, bank = 0, row = 0;
+    std::uint64_t arrival = 0, dataEnd = 0, latency = 0;
+    std::uint64_t blockedBy = 0;
+    std::string outcome;
+    std::map<std::string, std::uint64_t> blame;
+};
+
+std::uint64_t
+numField(const JsonValue &v, const char *key, std::uint64_t def = 0)
+{
+    const JsonValue *f = v.find(key);
+    return f && f->isNumber() ? std::uint64_t(f->number) : def;
+}
+
+std::string
+strField(const JsonValue &v, const char *key)
+{
+    const JsonValue *f = v.find(key);
+    return f && f->isString() ? f->string : std::string();
+}
+
+Access
+fromJson(const JsonValue &v)
+{
+    Access a;
+    a.id = numField(v, "id");
+    a.core = numField(v, "core");
+    a.type = strField(v, "type");
+    if (const JsonValue *c = v.find("critical"))
+        a.critical = c->isBool() && c->boolean;
+    a.channel = numField(v, "channel");
+    a.rank = numField(v, "rank");
+    a.bank = numField(v, "bank");
+    a.row = numField(v, "row");
+    a.arrival = numField(v, "arrival");
+    a.dataEnd = numField(v, "data_end");
+    a.latency = numField(v, "latency");
+    a.blockedBy = numField(v, "blocked_by");
+    a.outcome = strField(v, "outcome");
+    if (const JsonValue *b = v.find("blame"); b && b->isObject())
+        for (const auto &[cause, n] : b->members)
+            if (n.isNumber())
+                a.blame[cause] = std::uint64_t(n.number);
+    return a;
+}
+
+std::vector<Access>
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open access trace '%s'", path.c_str());
+    std::vector<Access> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        const auto v = parseJson(line, &err);
+        if (!v)
+            fatal("%s:%zu: malformed record: %s", path.c_str(), lineno,
+                  err.c_str());
+        out.push_back(fromJson(*v));
+    }
+    return out;
+}
+
+std::uint64_t
+blameOf(const Access &a, const std::string &cause)
+{
+    const auto it = a.blame.find(cause);
+    return it == a.blame.end() ? 0 : it->second;
+}
+
+/** "t_faw 12, data_transfer 8" — heaviest causes first. */
+std::string
+blameSummary(const Access &a, std::size_t max_causes)
+{
+    std::vector<std::pair<std::string, std::uint64_t>> items(
+        a.blame.begin(), a.blame.end());
+    std::sort(items.begin(), items.end(), [](const auto &x, const auto &y) {
+        if (x.second != y.second)
+            return x.second > y.second;
+        return x.first < y.first;
+    });
+    if (items.size() > max_causes)
+        items.resize(max_causes);
+    std::string out;
+    for (const auto &[cause, n] : items) {
+        if (!out.empty())
+            out += ", ";
+        out += cause + ' ' + std::to_string(n);
+    }
+    return out.empty() ? "-" : out;
+}
+
+bool
+validCause(const std::string &name)
+{
+    for (std::size_t i = 0; i < dram::kNumStallCauses; ++i)
+        if (name == dram::stallCauseName(dram::StallCause(i)))
+            return true;
+    return false;
+}
+
+void
+printTop(const std::vector<Access> &trace, std::size_t k,
+         const std::string &by)
+{
+    std::vector<const Access *> order;
+    order.reserve(trace.size());
+    for (const Access &a : trace)
+        order.push_back(&a);
+    const auto keyOf = [&](const Access &a) {
+        return by == "latency" ? a.latency : blameOf(a, by);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](const Access *x, const Access *y) {
+                  const std::uint64_t kx = keyOf(*x), ky = keyOf(*y);
+                  if (kx != ky)
+                      return kx > ky;
+                  return x->id < y->id;
+              });
+    if (order.size() > k)
+        order.resize(k);
+
+    std::cout << "top " << order.size() << " of " << trace.size()
+              << " accesses by " << by << '\n';
+    const bool key_col = by != "latency";
+    Table t;
+    std::vector<std::string> hdr{"id", "core", "type"};
+    if (key_col)
+        hdr.push_back(by);
+    hdr.insert(hdr.end(), {"latency", "ch/rk/bk", "outcome", "blame"});
+    t.header(hdr);
+    for (const Access *a : order) {
+        std::vector<std::string> row{std::to_string(a->id),
+                                     std::to_string(a->core), a->type};
+        if (key_col)
+            row.push_back(std::to_string(keyOf(*a)));
+        row.insert(row.end(),
+                   {std::to_string(a->latency),
+                    std::to_string(a->channel) + "/" +
+                        std::to_string(a->rank) + "/" +
+                        std::to_string(a->bank),
+                    a->outcome.empty() ? "-" : a->outcome,
+                    blameSummary(*a, 3)});
+        t.row(row);
+    }
+    t.print(std::cout);
+}
+
+void
+explainOne(const std::vector<Access> &trace, std::uint64_t id)
+{
+    const Access *a = nullptr;
+    for (const Access &c : trace)
+        if (c.id == id) {
+            a = &c;
+            break;
+        }
+    if (!a)
+        fatal("access %llu is not in the trace",
+              static_cast<unsigned long long>(id));
+
+    std::cout << "access #" << a->id << ": " << a->type
+              << (a->critical ? " (critical)" : "") << " from core "
+              << a->core << ", channel " << a->channel << " rank "
+              << a->rank << " bank " << a->bank << " row " << a->row;
+    if (!a->outcome.empty())
+        std::cout << " (row " << a->outcome << ")";
+    std::cout << "\narrived at cycle " << a->arrival
+              << ", data complete at " << a->dataEnd << ": latency "
+              << a->latency << " cycles\n\nwhy it was slow:\n";
+
+    std::vector<std::pair<std::string, std::uint64_t>> items(
+        a->blame.begin(), a->blame.end());
+    std::sort(items.begin(), items.end(), [](const auto &x, const auto &y) {
+        if (x.second != y.second)
+            return x.second > y.second;
+        return x.first < y.first;
+    });
+    Table t;
+    t.header({"cause", "cycles", "share"});
+    for (const auto &[cause, n] : items)
+        t.row({cause, std::to_string(n),
+               Table::pct(a->latency ? double(n) / double(a->latency)
+                                     : 0.0)});
+    t.print(std::cout);
+    if (a->blockedBy)
+        std::cout << "\nwaited behind the data burst of access #"
+                  << a->blockedBy
+                  << " (see its record for the upstream cause)\n";
+}
+
+void
+printPerCore(const std::vector<Access> &trace)
+{
+    struct Roll
+    {
+        std::uint64_t count = 0, latencySum = 0, hits = 0, classified = 0;
+        std::map<std::string, std::uint64_t> blame;
+    };
+    std::map<std::uint64_t, Roll> rolls;
+    for (const Access &a : trace) {
+        Roll &r = rolls[a.core];
+        r.count += 1;
+        r.latencySum += a.latency;
+        if (!a.outcome.empty()) {
+            r.classified += 1;
+            if (a.outcome == "hit")
+                r.hits += 1;
+        }
+        for (const auto &[cause, n] : a.blame)
+            r.blame[cause] += n;
+    }
+    std::cout << "per-core summary (" << trace.size() << " accesses)\n";
+    Table t;
+    t.header({"core", "accesses", "mean latency", "row hit",
+              "dominant blame"});
+    for (const auto &[core, r] : rolls) {
+        std::vector<std::pair<std::string, std::uint64_t>> items(
+            r.blame.begin(), r.blame.end());
+        std::sort(items.begin(), items.end(),
+                  [](const auto &x, const auto &y) {
+                      if (x.second != y.second)
+                          return x.second > y.second;
+                      return x.first < y.first;
+                  });
+        if (items.size() > 3)
+            items.resize(3);
+        std::string blame;
+        for (const auto &[cause, n] : items) {
+            if (!blame.empty())
+                blame += ", ";
+            blame += cause + ' ' + std::to_string(n);
+        }
+        t.row({std::to_string(core), std::to_string(r.count),
+               Table::num(r.count ? double(r.latencySum) / double(r.count)
+                                  : 0.0,
+                          1),
+               r.classified
+                   ? Table::pct(double(r.hits) / double(r.classified))
+                   : "-",
+               blame.empty() ? "-" : blame});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+static int
+runCli(int argc, char **argv)
+{
+    ArgParser args("burstsim_explain <trace.jsonl>",
+                   "explain per-access critical paths from a burstsim "
+                   "--access-trace-out JSONL file");
+    args.addOption("access", "",
+                   "explain one access: why was access #N slow?");
+    args.addOption("top", "10", "show the K heaviest accesses");
+    args.addOption("by", "latency",
+                   "ranking key for --top: latency | a stall cause "
+                   "(e.g. t_faw, data_transfer, arb_loss)");
+    args.addFlag("per-core", "per-requester rollup instead of top-K");
+
+    if (!args.parse(argc, argv, std::cerr))
+        return args.helpRequested() ? 0 : 2;
+    if (args.positional().size() != 1) {
+        args.printHelp(std::cerr);
+        return 2;
+    }
+    const std::string &by = args.str("by");
+    if (by != "latency" && !validCause(by))
+        fatal("--by must be 'latency' or a stall cause name");
+
+    const std::vector<Access> trace = loadTrace(args.positional()[0]);
+
+    if (!args.str("access").empty())
+        explainOne(trace, args.u64("access"));
+    else if (args.flag("per-core"))
+        printPerCore(trace);
+    else
+        printTop(trace, std::size_t(args.u64("top")), by);
+    return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return runCli(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << "burstsim_explain: " << e.describe() << '\n';
+        return 1;
+    }
+}

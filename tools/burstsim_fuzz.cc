@@ -88,6 +88,8 @@ runCli(int argc, char **argv)
                  "skip the Burst-vs-BkInOrder bound oracle");
     args.addFlag("no-selfprof-identity",
                  "skip the wake-reason attribution identity oracle");
+    args.addFlag("no-critpath-identity",
+                 "skip the per-access blame identity oracle");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -96,6 +98,7 @@ runCli(int argc, char **argv)
     oracle.scratchDir = args.str("scratch-dir");
     oracle.crossScheduler = !args.flag("no-cross-scheduler");
     oracle.selfprofIdentity = !args.flag("no-selfprof-identity");
+    oracle.critpathIdentity = !args.flag("no-critpath-identity");
 
     if (!args.str("replay").empty())
         return replayFile(args.str("replay"), oracle) ? 0 : 3;
