@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared context stamping for the google-benchmark binaries: embeds the
+ * git SHA (from the build-time generated bsim_git_sha.hh) and the CMake
+ * build type into the benchmark JSON context, and complains loudly when
+ * the binary was built without optimization — numbers recorded from a
+ * debug build are not comparable to the committed BENCH_*.json
+ * baselines and must never silently replace them.
+ */
+
+#ifndef BURSTSIM_BENCH_BENCH_CONTEXT_HH
+#define BURSTSIM_BENCH_BENCH_CONTEXT_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bsim_git_sha.hh"
+
+#ifndef BSIM_BUILD_TYPE
+#define BSIM_BUILD_TYPE "unknown"
+#endif
+
+namespace bsim::bench
+{
+
+/** True when the compiler ran without optimization (-O0). */
+constexpr bool
+unoptimizedBuild()
+{
+#ifdef __OPTIMIZE__
+    return false;
+#else
+    return true;
+#endif
+}
+
+/** Print the unmissable banner for timing runs from -O0 binaries. */
+inline void
+warnIfUnoptimized()
+{
+    if (!unoptimizedBuild())
+        return;
+    std::cerr
+        << "\n"
+        << "*** WARNING: this benchmark binary was built WITHOUT\n"
+        << "*** optimization (build type '" BSIM_BUILD_TYPE "').\n"
+        << "*** Timings are meaningless for baseline comparison; build\n"
+        << "*** with -DCMAKE_BUILD_TYPE=Release before recording any\n"
+        << "*** BENCH_*.json.\n\n";
+}
+
+/**
+ * Stamp git SHA / build type into the google-benchmark JSON context and
+ * emit the -O0 warning. Call after benchmark::Initialize.
+ */
+inline void
+addBenchContext()
+{
+    ::benchmark::AddCustomContext("git_sha", BSIM_GIT_SHA);
+    ::benchmark::AddCustomContext("build_type", BSIM_BUILD_TYPE);
+    if (unoptimizedBuild())
+        ::benchmark::AddCustomContext("unoptimized_build", "true");
+    warnIfUnoptimized();
+}
+
+} // namespace bsim::bench
+
+#endif // BURSTSIM_BENCH_BENCH_CONTEXT_HH

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_context.hh"
 #include "ctrl/controller.hh"
 #include "dram/memory_system.hh"
 #include "sim/experiment.hh"
@@ -105,4 +106,14 @@ BENCHMARK(BM_EndToEnd)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bsim::bench::addBenchContext();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -99,6 +99,10 @@ struct MemAccess
     /** Requester hint: a dependence chain is blocked on this read. */
     bool critical = false;
 
+    /** Index of this access's slot in the controller's arena (stable
+     *  for the access's lifetime; the slot is recycled afterwards). */
+    std::uint32_t poolSlot = 0;
+
     bool isRead() const { return type == AccessType::Read; }
     bool isWrite() const { return type == AccessType::Write; }
 };

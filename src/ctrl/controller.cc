@@ -21,6 +21,8 @@ reasonOf(HorizonPin pin)
       case HorizonPin::Preempt: return obs::WakeReason::SchedPreempt;
       case HorizonPin::DrainFlip: return obs::WakeReason::SchedDrainFlip;
       case HorizonPin::Piggyback: return obs::WakeReason::SchedPiggyback;
+      case HorizonPin::WriteDrain:
+        return obs::WakeReason::SchedWriteDrain;
       case HorizonPin::Timing: return obs::WakeReason::SchedBound;
       case HorizonPin::Conservative:
         return obs::WakeReason::SchedConservative;
@@ -161,9 +163,49 @@ MemoryController::canAccept() const
 {
     if (counts_.writesOutstanding >= cfg_.writeCap)
         return false; // saturated write queue blocks all admission
-    if (inflight_.size() >= cfg_.poolCap)
+    if (inflightCount_ >= cfg_.poolCap)
         return false;
     return true;
+}
+
+MemAccess *
+MemoryController::allocAccess()
+{
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        pool_[slot] = MemAccess{};
+    } else {
+        slot = std::uint32_t(pool_.size());
+        pool_.emplace_back();
+    }
+    MemAccess *a = &pool_[slot];
+    a->poolSlot = slot;
+    inflightCount_ += 1;
+    return a;
+}
+
+void
+MemoryController::freeAccess(MemAccess *a)
+{
+    freeSlots_.push_back(a->poolSlot);
+    inflightCount_ -= 1;
+}
+
+void
+MemoryController::refreshEngineFlags()
+{
+    // Exact max-composition bounds (and therefore the per-bank bound
+    // caches) are only sound when per-cycle stall causes are not being
+    // attributed: blockedUntil's first-binding stop points are part of
+    // the attribution contract, readyAt's are not.
+    const bool exact = eventDriven_ && !stalls_;
+    for (auto &s : schedulers_) {
+        s->setEventDriven(eventDriven_);
+        s->setHorizonMemo(cfg_.horizonMemo);
+        s->setExactBounds(exact);
+    }
 }
 
 std::uint64_t
@@ -174,12 +216,10 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
     if (!canAccept())
         panic("submit() while controller cannot accept");
 
-    stateVersion_ += 1; // queue contents / counts are changing
     if (intro_)
         intro_->noteMemoInvalidate();
 
-    auto access = std::make_unique<MemAccess>();
-    MemAccess *a = access.get();
+    MemAccess *a = allocAccess();
     a->id = nextId_++;
     a->type = type;
     a->addr = mem_.addressMap().blockBase(addr);
@@ -187,7 +227,6 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
     a->arrival = now;
     a->tag = tag;
     a->critical = critical && type == AccessType::Read;
-    inflight_.emplace(a->id, std::move(access));
     chanVersion_[a->coords.channel] += 1; // this channel's queue changes
 
     Scheduler &sched = *schedulers_[a->coords.channel];
@@ -212,7 +251,7 @@ MemoryController::submit(AccessType type, Addr addr, Tick now,
                 mem_.store().write(a->addr, data);
             stats_.coalescedWrites += 1;
             const std::uint64_t id = a->id;
-            inflight_.erase(id);
+            freeAccess(a);
             return id;
         }
         counts_.writesOutstanding += 1;
@@ -273,8 +312,8 @@ MemoryController::tick(Tick now)
                 continue;
             }
         }
-        if (eventDriven_ && !stalls_ &&
-            memo.version == memoVersion(ch) && now < memo.until) {
+        if (eventDriven_ && !stalls_ && memoValid(ch) &&
+            now < memo.until) {
             // Horizon contract: nothing can issue and no arbitration
             // move is possible strictly before memo.until, so a full
             // scan would be a no-op apart from the idempotent idle-tick
@@ -317,7 +356,7 @@ MemoryController::tick(Tick now)
             handleIssued(issued);
         } else if (eventDriven_ && !stalls_) {
             memo.until = schedulers_[ch]->nextEventTick(now);
-            memo.version = memoVersion(ch);
+            stampMemo(ch);
             memo.pin = schedulers_[ch]->lastHorizonPin();
             if (intro_)
                 intro_->noteMemoMiss();
@@ -360,6 +399,15 @@ MemoryController::nextEventTick(Tick now, obs::WakeSource *src) const
     if (dcfg.timing.tREFI) {
         for (std::uint32_t ch = 0;
              ch < mem_.numChannels() && horizon > now; ++ch) {
+            if (eventDriven_ && refreshWake_[ch] > now) {
+                // refreshTick()'s wake memo: no rank of this channel is
+                // pending, and the earliest deadline is exactly wake
+                // (the invariant is checked loudly there) — the full
+                // rank walk below would produce the same minimum.
+                consider(refreshWake_[ch], obs::WakeReason::Refresh,
+                         std::int32_t(ch));
+                continue;
+            }
             for (std::uint32_t r = 0; r < dcfg.ranksPerChannel; ++r) {
                 const auto &st =
                     refresh_[ch * dcfg.ranksPerChannel + r];
@@ -406,14 +454,14 @@ Tick
 MemoryController::schedHorizon(std::uint32_t channel, Tick now) const
 {
     // The memo stays valid while nothing the scheduler's decision
-    // depends on has changed: the version stamp covers queue contents
-    // (and, for globally sensitive policies, the global counts), and
-    // the channel's own issues clear the memo directly. A bound that
-    // has expired (until <= now) forces a recomputation.
+    // depends on has changed: the version stamp covers queue contents,
+    // the signature covers the global-count bands, and the channel's
+    // own issues clear the memo directly. A bound that has expired
+    // (until <= now) forces a recomputation.
     SchedMemo &memo = schedMemo_[channel];
-    if (memo.version != memoVersion(channel) || memo.until <= now) {
+    if (!memoValid(channel) || memo.until <= now) {
         memo.until = schedulers_[channel]->nextEventTick(now);
-        memo.version = memoVersion(channel);
+        stampMemo(channel);
         memo.pin = schedulers_[channel]->lastHorizonPin();
         if (intro_)
             intro_->noteMemoMiss();
@@ -543,11 +591,22 @@ MemoryController::refreshTick(std::uint32_t channel, Tick now)
 
         refreshWake_[channel] = 0; // a rank is pending: run every tick
         mem_.setRefreshDrain(channel, r, true);
+        if (!st.draining) {
+            // Drain-gate transition: the gate turns this channel's
+            // Activate bounds into state gates, so cached bounds (and
+            // the channel horizon built on them) are no longer proofs.
+            st.draining = true;
+            schedMemo_[channel].version = 0;
+            if (intro_)
+                intro_->noteMemoInvalidate();
+            schedulers_[channel]->onExternalCommand();
+        }
 
         dram::Command ref{dram::CmdType::RefreshAll, c, 0};
         if (mem_.canIssue(ref, now)) {
             mem_.issue(ref, now);
             st.pending = false;
+            st.draining = false;
             st.nextDue += dcfg.timing.tREFI;
             stats_.refreshes += 1;
             mem_.setRefreshDrain(channel, r, false);
@@ -622,14 +681,10 @@ MemoryController::handleIssued(const Scheduler::Issued &issued)
 void
 MemoryController::finishAccess(MemAccess *a)
 {
-    stateVersion_ += 1; // counts / pool occupancy are changing
-    if (intro_)
-        intro_->noteMemoInvalidate();
-    auto it = inflight_.find(a->id);
-    if (it == inflight_.end())
-        panic("finishAccess: unknown access id %llu",
-              static_cast<unsigned long long>(a->id));
-    inflight_.erase(it);
+    // Completions change only the global counts; the memo signatures
+    // capture the band crossings global schedulers actually react to,
+    // so no blanket invalidation is needed here.
+    freeAccess(a);
 }
 
 bool
@@ -659,6 +714,7 @@ MemoryController::attachObservability(obs::Observability *o)
         s->setAuditor(audit_);
         s->setIntrospect(intro_);
     }
+    refreshEngineFlags();
 }
 
 void
@@ -744,7 +800,7 @@ MemoryController::progressSnapshot(Tick now) const
                   "controller @%llu: pool %zu/%zu (reads %zu, writes "
                   "%zu), pending data transfers %zu, completed r/w/fwd "
                   "%llu/%llu/%llu",
-                  static_cast<unsigned long long>(now), inflight_.size(),
+                  static_cast<unsigned long long>(now), inflightCount_,
                   cfg_.poolCap, counts_.readsOutstanding,
                   counts_.writesOutstanding, pendingReads_.size(),
                   static_cast<unsigned long long>(stats_.reads),

@@ -15,12 +15,12 @@
 #define BURSTSIM_CTRL_CONTROLLER_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
@@ -57,6 +57,12 @@ struct ControllerConfig
      *  write to the same block instead of enqueueing a duplicate (real
      *  controllers coalesce; the paper's model does not). */
     bool coalesceWrites = false;
+
+    /** Debug switch (`--no-horizon-memo`): disable every horizon memo
+     *  and bound cache in the event-driven engine. Results and the
+     *  introspection skip/step totals must be identical either way —
+     *  the fuzzer's engine_equivalence oracle differences the two. */
+    bool horizonMemo = true;
 
     // Extension / ablation switches (see SchedulerParams).
     bool dynamicThreshold = false;
@@ -222,8 +228,7 @@ class MemoryController
     void setEventDriven(bool on)
     {
         eventDriven_ = on;
-        for (auto &s : schedulers_)
-            s->setEventDriven(on);
+        refreshEngineFlags();
     }
 
     /**
@@ -257,31 +262,63 @@ class MemoryController
     {
         Tick nextDue = 0;
         bool pending = false;
+        /** Drain gate currently asserted for this rank. Tracked so the
+         *  false->true transition (which turns Activate bounds into
+         *  state gates) invalidates the channel's cached horizons. */
+        bool draining = false;
     };
 
     /**
-     * Cached per-channel scheduler horizon. While version matches
-     * stateVersion_ and the channel itself has not issued, the channel's
-     * scheduler provably cannot issue (nor make an arbitration move)
-     * strictly before `until`, so its per-tick scan can be skipped and
-     * nextEventTick() can reuse the bound without rescanning.
+     * Cached per-channel scheduler horizon. Valid while the channel's
+     * queue version matches (enqueues; issues clear the memo directly)
+     * and, for globally sensitive policies, the scheduler's global-count
+     * band signature still holds: the channel's scheduler then provably
+     * cannot issue (nor make an arbitration move) strictly before
+     * `until`, so its per-tick scan can be skipped and nextEventTick()
+     * can reuse the bound without rescanning. Signature banding is what
+     * keeps Burst/Intel memos alive while other channels complete
+     * accesses without crossing a threshold.
      */
     struct SchedMemo
     {
         Tick until = 0;            //!< no issue strictly before this
-        std::uint64_t version = 0; //!< version stamp when computed
+        std::uint64_t version = 0; //!< chanVersion_ stamp when computed
+        std::uint64_t signature = 0; //!< globalSignature() when computed
         bool global = false;       //!< scheduler reads global counts
         /** Why `until` is where it is (from the computing scheduler);
          *  carried alongside so memo hits stay attributable. */
         HorizonPin pin = HorizonPin::None;
     };
 
-    /** Version stamp a channel's memo must match to stay valid. */
-    std::uint64_t memoVersion(std::uint32_t channel) const
+    /** Is @p channel's memo still a proof at the current state? */
+    bool
+    memoValid(std::uint32_t channel) const
     {
-        return schedMemo_[channel].global ? stateVersion_
-                                          : chanVersion_[channel];
+        const SchedMemo &m = schedMemo_[channel];
+        if (!cfg_.horizonMemo || m.version != chanVersion_[channel])
+            return false;
+        return !m.global ||
+               m.signature == schedulers_[channel]->globalSignature();
     }
+
+    /** Re-stamp @p channel's memo as valid for the current state. */
+    void
+    stampMemo(std::uint32_t channel) const
+    {
+        SchedMemo &m = schedMemo_[channel];
+        m.version = chanVersion_[channel];
+        if (m.global)
+            m.signature = schedulers_[channel]->globalSignature();
+    }
+
+    /** Propagate engine flags to every scheduler (exact bounds are only
+     *  sound without per-cycle stall attribution; see Scheduler). */
+    void refreshEngineFlags();
+
+    /** Take a recycled arena slot (or grow the arena) for a new access. */
+    MemAccess *allocAccess();
+    /** Return @p a's arena slot to the free list. */
+    void freeAccess(MemAccess *a);
 
     void completeReads(Tick now);
     void sampleOccupancy();
@@ -303,7 +340,17 @@ class MemoryController
     ReadCallback readCb_;
 
     std::vector<std::unique_ptr<Scheduler>> schedulers_; //!< per channel
-    std::unordered_map<std::uint64_t, std::unique_ptr<MemAccess>> inflight_;
+    /**
+     * Arena of access slots: grown on demand (never shrunk), recycled
+     * through freeSlots_. A deque keeps every MemAccess at a stable
+     * address for the pointers held by scheduler queues, pendingReads_
+     * and the observability pillars, while staying cache-friendlier and
+     * allocation-free in steady state compared to the id-keyed
+     * unordered_map of unique_ptrs it replaced.
+     */
+    std::deque<MemAccess> pool_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::size_t inflightCount_ = 0;
     /** Reads whose data transfer is scheduled, keyed by completion tick. */
     std::multimap<Tick, MemAccess *> pendingReads_;
     std::vector<RefreshState> refresh_; //!< channel-major [ch*ranks + r]
@@ -312,17 +359,9 @@ class MemoryController
     std::vector<Tick> refreshWake_;
     std::uint64_t nextId_ = 1;
 
-    /**
-     * Monotonic version of everything a scheduler's issue decision can
-     * depend on besides its own channel's device state: queue contents
-     * (submissions) and the global read/write counts (completions).
-     * Bumped on submit() and finishAccess(); per-channel device-state
-     * changes instead clear that channel's memo directly.
-     */
-    std::uint64_t stateVersion_ = 1;
-    /** Per-channel enqueue version: all a count-insensitive scheduler's
-     *  decision inputs beyond its own device state (cleared directly on
-     *  issues). */
+    /** Per-channel enqueue version: covers every decision input beyond
+     *  the channel's own device state (cleared directly on issues) and
+     *  the global-count bands (covered by the memo signature). */
     std::vector<std::uint64_t> chanVersion_;
     mutable std::vector<SchedMemo> schedMemo_; //!< per channel
     bool eventDriven_ = false;

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A contiguous FIFO for scheduler queues: a vector plus a head index.
+ *
+ * The scheduler hot path is dominated by short scans over small queues
+ * (reorder windows of 4, per-bank FIFOs of a handful of entries), where
+ * std::deque's chunked indirection costs more than it saves. FlatQueue
+ * keeps the elements contiguous; pop_front advances a head cursor and
+ * the dead prefix is reclaimed wholesale whenever the queue drains or
+ * the prefix outgrows the live part. push_front is O(live) but rare
+ * (read preemption re-queues at most one write at a time).
+ *
+ * Iterators cover the live range [begin, end) and are invalidated by
+ * every mutation, exactly like the deques they replace were used.
+ */
+
+#ifndef BURSTSIM_CTRL_FLAT_QUEUE_HH
+#define BURSTSIM_CTRL_FLAT_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace bsim::ctrl
+{
+
+/** Vector-backed FIFO with deque-ish interface for scheduler queues. */
+template <typename T> class FlatQueue
+{
+  public:
+    using iterator = typename std::vector<T>::iterator;
+    using const_iterator = typename std::vector<T>::const_iterator;
+
+    bool empty() const { return head_ == buf_.size(); }
+    std::size_t size() const { return buf_.size() - head_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+    T &back() { return buf_.back(); }
+    const T &back() const { return buf_.back(); }
+
+    T &operator[](std::size_t i) { return buf_[head_ + i]; }
+    const T &operator[](std::size_t i) const { return buf_[head_ + i]; }
+
+    iterator begin() { return buf_.begin() + std::ptrdiff_t(head_); }
+    iterator end() { return buf_.end(); }
+    const_iterator begin() const
+    {
+        return buf_.begin() + std::ptrdiff_t(head_);
+    }
+    const_iterator end() const { return buf_.end(); }
+
+    void
+    push_back(const T &v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        buf_.push_back(std::move(v));
+    }
+
+    void
+    push_front(const T &v)
+    {
+        if (head_ > 0)
+            buf_[--head_] = v;
+        else
+            buf_.insert(buf_.begin(), v);
+    }
+
+    void
+    pop_front()
+    {
+        head_ += 1;
+        compact();
+    }
+
+    iterator
+    erase(iterator it)
+    {
+        if (it == begin()) {
+            pop_front();
+            return begin();
+        }
+        return buf_.erase(it);
+    }
+
+    iterator
+    insert(iterator pos, const T &v)
+    {
+        return buf_.insert(pos, v);
+    }
+
+    void
+    clear()
+    {
+        buf_.clear();
+        head_ = 0;
+    }
+
+  private:
+    /** Reclaim the dead prefix when it dominates the storage. */
+    void
+    compact()
+    {
+        if (head_ == buf_.size()) {
+            buf_.clear();
+            head_ = 0;
+        } else if (head_ > 32 && head_ > buf_.size() - head_) {
+            buf_.erase(buf_.begin(), buf_.begin() + std::ptrdiff_t(head_));
+            head_ = 0;
+        }
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_FLAT_QUEUE_HH

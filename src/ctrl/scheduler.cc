@@ -1,6 +1,9 @@
 #include "ctrl/scheduler.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
+#include "obs/engine_introspect.hh"
 #include "obs/stall_attribution.hh"
 
 namespace bsim::ctrl
@@ -16,9 +19,32 @@ Scheduler::stallScan(Tick now, obs::StallAttribution &sink) const
                      : dram::StallCause::NoWork;
 }
 
+Tick
+Scheduler::bankBound(std::uint32_t b, const MemAccess *a, Tick now) const
+{
+    if (!cacheOn())
+        return boundFor(a, now);
+    if (boundEpoch_[b] == cmdEpoch_) {
+        if (intro_)
+            intro_->noteFrontHorizonHit();
+        // max(now, cached) == a fresh readyAt at now: deadlines are
+        // unchanged (same epoch) and readyAt floors at now.
+        return std::max(now, boundTick_[b]);
+    }
+    const Tick bound = boundFor(a, now);
+    boundTick_[b] = bound;
+    boundEpoch_[b] = cmdEpoch_;
+    if (intro_)
+        intro_->noteFrontHorizonMiss();
+    return bound;
+}
+
 Scheduler::Issued
 Scheduler::issueFor(MemAccess *a, Tick now)
 {
+    // Any command on this channel can move other banks' deadlines
+    // (command bus, tRRD/tFAW, tWTR, data-bus occupancy).
+    invalidateBounds();
     const dram::CmdType type = nextCmd(a);
     if (a->firstCmdAt == kTickMax) {
         a->firstCmdAt = now;

@@ -47,6 +47,7 @@ enum class HorizonPin : std::uint8_t
     Preempt,      //!< a read preemption decision is pending
     DrainFlip,    //!< the write drain mode is about to flip
     Piggyback,    //!< an end-of-burst piggyback window is open
+    WriteDrain,   //!< a postponed write is about to be serviced
     Timing,       //!< bounded by a device-timing release
     Conservative, //!< the policy cannot bound itself (default impl)
 };
@@ -118,7 +119,12 @@ class Scheduler
         Tick dataEnd = 0;            //!< valid when columnAccess
     };
 
-    explicit Scheduler(const SchedulerContext &ctx) : ctx_(ctx) {}
+    explicit Scheduler(const SchedulerContext &ctx) : ctx_(ctx)
+    {
+        const std::uint32_t n = ctx_.mem ? numBanks() : 0;
+        boundTick_.assign(n, 0);
+        boundEpoch_.assign(n, 0);
+    }
     virtual ~Scheduler() = default;
 
     Scheduler(const Scheduler &) = delete;
@@ -214,10 +220,41 @@ class Scheduler
 
     /**
      * The controller's refresh engine issued a command (Precharge or
-     * RefreshAll) on this channel: bank states changed outside the
-     * scheduler's own issue path, so any cached horizon is stale.
+     * RefreshAll) on this channel — or a refresh-drain gate flipped:
+     * channel timing state changed outside the scheduler's own issue
+     * path, so every cached bank bound is stale. Overrides must call
+     * the base (or invalidateBounds()) to keep the shared cache exact.
      */
-    virtual void onExternalCommand() {}
+    virtual void onExternalCommand() { invalidateBounds(); }
+
+    /**
+     * Allow or forbid the per-bank bound cache (and any policy-level
+     * memo). On by default; `--no-horizon-memo` turns it off so the
+     * fuzzer can difference introspection totals cached vs uncached.
+     */
+    void setHorizonMemo(bool on) { horizonMemo_ = on; }
+
+    /**
+     * Use exact max-composed issue bounds (MemorySystem::readyAt)
+     * instead of the first-binding blockedUntil. The controller enables
+     * this for event-driven runs without per-cycle stall attribution:
+     * attribution spans must stop at stall-cause flip points, exact
+     * bounds deliberately do not. The bound cache requires exact bounds
+     * (a first-binding bound that has expired proves nothing).
+     */
+    void setExactBounds(bool on) { exactBounds_ = on; }
+
+    /**
+     * A band signature over the global counters this policy's
+     * arbitration actually compares against (write-queue watermarks,
+     * burst thresholds). The controller's per-channel horizon memo for
+     * a globally-sensitive policy stays valid while this signature and
+     * the channel's queue version both hold, so unrelated count drift
+     * (e.g. another channel completing reads) no longer forces a
+     * re-derivation. Policies returning true from globallySensitive()
+     * must override this to cover every banded comparison they make.
+     */
+    virtual std::uint64_t globalSignature() const { return 0; }
 
     /**
      * Does the issue decision read state outside this channel — the
@@ -316,6 +353,49 @@ class Scheduler
     }
 
     /**
+     * The engine-facing issue bound for @p a at @p now: the exact
+     * earliest issue tick (readyAt) under exact bounds, the
+     * first-binding blockedUntil otherwise. In both modes
+     * `boundFor(a, now) <= now` is exactly `canIssueFor(a, now)`, so
+     * one call serves as legality probe and horizon source at once.
+     */
+    Tick
+    boundFor(const MemAccess *a, Tick now) const
+    {
+        obs::prof::Scope prof(obs::prof::Phase::TimingCheck);
+        dram::Command cmd{nextCmd(a), a->coords, a->id};
+        return exactBounds_ ? ctx_.mem->readyAt(cmd, now)
+                            : ctx_.mem->blockedUntil(cmd, now);
+    }
+
+    /** Is the per-bank bound cache usable? Requires exact bounds:
+     *  every constraint readyAt() composes is a fixed deadline moved
+     *  only by this channel's own commands, so a cached bound stays
+     *  *equal* to a fresh computation until invalidateBounds(). */
+    bool
+    cacheOn() const
+    {
+        return eventDriven_ && horizonMemo_ && exactBounds_;
+    }
+
+    /** Every cached bank bound is stale (a command issued on this
+     *  channel, a drain gate flipped, a refresh fired). */
+    void invalidateBounds() const { cmdEpoch_ += 1; }
+
+    /** Bank @p b's probe candidate changed (new front / new ongoing):
+     *  its cached bound no longer describes the right command. */
+    void clearBound(std::uint32_t b) const { boundEpoch_[b] = 0; }
+
+    /**
+     * Cached boundFor(): returns the exact issue bound for bank @p b's
+     * candidate @p a, reusing the cached value when nothing on this
+     * channel changed since it was computed. `result <= now` is the
+     * legality predicate; `result > now` is a sound (and exact) wake
+     * tick. Falls back to an uncached boundFor() when the cache is off.
+     */
+    Tick bankBound(std::uint32_t b, const MemAccess *a, Tick now) const;
+
+    /**
      * Issue @p a's next transaction (must be legal). Classifies the row
      * outcome on the access's first transaction and fills in an Issued
      * record; on a column access also stamps colIssuedAt / dataEnd.
@@ -342,6 +422,14 @@ class Scheduler
     obs::ProtocolAuditor *auditor_ = nullptr;
     obs::EngineIntrospect *intro_ = nullptr; //!< nullptr = pillar off
     bool eventDriven_ = false; //!< horizon caches allowed (skip engine)
+    bool horizonMemo_ = true;  //!< bound caches permitted (debug flag)
+    bool exactBounds_ = false; //!< boundFor() = readyAt, not blockedUntil
+    /** Per-bank cached issue bound, valid while boundEpoch_ matches
+     *  cmdEpoch_ (exact under the own-channel-command invalidation
+     *  discipline; see cacheOn()). */
+    mutable std::vector<Tick> boundTick_;
+    mutable std::vector<std::uint64_t> boundEpoch_;
+    mutable std::uint64_t cmdEpoch_ = 1; //!< 0 is the "stale" sentinel
     /** Set by nextEventTick implementations at each bound site. */
     mutable HorizonPin pin_ = HorizonPin::None;
     /** Set by stallScan implementations: the access behind the returned

@@ -1,7 +1,5 @@
 #include "ctrl/schedulers/bk_in_order.hh"
 
-#include <algorithm>
-
 #include "obs/engine_introspect.hh"
 #include "obs/stall_attribution.hh"
 
@@ -9,13 +7,8 @@ namespace bsim::ctrl
 {
 
 BkInOrderScheduler::BkInOrderScheduler(const SchedulerContext &ctx)
-    : Scheduler(ctx), queues_(numBanks()), frontHorizon_(numBanks(), 0)
+    : Scheduler(ctx), queues_(numBanks())
 {
-    // Horizon-cache soundness bound: a data-bus transfer must cover the
-    // largest turnaround gap, so bus hand-offs can only push a front's
-    // earliest start later, never earlier.
-    const dram::Timing &t = ctx_.mem->config().timing;
-    cacheSafe_ = t.dataCycles() >= std::max(t.tRTRS, t.tRTW);
 }
 
 void
@@ -23,7 +16,7 @@ BkInOrderScheduler::enqueue(MemAccess *a)
 {
     const std::uint32_t b = bankIndex(a->coords);
     if (queues_[b].empty())
-        frontHorizon_[b] = 0; // a new front: cached bound is stale
+        clearBound(b); // a new front: cached bound describes nothing
     queues_[b].push_back(a);
     if (a->isWrite()) {
         writes_ += 1;
@@ -37,25 +30,14 @@ Scheduler::Issued
 BkInOrderScheduler::tick(Tick now)
 {
     const std::uint32_t n = numBanks();
-    const bool fast = cached();
     for (std::uint32_t i = 0; i < n; ++i) {
         const std::uint32_t b = (rr_ + 1 + i) % n;
         auto &q = queues_[b];
         if (q.empty())
             continue;
-        if (fast && now < frontHorizon_[b])
-            continue; // provably still blocked, skip the timing probe
         MemAccess *a = q.front();
-        if (fast) {
-            const Tick until = blockedUntilFor(a, now);
-            if (until > now) {
-                frontHorizon_[b] = until;
-                continue;
-            }
-        } else if (!canIssueFor(a, now)) {
+        if (bankBound(b, a, now) > now)
             continue;
-        }
-        frontHorizon_[b] = 0; // issuing changes this bank's state
         Issued out = issueFor(a, now);
         if (out.columnAccess) {
             q.pop_front();
@@ -106,27 +88,18 @@ Tick
 BkInOrderScheduler::nextEventTick(Tick now) const
 {
     // An idle tick changes nothing (rr_ moves only on issue), so the
-    // horizon is simply when the first bank front's binding constraint
-    // expires. Bank fronts are the only candidates this policy ever
-    // considers.
+    // horizon is simply when the first bank front's issue bound lands.
+    // Bank fronts are the only candidates this policy ever considers;
+    // tick()'s failed probes already filled the bound cache, so this
+    // scan is mostly compares.
     obs::prof::Scope prof(obs::prof::Phase::SchedHorizon);
     pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
-    const bool fast = cached();
     for (std::uint32_t b = 0; b < std::uint32_t(queues_.size()); ++b) {
         const auto &q = queues_[b];
         if (q.empty())
             continue;
-        Tick t = frontHorizon_[b];
-        if (!fast || t <= now) {
-            t = blockedUntilFor(q.front(), now);
-            if (fast)
-                frontHorizon_[b] = t;
-            if (intro_)
-                intro_->noteFrontHorizonMiss();
-        } else if (intro_) {
-            intro_->noteFrontHorizonHit();
-        }
+        const Tick t = bankBound(b, q.front(), now);
         if (t < horizon)
             horizon = t;
         if (horizon <= now)
@@ -135,14 +108,6 @@ BkInOrderScheduler::nextEventTick(Tick now) const
     if (horizon == kTickMax)
         pin_ = HorizonPin::None;
     return horizon;
-}
-
-void
-BkInOrderScheduler::onExternalCommand()
-{
-    // Refresh-engine precharges / refreshes changed bank states behind
-    // the scheduler's back; every cached bound may now be wrong.
-    frontHorizon_.assign(frontHorizon_.size(), 0);
 }
 
 void

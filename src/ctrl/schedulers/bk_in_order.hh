@@ -9,9 +9,9 @@
 #ifndef BURSTSIM_CTRL_SCHEDULERS_BK_IN_ORDER_HH
 #define BURSTSIM_CTRL_SCHEDULERS_BK_IN_ORDER_HH
 
-#include <deque>
 #include <vector>
 
+#include "ctrl/flat_queue.hh"
 #include "ctrl/scheduler.hh"
 
 namespace bsim::ctrl
@@ -33,29 +33,12 @@ class BkInOrderScheduler : public Scheduler
     dram::StallCause stallScan(Tick now,
                                obs::StallAttribution &sink) const override;
     Tick nextEventTick(Tick now) const override;
-    void onExternalCommand() override;
 
   private:
-    /** Per-bank horizon cache usable right now (event-driven engine). */
-    bool cached() const { return eventDriven_ && cacheSafe_; }
-
-    std::vector<std::deque<MemAccess *>> queues_; //!< one FIFO per bank
+    std::vector<FlatQueue<MemAccess *>> queues_; //!< one FIFO per bank
     std::uint32_t rr_ = 0; //!< bank whose column access issued last
     std::size_t reads_ = 0;
     std::size_t writes_ = 0;
-
-    /**
-     * frontHorizon_[b] > now proves bank b's front cannot issue at now,
-     * so the scan skips it with one compare instead of a full timing
-     * probe. Sound because every deadline blockedUntilFor() reads moves
-     * only later under other banks' issues (tFAW/tRRD windows, tWTR,
-     * data-bus occupancy — the latter provided dataCycles() covers the
-     * largest turnaround gap, checked at construction via cacheSafe_);
-     * the non-monotone events — this bank's own commands, a new front,
-     * refresh-engine commands — reset the entry to 0 (recompute).
-     */
-    mutable std::vector<Tick> frontHorizon_;
-    bool cacheSafe_ = false; //!< timing satisfies the monotonicity bound
 };
 
 } // namespace bsim::ctrl

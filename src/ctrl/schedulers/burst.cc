@@ -78,7 +78,7 @@ BurstScheduler::effectiveThreshold() const
     return std::size_t(th);
 }
 
-std::deque<MemAccess *>::iterator
+FlatQueue<MemAccess *>::iterator
 BurstScheduler::findPiggybackWrite(std::uint32_t b)
 {
     BankState &bs = banks_[b];
@@ -119,6 +119,7 @@ BurstScheduler::maybePreempt(std::uint32_t b, Tick now)
     bs.writeQ.push_front(a);
     bs.ongoing = nullptr;
     bs.ongoingFromBurst = false;
+    clearBound(b);
     preemptions_ += 1;
     // Figure 5 line 11: the first read of the next burst starts now.
     arbitrate(b, now);
@@ -134,10 +135,11 @@ BurstScheduler::arbitrate(std::uint32_t b, Tick now)
     const std::size_t global_writes = ctx_.global->writesOutstanding;
     const bool write_q_full = global_writes >= ctx_.params.writeCap;
 
-    auto take_write = [&](std::deque<MemAccess *>::iterator it) {
+    auto take_write = [&](FlatQueue<MemAccess *>::iterator it) {
         bs.ongoing = *it;
         bs.ongoingFromBurst = false;
         bs.writeQ.erase(it);
+        clearBound(b);
     };
 
     // Figure 5, lines 1-8.
@@ -187,6 +189,7 @@ BurstScheduler::arbitrate(std::uint32_t b, Tick now)
             panic("empty burst left in read queue");
         bs.ongoing = front.reads.front();
         front.reads.pop_front();
+        clearBound(b);
         bs.ongoingFromBurst = true;
         bs.ongoingFirstOfBurst = !bs.frontStarted;
         bs.frontStarted = true;
@@ -255,8 +258,7 @@ BurstScheduler::tick(Tick now)
             (prio == best_prio && best && a->arrival >= best->arrival)) {
             continue;
         }
-        dram::Command c{cmd, a->coords, a->id};
-        if (!ctx_.mem->canIssue(c, now))
+        if (bankBound(b, a, now) > now)
             continue;
         best = a;
         best_bank = b;
@@ -381,7 +383,7 @@ BurstScheduler::nextEventTick(Tick now) const
         if (bs.writeQ.empty())
             continue;
         if (write_q_full || reads_ == 0) {
-            pin_ = HorizonPin::ArbFill;
+            pin_ = HorizonPin::WriteDrain;
             return now; // arbitrate() would take the oldest write
         }
         if (ctx_.params.writePiggyback && global_writes > threshold &&
@@ -401,10 +403,11 @@ BurstScheduler::nextEventTick(Tick now) const
 
     pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
-    for (const BankState &bs : banks_) {
+    for (std::uint32_t b = 0; b < std::uint32_t(banks_.size()); ++b) {
+        const BankState &bs = banks_[b];
         if (!bs.ongoing)
             continue;
-        const Tick t = blockedUntilFor(bs.ongoing, now);
+        const Tick t = bankBound(b, bs.ongoing, now);
         if (t < horizon)
             horizon = t;
         if (horizon <= now)

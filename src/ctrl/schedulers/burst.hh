@@ -28,9 +28,9 @@
 #define BURSTSIM_CTRL_SCHEDULERS_BURST_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "ctrl/flat_queue.hh"
 #include "ctrl/scheduler.hh"
 
 namespace bsim::ctrl
@@ -56,16 +56,29 @@ class BurstScheduler : public Scheduler
     bool globallySensitive() const override { return true; }
     void onIdleSpan(Tick from, Tick span) override;
 
+    /** Bands of the global write count Figure 5 compares: queue-full,
+     *  above-threshold (piggyback gate) and below-threshold (preempt
+     *  gate). No Figure 5 decision can change while all bits hold. */
+    std::uint64_t
+    globalSignature() const override
+    {
+        const std::size_t gw = ctx_.global->writesOutstanding;
+        const std::size_t th = effectiveThreshold();
+        return std::uint64_t(gw >= ctx_.params.writeCap) |
+               std::uint64_t(gw > th) << 1 |
+               std::uint64_t(gw < th) << 2;
+    }
+
     /** A cluster of same-row reads within one bank (for tests). */
     struct Burst
     {
         std::uint32_t row = 0;
         Tick firstArrival = 0;
-        std::deque<MemAccess *> reads;
+        FlatQueue<MemAccess *> reads;
     };
 
     /** Read-burst list of bank @p b (test introspection). */
-    const std::deque<Burst> &burstsOfBank(std::uint32_t b) const
+    const FlatQueue<Burst> &burstsOfBank(std::uint32_t b) const
     {
         return banks_[b].bursts;
     }
@@ -73,8 +86,8 @@ class BurstScheduler : public Scheduler
   private:
     struct BankState
     {
-        std::deque<Burst> bursts;        //!< read queue, burst-clustered
-        std::deque<MemAccess *> writeQ;  //!< writes in arrival order
+        FlatQueue<Burst> bursts;        //!< read queue, burst-clustered
+        FlatQueue<MemAccess *> writeQ;  //!< writes in arrival order
         MemAccess *ongoing = nullptr;
         bool ongoingFromBurst = false;   //!< ongoing came from front burst
         bool ongoingFirstOfBurst = false; //!< ongoing opened its burst
@@ -89,7 +102,7 @@ class BurstScheduler : public Scheduler
     void maybePreempt(std::uint32_t b, Tick now);
 
     /** Oldest write in bank @p b directed to the bank's open row. */
-    std::deque<MemAccess *>::iterator findPiggybackWrite(std::uint32_t b);
+    FlatQueue<MemAccess *>::iterator findPiggybackWrite(std::uint32_t b);
 
     /** Table 2 priority of @p a's next transaction @p cmd (1 = best). */
     int priorityOf(const MemAccess *a, dram::CmdType cmd) const;

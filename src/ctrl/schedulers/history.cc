@@ -53,6 +53,7 @@ AdaptiveHistoryScheduler::arbitrate(std::uint32_t b)
     }
     ongoing_[b] = *pick;
     q.erase(pick);
+    clearBound(b); // new probe candidate for this bank
 }
 
 double
@@ -96,7 +97,7 @@ AdaptiveHistoryScheduler::tick(Tick now)
     double best_score = 0.0;
     for (std::uint32_t b = 0; b < ongoing_.size(); ++b) {
         MemAccess *a = ongoing_[b];
-        if (!a || !canIssueFor(a, now))
+        if (!a || bankBound(b, a, now) > now)
             continue;
         const double s = scoreOf(a, b);
         // Oldest-first tie break keeps the policy starvation free.
@@ -182,10 +183,11 @@ AdaptiveHistoryScheduler::nextEventTick(Tick now) const
         }
     pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
-    for (const MemAccess *a : ongoing_) {
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
         if (!a)
             continue;
-        const Tick t = blockedUntilFor(a, now);
+        const Tick t = bankBound(b, a, now);
         if (t < horizon)
             horizon = t;
         if (horizon <= now)

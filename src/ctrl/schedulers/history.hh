@@ -19,9 +19,9 @@
 #ifndef BURSTSIM_CTRL_SCHEDULERS_HISTORY_HH
 #define BURSTSIM_CTRL_SCHEDULERS_HISTORY_HH
 
-#include <deque>
 #include <vector>
 
+#include "ctrl/flat_queue.hh"
 #include "ctrl/scheduler.hh"
 
 namespace bsim::ctrl
@@ -52,7 +52,7 @@ class AdaptiveHistoryScheduler : public Scheduler
     /** History-match score of scheduling @p a next (higher = better). */
     double scoreOf(const MemAccess *a, std::uint32_t bank) const;
 
-    std::vector<std::deque<MemAccess *>> queues_; //!< unified, per bank
+    std::vector<FlatQueue<MemAccess *>> queues_; //!< unified, per bank
     std::vector<MemAccess *> ongoing_;            //!< per bank
 
     // Decayed arrival and service mixes.

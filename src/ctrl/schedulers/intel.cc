@@ -43,6 +43,7 @@ IntelScheduler::arbitrate()
             if (a && a->isWrite() && !readQ_[b].empty()) {
                 writeQ_.push_front(a); // it was the oldest write
                 ongoing_[b] = nullptr;
+                clearBound(b);
                 preemptions_ += 1;
             }
         }
@@ -71,6 +72,7 @@ IntelScheduler::arbitrate()
                 busy += 1;
                 ongoing_[b] = *it;
                 startSeq_[b] = ++seq_;
+                clearBound(b);
                 it = writeQ_.erase(it);
             } else {
                 ++it;
@@ -109,6 +111,7 @@ IntelScheduler::arbitrate()
         }
         ongoing_[b] = *pick;
         startSeq_[b] = ++seq_;
+        clearBound(b);
         q.erase(pick);
         ongoing_count += 1;
     }
@@ -132,7 +135,7 @@ IntelScheduler::tick(Tick now)
         MemAccess *a = ongoing_[b];
         if (!a || startSeq_[b] >= best_seq)
             continue;
-        if (canIssueFor(a, now)) {
+        if (bankBound(b, a, now) <= now) {
             best = a;
             best_bank = b;
             best_seq = startSeq_[b];
@@ -248,7 +251,7 @@ IntelScheduler::nextEventTick(Tick now) const
     if (service_writes && busy < 4)
         for (const MemAccess *w : writeQ_)
             if (!ongoing_[bankIndex(w->coords)]) {
-                pin_ = HorizonPin::ArbFill;
+                pin_ = HorizonPin::WriteDrain;
                 return now;
             }
 
@@ -261,10 +264,11 @@ IntelScheduler::nextEventTick(Tick now) const
 
     pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
-    for (const MemAccess *a : ongoing_) {
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
         if (!a)
             continue;
-        const Tick t = blockedUntilFor(a, now);
+        const Tick t = bankBound(b, a, now);
         if (t < horizon)
             horizon = t;
         if (horizon <= now)

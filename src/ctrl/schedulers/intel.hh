@@ -20,9 +20,9 @@
 #ifndef BURSTSIM_CTRL_SCHEDULERS_INTEL_HH
 #define BURSTSIM_CTRL_SCHEDULERS_INTEL_HH
 
-#include <deque>
 #include <vector>
 
+#include "ctrl/flat_queue.hh"
 #include "ctrl/scheduler.hh"
 
 namespace bsim::ctrl
@@ -47,12 +47,23 @@ class IntelScheduler : public Scheduler
     Tick nextEventTick(Tick now) const override;
     bool globallySensitive() const override { return true; }
 
+    /** Bands of the global write count the patent's arbitration
+     *  compares: queue-full (flush trigger) and half-empty (flush
+     *  release). Decisions cannot change while both bits hold. */
+    std::uint64_t
+    globalSignature() const override
+    {
+        const std::size_t gw = ctx_.global->writesOutstanding;
+        return std::uint64_t(gw >= ctx_.params.writeCap) |
+               std::uint64_t(gw <= ctx_.params.writeCap / 2) << 1;
+    }
+
   private:
     /** Select ongoing accesses for idle banks; handle preemption. */
     void arbitrate();
 
-    std::vector<std::deque<MemAccess *>> readQ_; //!< per bank
-    std::deque<MemAccess *> writeQ_;             //!< single, all banks
+    std::vector<FlatQueue<MemAccess *>> readQ_; //!< per bank
+    FlatQueue<MemAccess *> writeQ_;             //!< single, all banks
     std::vector<MemAccess *> ongoing_;           //!< per bank
     std::vector<std::uint64_t> startSeq_;        //!< per bank, start order
     std::uint64_t seq_ = 0;

@@ -44,6 +44,7 @@ RowHitScheduler::arbitrate(std::uint32_t b)
     }
     ongoing_[b] = *pick;
     q.erase(pick);
+    clearBound(b); // new probe candidate for this bank
 }
 
 Scheduler::Issued
@@ -54,7 +55,7 @@ RowHitScheduler::tick(Tick now)
         const std::uint32_t b = (rr_ + 1 + i) % n;
         arbitrate(b);
         MemAccess *a = ongoing_[b];
-        if (!a || !canIssueFor(a, now))
+        if (!a || bankBound(b, a, now) > now)
             continue;
         Issued out = issueFor(a, now);
         if (out.columnAccess) {
@@ -116,10 +117,11 @@ RowHitScheduler::nextEventTick(Tick now) const
         }
     pin_ = HorizonPin::Timing;
     Tick horizon = kTickMax;
-    for (const MemAccess *a : ongoing_) {
+    for (std::uint32_t b = 0; b < std::uint32_t(ongoing_.size()); ++b) {
+        const MemAccess *a = ongoing_[b];
         if (!a)
             continue;
-        const Tick t = blockedUntilFor(a, now);
+        const Tick t = bankBound(b, a, now);
         if (t < horizon)
             horizon = t;
         if (horizon <= now)

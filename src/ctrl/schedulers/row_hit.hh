@@ -10,9 +10,9 @@
 #ifndef BURSTSIM_CTRL_SCHEDULERS_ROW_HIT_HH
 #define BURSTSIM_CTRL_SCHEDULERS_ROW_HIT_HH
 
-#include <deque>
 #include <vector>
 
+#include "ctrl/flat_queue.hh"
 #include "ctrl/scheduler.hh"
 
 namespace bsim::ctrl
@@ -39,7 +39,7 @@ class RowHitScheduler : public Scheduler
     /** Pick the next ongoing access for bank @p b (row hit first). */
     void arbitrate(std::uint32_t b);
 
-    std::vector<std::deque<MemAccess *>> queues_; //!< unified, per bank
+    std::vector<FlatQueue<MemAccess *>> queues_; //!< unified, per bank
     std::vector<MemAccess *> ongoing_;            //!< per bank
     std::uint32_t rr_ = 0;
     std::size_t reads_ = 0;

@@ -1,5 +1,7 @@
 #include "dram/memory_system.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 #include "dram/command_log.hh"
 
@@ -243,6 +245,57 @@ MemorySystem::blockedUntil(const Command &cmd, Tick now) const
             if (now < r.bank(i).actAllowedAt())
                 return r.bank(i).actAllowedAt();
         return now;
+      }
+    }
+    return kTickMax;
+}
+
+Tick
+MemorySystem::readyAt(const Command &cmd, Tick now) const
+{
+    // Max-compose every deadline-style constraint instead of stopping at
+    // the first binding one: the result is the exact earliest legal
+    // issue tick, so event-driven callers need no re-poll chain. State
+    // gates (wrong row, drain) still return kTickMax — only another
+    // command clears them.
+    const Channel &ch = channels_[cmd.at.channel];
+    const Rank &r = ch.rank(cmd.at.rank);
+    const Bank &b = r.bank(cmd.at.bank);
+    const Timing &t = cfg_.timing;
+
+    Tick ready = std::max(now, ch.cmdBusFreeAt());
+    switch (cmd.type) {
+      case CmdType::Precharge:
+        if (!b.isOpen())
+            return kTickMax;
+        return std::max(ready, b.preAllowedAt());
+      case CmdType::Activate:
+        if (b.isOpen())
+            return kTickMax;
+        if (refreshDraining(cmd.at.channel, cmd.at.rank))
+            return kTickMax;
+        return r.activateReadyAt(std::max(ready, b.actAllowedAt()), t);
+      case CmdType::Read: {
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return kTickMax;
+        ready = std::max(ready, b.rdAllowedAt());
+        ready = std::max(ready, r.readAllowedAt());
+        const Tick eds = ch.earliestDataStart(cmd.at.rank, false, t);
+        return eds > ready + t.tCL ? eds - t.tCL : ready;
+      }
+      case CmdType::Write: {
+        if (!b.isOpen() || b.openRow() != cmd.at.row)
+            return kTickMax;
+        ready = std::max(ready, b.wrAllowedAt());
+        const Tick eds = ch.earliestDataStart(cmd.at.rank, true, t);
+        return eds > ready + t.tWL ? eds - t.tWL : ready;
+      }
+      case CmdType::RefreshAll: {
+        if (!r.allBanksClosed())
+            return kTickMax;
+        for (std::uint32_t i = 0; i < r.numBanks(); ++i)
+            ready = std::max(ready, r.bank(i).actAllowedAt());
+        return ready;
       }
     }
     return kTickMax;

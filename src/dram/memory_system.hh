@@ -118,6 +118,20 @@ class MemorySystem
      */
     Tick blockedUntil(const Command &cmd, Tick now) const;
 
+    /**
+     * The exact first tick >= @p now at which @p cmd may legally issue
+     * given current device state (kTickMax for WrongState / drain
+     * gates). Unlike blockedUntil() — which stops at the binding
+     * constraint's expiry and at stall-cause flip points so span-based
+     * stall attribution stays cycle-exact — this composes every
+     * deadline-style constraint with max(), so callers need not
+     * re-poll. Every constraint is a fixed deadline that only future
+     * commands on the same channel can move, which is what makes the
+     * schedulers' per-bank bound caches exact (see ctrl/scheduler.hh).
+     * Only sound when per-cycle stall causes are not being attributed.
+     */
+    Tick readyAt(const Command &cmd, Tick now) const;
+
     /** Issue @p cmd at @p now; panics if illegal. */
     IssueResult issue(const Command &cmd, Tick now);
 

@@ -36,6 +36,20 @@ Rank::activateBlockedUntil(Tick now, const Timing &t) const
     return now;
 }
 
+Tick
+Rank::activateReadyAt(Tick from, const Timing &t) const
+{
+    Tick ready = from;
+    if (anyActYet_ && t.tRRD && lastActAt_ + t.tRRD > ready)
+        ready = lastActAt_ + t.tRRD;
+    if (t.tFAW) {
+        const Tick fourth_last = actWindow_[actWindowPos_];
+        if (fourth_last != 0 && fourth_last + t.tFAW > ready)
+            ready = fourth_last + t.tFAW;
+    }
+    return ready;
+}
+
 void
 Rank::noteActivate(Tick now, const Timing &t)
 {

@@ -55,6 +55,13 @@ class Rank
      */
     Tick activateBlockedUntil(Tick now, const Timing &t) const;
 
+    /**
+     * Exact earliest tick >= @p from at which both rank-level activate
+     * windows (tRRD and tFAW) are open — the max-composition of the two
+     * deadlines activateBlockedUntil() reports one at a time.
+     */
+    Tick activateReadyAt(Tick from, const Timing &t) const;
+
     /** Rank-level check: may a READ issue at @p now? (tWTR) */
     bool canRead(Tick now) const { return now >= rdAllowedAt_; }
 

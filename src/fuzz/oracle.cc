@@ -207,6 +207,58 @@ checkPoint(const FuzzPoint &p, const OracleOptions &opt)
         }
     }
 
+    // Memo transparency: the horizon memos and per-bank bound caches
+    // must never change what the skip engine computes, only how fast.
+    // Run the skip engine twice with introspection on and per-cycle
+    // stall attribution off (the exact bound caches only arm without
+    // it), once with every cache force-disabled, and require identical
+    // skipped/stepped totals and simulated stats. The cache counters
+    // themselves differ by design, so this compares semantics, not
+    // bytes.
+    if (opt.memoTransparency) {
+        sim::RunResult cached, uncached;
+        for (int memo = 0; memo < 2; ++memo) {
+            OracleOptions mopt = opt;
+            mopt.configTweak = [&opt, memo](sim::ExperimentConfig &cfg) {
+                cfg.obs.stallAttribution = false;
+                cfg.obs.engineIntrospect = true;
+                cfg.horizonMemo = memo == 1;
+                if (opt.configTweak)
+                    opt.configTweak(cfg);
+            };
+            if (!runOne(p, mopt, sim::EngineKind::Skip,
+                        memo ? cached : uncached, v))
+                return v;
+        }
+        const obs::EngineIntrospect *ic =
+            cached.obs ? cached.obs->introspect() : nullptr;
+        const obs::EngineIntrospect *iu =
+            uncached.obs ? uncached.obs->introspect() : nullptr;
+        if (!ic || !iu) {
+            v.ok = false;
+            v.oracle = "memo_transparency";
+            v.detail = "introspection pillar missing on a memo run";
+            return v;
+        }
+        if (ic->steppedCycles() != iu->steppedCycles() ||
+            ic->skippedCycles() != iu->skippedCycles() ||
+            cached.memCycles != uncached.memCycles ||
+            cached.execCpuCycles != uncached.execCpuCycles) {
+            v.ok = false;
+            v.oracle = "memo_transparency";
+            std::ostringstream os;
+            os << "caches changed engine behaviour: stepped/skipped "
+               << ic->steppedCycles() << "/" << ic->skippedCycles()
+               << " cached vs " << iu->steppedCycles() << "/"
+               << iu->skippedCycles() << " uncached, mem "
+               << cached.memCycles << " vs " << uncached.memCycles
+               << ", cpu " << cached.execCpuCycles << " vs "
+               << uncached.execCpuCycles;
+            v.detail = os.str();
+            return v;
+        }
+    }
+
     // Per-access blame identity: rerun both engines with the critical-
     // path tracer on (separate runs — the result JSON gains a
     // critical_path section by design) and require (a) the per-access

@@ -20,6 +20,14 @@
  *                    equal the run's memory cycles and every per-reason
  *                    sum matches its total (EngineIntrospect's
  *                    identityHolds);
+ *  - memo_transparency
+ *                    the horizon memos and per-bank bound caches must be
+ *                    pure caches: an introspected skip run with
+ *                    --no-horizon-memo semantics (all caches force-
+ *                    disabled) must report the same skipped/stepped
+ *                    totals and simulated stats as the cached run —
+ *                    these runs turn stall attribution off so the exact
+ *                    bound caches are actually exercised;
  *  - critpath_identity
  *                    with per-access tracing on, every access's blame
  *                    vector must sum exactly to its measured latency,
@@ -59,6 +67,8 @@ struct OracleOptions
     bool crossScheduler = true;
     /** Skip the extra introspected run of the selfprof_identity oracle. */
     bool selfprofIdentity = true;
+    /** Skip the two extra runs of the memo_transparency oracle. */
+    bool memoTransparency = true;
     /** Skip the two extra traced runs of the critpath_identity oracle. */
     bool critpathIdentity = true;
     /** Test hook: mutate the lowered config before each run. */

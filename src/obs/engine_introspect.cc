@@ -36,6 +36,7 @@ wakeReasonName(WakeReason r)
       case WakeReason::SchedPreempt: return "sched_preempt";
       case WakeReason::SchedDrainFlip: return "sched_drain_flip";
       case WakeReason::SchedPiggyback: return "sched_piggyback";
+      case WakeReason::SchedWriteDrain: return "sched_write_drain";
       case WakeReason::SchedBound: return "sched_bound";
       case WakeReason::SchedConservative: return "sched_conservative";
       case WakeReason::MetricsEpoch: return "metrics_epoch";

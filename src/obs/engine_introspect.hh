@@ -53,13 +53,14 @@ enum class WakeReason : std::uint8_t
     SchedPreempt,      //!< scheduler: read preemption is pending
     SchedDrainFlip,    //!< scheduler: write drain mode about to flip
     SchedPiggyback,    //!< scheduler: end-of-burst piggyback window
+    SchedWriteDrain,   //!< scheduler: a postponed write is being taken
     SchedBound,        //!< scheduler: device-timing release (memoized)
     SchedConservative, //!< scheduler: conservative "never skip" default
     MetricsEpoch,      //!< metrics sampler epoch boundary
     Unbounded,         //!< no finite bound (idle until new work)
 };
 
-constexpr std::size_t kNumWakeReasons = 14;
+constexpr std::size_t kNumWakeReasons = 15;
 
 /** Stable printable name (used in JSON, CSV and docs). */
 const char *wakeReasonName(WakeReason r);

@@ -152,6 +152,7 @@ runExperiment(const ExperimentConfig &cfg)
     sys_cfg.ctrl.criticalFirst = cfg.criticalFirst;
     sys_cfg.ctrl.rankAware = cfg.rankAware;
     sys_cfg.ctrl.coalesceWrites = cfg.coalesceWrites;
+    sys_cfg.ctrl.horizonMemo = cfg.horizonMemo;
     sys_cfg.engine = cfg.engine;
     if (cfg.robSize)
         sys_cfg.core.robSize = cfg.robSize;

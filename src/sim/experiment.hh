@@ -80,6 +80,11 @@ struct ExperimentConfig
     TimingVariant timingVariant = TimingVariant::Baseline;
     /** Simulation engine; both report identical statistics. */
     EngineKind engine = EngineKind::Skip;
+    /** Debug switch (`--no-horizon-memo`): run the skip engine with
+     *  every horizon memo and bound cache disabled. Statistics AND the
+     *  engine_introspect skipped/stepped totals must be unchanged —
+     *  the fuzzer's engine_equivalence oracle checks exactly that. */
+    bool horizonMemo = true;
     /** Organization overrides (0 = keep the Table 3 baseline value). */
     std::uint32_t channels = 0;
     std::uint32_t ranksPerChannel = 0;

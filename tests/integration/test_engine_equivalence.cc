@@ -168,6 +168,156 @@ TEST(EngineEquivalence, CmpByteIdentical)
     EXPECT_EQ(render(step), render(skip));
 }
 
+// ---------------------------------------------------------------------
+// Horizon-memo invalidation edge cases. The skip engine caches per-bank
+// release bounds and a per-channel horizon memo keyed on a scheduler
+// "global signature" (threshold band, write-cap band). Each test below
+// pins one way that cache can go stale if an invalidation hook is
+// missing; all of them demand byte-identical statistics.
+// ---------------------------------------------------------------------
+
+TEST_P(EveryPair, MemoOffByteIdentical)
+{
+    // --no-horizon-memo must be purely an implementation toggle: same
+    // result JSON as both the memoized skip engine and the step engine.
+    ExperimentConfig cfg;
+    cfg.mechanism = std::get<0>(GetParam());
+    cfg.workload = std::get<1>(GetParam());
+    cfg.instructions = kInstr;
+
+    const RunResult step = runWith(cfg, EngineKind::Step);
+    const RunResult skip = runWith(cfg, EngineKind::Skip);
+    cfg.horizonMemo = false;
+    const RunResult bare = runWith(cfg, EngineKind::Skip);
+
+    EXPECT_EQ(resultJson(step), resultJson(bare));
+    EXPECT_EQ(resultJson(skip), resultJson(bare));
+}
+
+TEST(HorizonMemoEdgeCases, MemoIsTransparentToSkipDecisions)
+{
+    // Stronger than byte-identical stats: the memo must not change
+    // *which* cycles are skipped. Skipped/stepped introspection totals
+    // must match exactly between memo-on and memo-off runs (the fuzz
+    // engine_equivalence oracle checks the same invariant).
+    for (auto m : kSchedulerClasses) {
+        ExperimentConfig cfg;
+        cfg.workload = "mcf";
+        cfg.mechanism = m;
+        cfg.instructions = kInstr;
+        cfg.engine = EngineKind::Skip;
+        cfg.obs.engineIntrospect = true;
+
+        cfg.horizonMemo = true;
+        const RunResult memo = runExperiment(cfg);
+        cfg.horizonMemo = false;
+        const RunResult bare = runExperiment(cfg);
+
+        ASSERT_NE(memo.obs, nullptr);
+        ASSERT_NE(bare.obs, nullptr);
+        const auto *im = memo.obs->introspect();
+        const auto *ib = bare.obs->introspect();
+        EXPECT_EQ(im->steppedCycles(), ib->steppedCycles())
+            << ctrl::mechanismName(m);
+        EXPECT_EQ(im->skippedCycles(), ib->skippedCycles())
+            << ctrl::mechanismName(m);
+        EXPECT_EQ(memo.memCycles, bare.memCycles) << ctrl::mechanismName(m);
+    }
+}
+
+TEST(HorizonMemoEdgeCases, ArrivalRacingThresholdFlip)
+{
+    // A tiny Burst threshold keeps writesOutstanding hovering around
+    // the threshold band edges, so cross-channel arrivals flip the
+    // drain decision *while the other channel's memo is armed*. The
+    // signature band compare must catch every flip.
+    for (std::size_t th : {std::size_t(1), std::size_t(4), std::size_t(16)}) {
+        for (auto m : {ctrl::Mechanism::Burst, ctrl::Mechanism::BurstTH,
+                       ctrl::Mechanism::Intel}) {
+            ExperimentConfig cfg;
+            cfg.workload = "swim"; // highest write fraction in the set
+            cfg.mechanism = m;
+            cfg.threshold = th;
+            cfg.instructions = kInstr;
+            const RunResult step = runWith(cfg, EngineKind::Step);
+            const RunResult skip = runWith(cfg, EngineKind::Skip);
+            EXPECT_EQ(resultJson(step), resultJson(skip))
+                << ctrl::mechanismName(m) << " threshold=" << th;
+        }
+    }
+}
+
+TEST(HorizonMemoEdgeCases, RefreshDrainGateDuringCachedSpan)
+{
+    // Low-MLP traffic arms long cached spans; a refresh-dominated
+    // tREFI forces the drain gate to close in the middle of them. A
+    // cached Activate bound that ignored the gate would either issue
+    // into the drain (audit violation / panic) or stall late (stat
+    // diff).
+    for (auto m : kSchedulerClasses) {
+        ExperimentConfig cfg;
+        cfg.workload = "pchase";
+        cfg.mechanism = m;
+        cfg.instructions = kInstr;
+        cfg.timingVariant = TimingVariant::RefreshHeavy;
+        const RunResult step = runWith(cfg, EngineKind::Step);
+        const RunResult skip = runWith(cfg, EngineKind::Skip);
+        EXPECT_EQ(resultJson(step), resultJson(skip))
+            << ctrl::mechanismName(m);
+    }
+}
+
+TEST(HorizonMemoEdgeCases, FuzzDerivedTimingVariants)
+{
+    // The timing perturbations the differential fuzzer mines (prime
+    // tREFI against the span lattice, zero inter-activate windows,
+    // refresh off) — each family must stay byte-identical under all of
+    // them with the full cache stack on.
+    for (std::size_t v = 0; v < kNumTimingVariants; ++v) {
+        for (auto m : kSchedulerClasses) {
+            ExperimentConfig cfg;
+            cfg.workload = "mcf";
+            cfg.mechanism = m;
+            cfg.instructions = kInstr / 2;
+            cfg.timingVariant = TimingVariant(v);
+            const RunResult step = runWith(cfg, EngineKind::Step);
+            const RunResult skip = runWith(cfg, EngineKind::Skip);
+            EXPECT_EQ(resultJson(step), resultJson(skip))
+                << ctrl::mechanismName(m) << " variant="
+                << timingVariantName(TimingVariant(v));
+        }
+    }
+}
+
+TEST(HorizonMemoEdgeCases, McfLikeBlockingCoreSkipsMajorityOfCycles)
+{
+    // The perf claim behind this machinery, asserted as a regression
+    // gate: on a low-MLP (blocking) core running the mcf profile, the
+    // skip engine must skip at least half of all memory cycles for the
+    // main read-priority families. Measured ~60% for each; 50% leaves
+    // margin without tolerating a horizon regression.
+    for (auto m : {ctrl::Mechanism::Burst, ctrl::Mechanism::Intel,
+                   ctrl::Mechanism::RowHit}) {
+        ExperimentConfig cfg;
+        cfg.workload = "mcf";
+        cfg.mechanism = m;
+        cfg.instructions = kInstr;
+        cfg.robSize = 1;
+        cfg.issueWidth = 1;
+        cfg.engine = EngineKind::Skip;
+        cfg.obs.engineIntrospect = true;
+        const RunResult r = runExperiment(cfg);
+        ASSERT_NE(r.obs, nullptr);
+        const auto *in = r.obs->introspect();
+        ASSERT_NE(in, nullptr);
+        EXPECT_TRUE(in->identityHolds(r.memCycles))
+            << ctrl::mechanismName(m);
+        EXPECT_GE(in->skippedCycles() * 2, r.memCycles)
+            << ctrl::mechanismName(m) << ": skipped "
+            << in->skippedCycles() << " of " << r.memCycles;
+    }
+}
+
 TEST(SweepRunnerDeterminism, JobsDoNotChangeResults)
 {
     // The same sweep on one worker and on eight must aggregate to

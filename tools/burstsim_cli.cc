@@ -100,6 +100,7 @@ configFrom(const ArgParser &args)
     cfg.sortBurstsBySize = args.flag("sort-bursts");
     cfg.criticalFirst = args.flag("critical-first");
     cfg.rankAware = !args.flag("no-rank-aware");
+    cfg.horizonMemo = !args.flag("no-horizon-memo");
 
     // Observability: each pillar turns on only when requested, so the
     // default run carries no instrumentation cost.
@@ -223,6 +224,9 @@ runCli(int argc, char **argv)
     args.addFlag("sort-bursts", "extension: largest burst first");
     args.addFlag("critical-first",
                  "extension: critical reads first inside bursts");
+    args.addFlag("no-horizon-memo",
+                 "debug: disable every horizon memo / bound cache in the "
+                 "skip engine (identical results, much slower)");
     args.addFlag("no-rank-aware",
                  "ablation: ignore rank locality in Table 2 priorities");
     args.addFlag("latency-breakdown",

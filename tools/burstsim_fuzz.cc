@@ -90,6 +90,9 @@ runCli(int argc, char **argv)
                  "skip the wake-reason attribution identity oracle");
     args.addFlag("no-critpath-identity",
                  "skip the per-access blame identity oracle");
+    args.addFlag("no-memo-transparency",
+                 "skip the two extra runs of the memo_transparency "
+                 "oracle (horizon caches on vs force-disabled)");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -99,6 +102,7 @@ runCli(int argc, char **argv)
     oracle.crossScheduler = !args.flag("no-cross-scheduler");
     oracle.selfprofIdentity = !args.flag("no-selfprof-identity");
     oracle.critpathIdentity = !args.flag("no-critpath-identity");
+    oracle.memoTransparency = !args.flag("no-memo-transparency");
 
     if (!args.str("replay").empty())
         return replayFile(args.str("replay"), oracle) ? 0 : 3;
