@@ -1,0 +1,167 @@
+#include "campaign/poison.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hh"
+#include "common/log.hh"
+
+namespace bsim::campaign
+{
+
+namespace
+{
+
+/** Extract a field="..." value from @p line (sanitised, one line). */
+std::string
+quotedField(const std::string &line, const char *field)
+{
+    const std::string tag = std::string(" ") + field + "=\"";
+    const std::size_t open = line.find(tag);
+    if (open == std::string::npos)
+        return "";
+    const std::size_t start = open + tag.size();
+    const std::size_t close = line.find('"', start);
+    if (close == std::string::npos)
+        return "";
+    return line.substr(start, close - start);
+}
+
+} // namespace
+
+std::string
+PoisonEntry::describeDeath() const
+{
+    char buf[96];
+    if (signal > 0)
+        std::snprintf(buf, sizeof(buf), "signal %d (%s)", signal,
+                      strsignal(signal));
+    else
+        std::snprintf(buf, sizeof(buf), "exit %d", exitCode);
+    return buf;
+}
+
+void
+PoisonList::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return; // no ledger yet
+    std::string line;
+    std::uint64_t lineno = 0;
+    while (std::getline(is, line)) {
+        lineno += 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::uint64_t key = 0;
+        unsigned strikes = 0;
+        int sig = 0, exitCode = -1;
+        const int n = std::sscanf(line.c_str(),
+                                  "X %" SCNx64
+                                  " strikes=%u signal=%d exit=%d",
+                                  &key, &strikes, &sig, &exitCode);
+        if (n != 4) {
+            warn("poison list %s:%llu: skipping malformed record",
+                 path.c_str(), (unsigned long long)lineno);
+            continue;
+        }
+        PoisonEntry e;
+        e.key = key;
+        e.strikes = strikes;
+        e.signal = sig;
+        e.exitCode = exitCode;
+        e.label = quotedField(line, "label");
+        e.canonical = quotedField(line, "cfg");
+        // Merge: keep the worse (higher-strike) record for a key.
+        const auto it = entries_.find(key);
+        if (it == entries_.end() || it->second.strikes < e.strikes)
+            entries_[key] = std::move(e);
+    }
+}
+
+void
+PoisonList::save(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os)
+            throwSimError(ErrorCategory::Resource,
+                          "cannot write poison list '%s'", tmp.c_str());
+        os << "# burstsim campaign poison list: one strike record per "
+              "point\n";
+        // Deterministic order for diffing and tests.
+        std::vector<std::uint64_t> keys;
+        keys.reserve(entries_.size());
+        for (const auto &[key, e] : entries_)
+            keys.push_back(key);
+        std::sort(keys.begin(), keys.end());
+        for (const std::uint64_t key : keys) {
+            const PoisonEntry &e = entries_.at(key);
+            char head[128];
+            std::snprintf(head, sizeof(head),
+                          "X %016" PRIx64
+                          " strikes=%u signal=%d exit=%d",
+                          key, e.strikes, e.signal, e.exitCode);
+            os << head << " label=\"" << e.label << "\" cfg=\""
+               << e.canonical << "\"\n";
+        }
+        os.flush();
+        if (!os)
+            throwSimError(ErrorCategory::Resource,
+                          "error while writing poison list '%s'",
+                          tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        throwSimError(ErrorCategory::Resource,
+                      "cannot replace poison list '%s' (%s)",
+                      path.c_str(), std::strerror(errno));
+}
+
+const PoisonEntry &
+PoisonList::strike(std::uint64_t key, const std::string &canonical,
+                   const std::string &label, int signal, int exitCode)
+{
+    PoisonEntry &e = entries_[key];
+    e.key = key;
+    e.strikes += 1;
+    e.signal = signal;
+    e.exitCode = exitCode;
+    e.label = label;
+    e.canonical = canonical;
+    return e;
+}
+
+bool
+PoisonList::quarantined(std::uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    return it != entries_.end() &&
+           it->second.strikes >= quarantineStrikes_;
+}
+
+unsigned
+PoisonList::strikes(std::uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? 0 : it->second.strikes;
+}
+
+std::vector<PoisonEntry>
+PoisonList::quarantinedEntries() const
+{
+    std::vector<PoisonEntry> out;
+    for (const auto &[key, e] : entries_)
+        if (e.strikes >= quarantineStrikes_)
+            out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const PoisonEntry &a, const PoisonEntry &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
+} // namespace bsim::campaign

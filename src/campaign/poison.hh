@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Poison-point ledger: which sweep points have killed workers, how
+ * often, and with what exit status — the campaign's memory of crashes
+ * across worker restarts *and* supervisor restarts.
+ *
+ * When a worker process dies abnormally, every point it had in flight
+ * (per the shard's progress JSONL) receives a *strike*. A point whose
+ * strikes reach the quarantine threshold (default 2 — crash once may
+ * be bad luck, crash twice is the point's fault) is quarantined: it is
+ * excluded from all future worker incarnations and reported as failed
+ * with category worker_lost, so the rest of the campaign completes
+ * degraded instead of crash-looping.
+ *
+ * The ledger is persisted to <dir>/poison.list after every strike via
+ * an atomic tmp+rename rewrite, so a SIGKILLed supervisor resumes with
+ * its strike memory intact. Format: one record per line,
+ *   X <key> strikes=<n> signal=<s> exit=<e> label="<wl/mech>"
+ *       cfg="<canonical>"
+ * Malformed lines are skipped on load (same torn-tail tolerance as the
+ * sweep journal).
+ */
+
+#ifndef BURSTSIM_CAMPAIGN_POISON_HH
+#define BURSTSIM_CAMPAIGN_POISON_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace bsim::campaign
+{
+
+/** Strike history of one point. */
+struct PoisonEntry
+{
+    std::uint64_t key = 0;  //!< sim::configKey of the point
+    unsigned strikes = 0;   //!< worker deaths with this point in flight
+    int signal = 0;         //!< killing signal of the last strike (0 = none)
+    int exitCode = -1;      //!< exit code of the last strike (-1 = signaled)
+    std::string label;      //!< display label (workload/mechanism)
+    std::string canonical;  //!< canonicalConfig echo (collision guard)
+
+    /** One-line description of the recorded death, e.g.
+     *  "signal 6 (Aborted)" or "exit 139". */
+    std::string describeDeath() const;
+};
+
+/** In-memory ledger with load/save persistence. */
+class PoisonList
+{
+  public:
+    /** Strikes at which a point is quarantined. */
+    static constexpr unsigned kDefaultQuarantineStrikes = 2;
+
+    explicit PoisonList(unsigned quarantineStrikes =
+                            kDefaultQuarantineStrikes)
+        : quarantineStrikes_(quarantineStrikes ? quarantineStrikes
+                                               : kDefaultQuarantineStrikes)
+    {}
+
+    /** Merge @p path into the ledger; a missing file is empty. */
+    void load(const std::string &path);
+
+    /** Atomically rewrite @p path (tmp + rename). Throws
+     *  SimError(Resource) when the rewrite fails. */
+    void save(const std::string &path) const;
+
+    /** Record one worker death with this point in flight. @p signal is
+     *  the killing signal (0 if the worker exited), @p exitCode the
+     *  exit code (-1 if signaled). Returns the updated entry. */
+    const PoisonEntry &strike(std::uint64_t key,
+                              const std::string &canonical,
+                              const std::string &label, int signal,
+                              int exitCode);
+
+    /** Has @p key accumulated enough strikes to be excluded? */
+    bool quarantined(std::uint64_t key) const;
+
+    /** Strikes currently recorded for @p key (0 = never struck). */
+    unsigned strikes(std::uint64_t key) const;
+
+    /** All quarantined entries, sorted by key (deterministic). */
+    std::vector<PoisonEntry> quarantinedEntries() const;
+
+    const std::unordered_map<std::uint64_t, PoisonEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    unsigned quarantineStrikes() const { return quarantineStrikes_; }
+
+  private:
+    unsigned quarantineStrikes_;
+    std::unordered_map<std::uint64_t, PoisonEntry> entries_;
+};
+
+} // namespace bsim::campaign
+
+#endif // BURSTSIM_CAMPAIGN_POISON_HH

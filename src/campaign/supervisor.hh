@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Campaign supervisor: crash-isolated execution of a sweep across
+ * forked worker processes.
+ *
+ * The supervisor partitions the campaign's point space into contiguous
+ * shards (campaign/shard.hh), forks one worker per shard
+ * (campaign/worker.hh — each worker is an ordinary in-process sweep
+ * over its slice, with a v3 fsync'd journal and SweepProgress JSONL
+ * telemetry), and then supervises:
+ *
+ *  - **liveness** — the shard's progress JSONL doubles as a heartbeat
+ *    channel: any append (point events or periodic heartbeats) proves
+ *    the worker alive. A worker whose file stops growing for
+ *    workerDeadlineSec is sent SIGTERM (a live-but-slow worker drains
+ *    in-flight points and journals them); killGraceSec later the
+ *    escalation is SIGKILL, which no state can block.
+ *  - **restart with backoff** — a crashed or killed worker is
+ *    relaunched over the same shard (journal resume skips everything
+ *    already completed) after a capped exponential backoff
+ *    (min(backoffCapSec, backoffBaseSec * 2^(crashes-1))), up to
+ *    maxLaunches incarnations per shard.
+ *  - **poison-point quarantine** — on every abnormal worker death the
+ *    points in flight (point_start without point_finish in the
+ *    progress JSONL) each receive a strike in the persistent poison
+ *    ledger (campaign/poison.hh). A point with quarantineStrikes
+ *    strikes is excluded from all further incarnations and reported
+ *    failed with category worker_lost; the campaign completes degraded
+ *    (exit 3 at the CLI) instead of crash-looping or aborting.
+ *
+ * All campaign state that matters lives on disk (shard journals,
+ * poison ledger), so SIGKILLing the *supervisor* mid-campaign loses
+ * nothing: rerunning the same campaign resumes every shard from its
+ * journal and merges to a byte-identical report.
+ */
+
+#ifndef BURSTSIM_CAMPAIGN_SUPERVISOR_HH
+#define BURSTSIM_CAMPAIGN_SUPERVISOR_HH
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/poison.hh"
+#include "campaign/shard.hh"
+#include "sim/sweep.hh"
+
+namespace bsim::campaign
+{
+
+/** Execution policy of one campaign. */
+struct CampaignOptions
+{
+    std::string dir;     //!< campaign directory (journals, poison list)
+    unsigned shards = 2; //!< worker process count (point-space partition)
+    /** Run only these shard ids (multi-host operation); empty = all.
+     *  Ids must be unique and < shards. */
+    std::vector<unsigned> onlyShards;
+    unsigned workerJobs = 1;  //!< threads inside each worker
+    unsigned maxAttempts = 3; //!< in-worker tries per transient failure
+
+    // --- liveness / kill policy ---
+    double heartbeatSec = 0.25;     //!< worker progress heartbeat period
+    double workerDeadlineSec = 10.0; //!< stale-progress kill deadline
+    double killGraceSec = 2.0;       //!< SIGTERM -> SIGKILL escalation
+
+    // --- restart / quarantine policy ---
+    unsigned maxLaunches = 10;   //!< incarnation cap per shard
+    double backoffBaseSec = 0.25; //!< first-restart delay
+    double backoffCapSec = 5.0;   //!< exponential backoff ceiling
+    unsigned quarantineStrikes = PoisonList::kDefaultQuarantineStrikes;
+
+    bool journalSync = true; //!< per-record fdatasync in workers
+    /** Cancel token (SIGINT): workers get SIGTERM and drain. */
+    const std::atomic<bool> *cancel = nullptr;
+    /** Supervisor narration (launches, kills, quarantines); null = quiet. */
+    std::ostream *log = nullptr;
+};
+
+/** Supervision history of one shard. */
+struct ShardOutcome
+{
+    unsigned id = 0;
+    unsigned launches = 0;      //!< worker incarnations forked
+    unsigned crashes = 0;       //!< abnormal worker deaths
+    unsigned deadlineKills = 0; //!< liveness-deadline kill sequences
+    bool completed = false;     //!< shard finished cleanly
+    bool gaveUp = false;        //!< maxLaunches exhausted
+    int lastExit = 0;   //!< last worker's exit code (-1 if signaled)
+    int lastSignal = 0; //!< last worker's killing signal (0 if exited)
+};
+
+/** One quarantined point in the final report. */
+struct QuarantinedPoint
+{
+    std::size_t slot = 0; //!< campaign point index
+    PoisonEntry entry;    //!< strikes + recorded death
+};
+
+/** Outcome of a whole campaign. */
+struct CampaignReport
+{
+    sim::SweepReport sweep; //!< slot-ordered, merged from shard state
+    std::vector<ShardOutcome> shards;
+    std::vector<QuarantinedPoint> quarantined;
+    bool cancelled = false;
+
+    /** Anything short of every-point-ok (failures, quarantines,
+     *  given-up shards): the CLI's exit-3 condition. */
+    bool degraded() const;
+};
+
+/**
+ * Fail-fast argument validation, run before any fork: shard count vs
+ * point count, duplicate / out-of-range --only-shards ids, liveness
+ * deadline vs heartbeat period, restart and backoff sanity (config
+ * SimError), and an unwritable campaign directory (resource SimError).
+ */
+void validateCampaign(const std::vector<sim::ExperimentConfig> &points,
+                      const CampaignOptions &opt);
+
+/** Run the campaign to completion (degraded or not); see file comment. */
+CampaignReport runCampaign(const std::vector<sim::ExperimentConfig> &points,
+                           const CampaignOptions &opt);
+
+/**
+ * Merge on-disk campaign state (shard journals + poison ledger +
+ * final progress files) into a slot-ordered SweepReport without
+ * executing anything. For a campaign whose points all completed, the
+ * CSV/table rendered from this report is byte-identical to an
+ * unsharded --sweep run over the same point list.
+ */
+CampaignReport mergeCampaign(const std::vector<sim::ExperimentConfig> &points,
+                             const CampaignOptions &opt);
+
+} // namespace bsim::campaign
+
+#endif // BURSTSIM_CAMPAIGN_SUPERVISOR_HH

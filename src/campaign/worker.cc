@@ -1,0 +1,64 @@
+#include "campaign/worker.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include "common/error.hh"
+#include "sim/sweep.hh"
+
+namespace bsim::campaign
+{
+
+namespace
+{
+
+/** SIGTERM from the supervisor: drain in-flight points, then exit. */
+std::atomic<bool> g_workerCancel{false};
+
+extern "C" void
+onWorkerTerm(int)
+{
+    g_workerCancel.store(true);
+}
+
+} // namespace
+
+int
+runWorkerShard(const WorkerSpec &spec)
+{
+    std::signal(SIGTERM, onWorkerTerm);
+    // The supervisor owns SIGINT policy; a ^C on the controlling
+    // terminal reaches the whole process group, and the worker should
+    // drain exactly as it does for SIGTERM rather than die mid-append.
+    std::signal(SIGINT, onWorkerTerm);
+
+    sim::SweepOptions opt;
+    opt.jobs = spec.jobs;
+    opt.maxAttempts = spec.maxAttempts;
+    opt.journal = spec.journal;
+    opt.journalSync = spec.journalSync;
+    opt.progressPath = spec.progress;
+    opt.heartbeatSec = spec.heartbeatSec;
+    opt.cancel = &g_workerCancel;
+
+    try {
+        const sim::SweepReport rep =
+            sim::runExperimentSweep(spec.points, opt);
+        if (rep.cancelled)
+            return kWorkerCancelled;
+        if (rep.aborted)
+            return kWorkerAborted;
+        if (rep.failures() > 0)
+            return kWorkerFailures;
+        return kWorkerOk;
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "worker: %s\n", e.describe().c_str());
+        return kWorkerError;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "worker: %s\n", e.what());
+        return kWorkerError;
+    }
+}
+
+} // namespace bsim::campaign

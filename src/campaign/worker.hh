@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Campaign worker: the body of one forked shard process.
+ *
+ * A worker is deliberately thin — it reuses the whole in-process sweep
+ * stack (sim::runExperimentSweep: SweepRunner containment and retry,
+ * v3 journal resume, SweepProgress JSONL telemetry) over just its
+ * shard's points, then reports its fate through the process exit code.
+ * Everything crash-hardened lives *below* it (per-record journal
+ * fsync) or *above* it (the supervisor's heartbeat monitoring, restart
+ * and quarantine logic); the worker itself may die at any instruction
+ * and the campaign keeps its invariants.
+ *
+ * Exit codes (the supervisor's protocol):
+ *   0    shard complete, every point ok (or restored from journal)
+ *   3    shard aborted (maxFailures exceeded inside the worker)
+ *   4    shard complete, but some points failed contained
+ *   130  cancelled (SIGTERM drained in-flight points, journal flushed)
+ *   1    infrastructure error (journal unwritable, ...)
+ *   anything else / killed by signal: crash, handled by the supervisor
+ */
+
+#ifndef BURSTSIM_CAMPAIGN_WORKER_HH
+#define BURSTSIM_CAMPAIGN_WORKER_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace bsim::campaign
+{
+
+/** Worker exit codes (see file comment). */
+enum WorkerExit : int
+{
+    kWorkerOk = 0,
+    kWorkerError = 1,
+    kWorkerAborted = 3,
+    kWorkerFailures = 4,
+    kWorkerCancelled = 130,
+};
+
+/** Everything one worker incarnation needs. */
+struct WorkerSpec
+{
+    /** The incarnation's points (shard slice minus quarantined points);
+     *  journal resume inside the worker skips completed ones. */
+    std::vector<sim::ExperimentConfig> points;
+    std::string journal;  //!< shard journal path (v3, fsync'd)
+    std::string progress; //!< shard progress JSONL (liveness channel)
+    unsigned jobs = 1;    //!< threads inside the worker
+    unsigned maxAttempts = 3; //!< in-process tries per transient failure
+    double heartbeatSec = 0.25; //!< progress heartbeat period
+    bool journalSync = true;
+};
+
+/**
+ * Run one shard to completion in the calling process and return the
+ * exit code to report. Installs a SIGTERM handler that trips the sweep
+ * cancel token, so a supervisor's polite kill drains in-flight points
+ * and journals them before exiting 130. Never throws.
+ */
+int runWorkerShard(const WorkerSpec &spec);
+
+} // namespace bsim::campaign
+
+#endif // BURSTSIM_CAMPAIGN_WORKER_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+ * behind the sweep journal's v3 record framing. Table-driven, no
+ * dependencies; stable across platforms so journals written on one
+ * host verify on another.
+ */
+
+#ifndef BURSTSIM_COMMON_CRC32_HH
+#define BURSTSIM_COMMON_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bsim
+{
+
+/** CRC-32 of @p len bytes at @p data (init/final XOR 0xFFFFFFFF). */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+/** CRC-32 of a string's bytes. */
+inline std::uint32_t
+crc32(const std::string &s)
+{
+    return crc32(s.data(), s.size());
+}
+
+} // namespace bsim
+
+#endif // BURSTSIM_COMMON_CRC32_HH

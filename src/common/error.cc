@@ -15,6 +15,7 @@ errorCategoryName(ErrorCategory cat)
       case ErrorCategory::Protocol: return "protocol";
       case ErrorCategory::Resource: return "resource";
       case ErrorCategory::Internal: return "internal";
+      case ErrorCategory::WorkerLost: return "worker_lost";
     }
     return "?";
 }
@@ -25,7 +26,7 @@ parseErrorCategory(const std::string &name)
     for (ErrorCategory cat :
          {ErrorCategory::Config, ErrorCategory::Trace,
           ErrorCategory::Protocol, ErrorCategory::Resource,
-          ErrorCategory::Internal}) {
+          ErrorCategory::Internal, ErrorCategory::WorkerLost}) {
         if (name == errorCategoryName(cat))
             return cat;
     }
@@ -36,7 +37,8 @@ parseErrorCategory(const std::string &name)
 bool
 errorCategoryTransient(ErrorCategory cat)
 {
-    return cat == ErrorCategory::Resource;
+    return cat == ErrorCategory::Resource ||
+           cat == ErrorCategory::WorkerLost;
 }
 
 std::string

@@ -35,6 +35,12 @@ enum class ErrorCategory : std::uint8_t
     Protocol, //!< DDR protocol audit violation (permanent)
     Resource, //!< environment: I/O, deadlines, exhaustion (transient)
     Internal, //!< simulator defect detected at runtime (permanent)
+    /** A campaign worker process died (crash, OOM-kill, deadline kill)
+     *  with this point in flight. Transient: worker death is usually an
+     *  environmental accident, so the point is retried in a fresh
+     *  process — until the campaign's poison logic decides the point
+     *  itself is the killer and quarantines it. */
+    WorkerLost,
 };
 
 /** Lower-case category name ("config", "trace", ...). */
@@ -44,10 +50,11 @@ const char *errorCategoryName(ErrorCategory cat);
 ErrorCategory parseErrorCategory(const std::string &name);
 
 /**
- * Is the category worth retrying? Only Resource failures are assumed
- * transient (a busy filesystem, a missed deadline under load); all
- * other categories are deterministic properties of the input and would
- * fail identically on every attempt.
+ * Is the category worth retrying? Resource failures are assumed
+ * transient (a busy filesystem, a missed deadline under load), as is
+ * WorkerLost (the next worker incarnation may well survive); all other
+ * categories are deterministic properties of the input and would fail
+ * identically on every attempt.
  */
 bool errorCategoryTransient(ErrorCategory cat);
 

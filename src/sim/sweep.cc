@@ -1,8 +1,10 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +17,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/crc32.hh"
 #include "common/json.hh"
 #include "common/log.hh"
 #include "common/table.hh"
@@ -83,6 +89,161 @@ faultFromEnv()
         f.category = parseErrorCategory(cat);
     return f;
 }
+
+/**
+ * Hard-crash injection (campaign fault-isolation tests): unlike the
+ * SweepFault exception injector above, this one takes the *process*
+ * down, exactly as a segfault or OOM kill would, so worker isolation
+ * is testable deterministically.
+ *
+ *   BURSTSIM_CRASH_POINT=<n>    crash when slot n begins, or
+ *   BURSTSIM_CRASH_KEY=<hex>    crash when the point whose configKey()
+ *                               matches begins (stable across shard
+ *                               partitions and restarts)
+ *   BURSTSIM_CRASH_MODE=abort | segv | exit:<n> | stop   (default abort)
+ *   BURSTSIM_CRASH_ONCE=<path>  arm only while <path> does not exist;
+ *                               the file is created just before the
+ *                               crash, so exactly one incarnation dies
+ *
+ * "stop" raises SIGSTOP — the whole process freezes, heartbeats and
+ * all, which is how a stuck-syscall hang presents to the campaign
+ * supervisor's liveness monitor (and, being unblockable, it exercises
+ * the SIGTERM-then-SIGKILL escalation path end to end).
+ */
+struct CrashSpec
+{
+    std::ptrdiff_t point = -1; //!< slot index to kill at; -1 = none
+    bool byKey = false;
+    std::uint64_t key = 0;
+    std::string mode = "abort";
+    std::string onceFile;
+
+    bool armed() const { return point >= 0 || byKey; }
+};
+
+CrashSpec
+crashFromEnv()
+{
+    CrashSpec c;
+    const char *point = std::getenv("BURSTSIM_CRASH_POINT");
+    const char *key = std::getenv("BURSTSIM_CRASH_KEY");
+    if ((!point || !*point) && (!key || !*key))
+        return c;
+    if (key && *key) {
+        c.byKey = true;
+        c.key = std::strtoull(key, nullptr, 16);
+    } else {
+        c.point = std::atoll(point);
+    }
+    if (const char *mode = std::getenv("BURSTSIM_CRASH_MODE"))
+        c.mode = mode;
+    if (const char *once = std::getenv("BURSTSIM_CRASH_ONCE"))
+        c.onceFile = once;
+    return c;
+}
+
+[[noreturn]] void
+executeCrash(const std::string &mode)
+{
+    if (mode == "segv") {
+        std::signal(SIGSEGV, SIG_DFL);
+        std::raise(SIGSEGV);
+    } else if (mode == "stop") {
+        std::raise(SIGSTOP); // freeze; only SIGKILL gets us from here
+    } else if (mode.rfind("exit:", 0) == 0) {
+        ::_exit(std::atoi(mode.c_str() + 5));
+    } else {
+        std::signal(SIGABRT, SIG_DFL);
+        std::abort();
+    }
+    // segv/stop can nominally return (handler reset races, SIGCONT);
+    // keep the injection fatal either way.
+    std::abort();
+}
+
+/** One-shot gating: false once the marker exists; creates it when it
+ *  is about to allow the crash, so the next incarnation survives. */
+bool
+crashGateOpen(const CrashSpec &crash)
+{
+    if (crash.onceFile.empty())
+        return true;
+    if (std::ifstream(crash.onceFile).good())
+        return false;
+    std::ofstream marker(crash.onceFile);
+    marker << "crashed\n";
+    return true;
+}
+
+/**
+ * Append-only v3 journal writer. Each record is framed
+ * (J3 <len> <crc32> <payload>\n), assembled into one buffer and
+ * written with a single O_APPEND write(2): concurrent appenders never
+ * interleave and a crash can only tear the tail. With @p sync every
+ * record is followed by fdatasync() — the journal's durability point —
+ * so a point acknowledged on disk survives SIGKILL and power loss.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open @p path for appending; throws SimError(Resource). */
+    void
+    open(const std::string &path, bool sync)
+    {
+        fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                     0644);
+        if (fd_ < 0)
+            throwSimError(ErrorCategory::Resource,
+                          "cannot open sweep journal '%s' for writing",
+                          path.c_str());
+        path_ = path;
+        sync_ = sync;
+    }
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    /** Frame and append one payload (atomic single-write + fsync). */
+    void
+    append(const std::string &payload)
+    {
+        char head[32];
+        std::snprintf(head, sizeof(head), "J3 %zu %08x ", payload.size(),
+                      crc32(payload));
+        std::string rec = head;
+        rec += payload;
+        rec += '\n';
+        const char *p = rec.data();
+        std::size_t left = rec.size();
+        while (left > 0) {
+            const ssize_t n = ::write(fd_, p, left);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                warn("sweep journal %s: append failed (%s)",
+                     path_.c_str(), std::strerror(errno));
+                return;
+            }
+            p += n;
+            left -= std::size_t(n);
+        }
+        if (sync_)
+            ::fdatasync(fd_);
+    }
+
+  private:
+    int fd_ = -1;
+    bool sync_ = true;
+    std::string path_;
+};
 
 /**
  * JSONL progress telemetry + stderr heartbeat for one sweep.
@@ -402,50 +563,220 @@ SweepReport::journaled() const
     return n;
 }
 
+namespace
+{
+
+/** Parse a v2/v3 record *payload* ("P <key> attempts=..."). */
+bool
+parsePointPayload(const std::string &payload, std::uint64_t &key,
+                  JournalRecord &rec)
+{
+    unsigned attempts = 0;
+    unsigned long long exec = 0;
+    double rdlat = 0, wrlat = 0, rowhit = 0, bw = 0;
+    // %la parses C99 hexfloats (and any other strtod-able form).
+    const int n = std::sscanf(
+        payload.c_str(),
+        "P %" SCNx64 " attempts=%u exec=%llu rdlat=%la wrlat=%la "
+        "rowhit=%la bw=%la",
+        &key, &attempts, &exec, &rdlat, &wrlat, &rowhit, &bw);
+    if (n != 7)
+        return false;
+    rec.attempts = attempts;
+    rec.summary.execCpuCycles = exec;
+    rec.summary.readLatMean = rdlat;
+    rec.summary.writeLatMean = wrlat;
+    rec.summary.rowHitRate = rowhit;
+    rec.summary.bandwidthGBs = bw;
+    // Optional config echo: cfg="..." through the payload's last quote.
+    const std::size_t open = payload.find(" cfg=\"");
+    const std::size_t close = payload.rfind('"');
+    if (open != std::string::npos && close > open + 6)
+        rec.configEcho = payload.substr(open + 6, close - (open + 6));
+    return true;
+}
+
+/** Parse a v3 frame header "J3 <len> <crc> "; returns the payload
+ *  start offset within @p line, or npos on syntax failure. */
+std::size_t
+parseFrameHeader(const std::string &line, std::size_t &len,
+                 std::uint32_t &crc)
+{
+    unsigned long long l = 0;
+    unsigned int c = 0;
+    int consumed = 0;
+    if (std::sscanf(line.c_str(), "J3 %llu %8x %n", &l, &c, &consumed) < 2 ||
+        consumed <= 0)
+        return std::string::npos;
+    len = std::size_t(l);
+    crc = c;
+    return std::size_t(consumed);
+}
+
+} // namespace
+
+const char *
+journalIssueKindName(JournalIssue::Kind kind)
+{
+    switch (kind) {
+      case JournalIssue::Kind::Malformed: return "malformed";
+      case JournalIssue::Kind::LengthMismatch: return "length_mismatch";
+      case JournalIssue::Kind::CrcMismatch: return "crc_mismatch";
+      case JournalIssue::Kind::TornTail: return "torn_tail";
+    }
+    return "?";
+}
+
+JournalScan
+scanSweepJournal(const std::string &path)
+{
+    JournalScan scan;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        scan.missing = true;
+        return scan; // no journal yet: nothing to resume, nothing torn
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string content = buf.str();
+
+    bool cleanPrefix = true;
+    std::uint64_t lineno = 0;
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        lineno += 1;
+        const std::size_t nl = content.find('\n', pos);
+        const bool terminated = nl != std::string::npos;
+        const std::size_t lineEnd = terminated ? nl + 1 : content.size();
+        const std::string line =
+            content.substr(pos, (terminated ? nl : content.size()) - pos);
+        const bool lastLine = lineEnd == content.size();
+
+        const auto fail = [&](JournalIssue::Kind kind,
+                              const std::string &detail) {
+            // An unterminated or short final record is the expected
+            // footprint of a crash mid-append, not corruption.
+            JournalIssue issue;
+            issue.kind = lastLine && kind != JournalIssue::Kind::CrcMismatch
+                             ? JournalIssue::Kind::TornTail
+                             : kind;
+            issue.line = lineno;
+            issue.detail = detail;
+            scan.issues.push_back(std::move(issue));
+            cleanPrefix = false;
+        };
+
+        if (line.empty() || line[0] == '#') {
+            // Comment / blank: clean filler, extends the valid prefix.
+        } else if (line.rfind("J3 ", 0) == 0) {
+            std::size_t len = 0;
+            std::uint32_t crc = 0;
+            const std::size_t payloadAt = parseFrameHeader(line, len, crc);
+            if (payloadAt == std::string::npos) {
+                fail(JournalIssue::Kind::Malformed, "unparseable v3 frame");
+            } else {
+                const std::string payload = line.substr(payloadAt);
+                std::uint64_t key = 0;
+                JournalRecord rec;
+                if (payload.size() != len) {
+                    fail(JournalIssue::Kind::LengthMismatch,
+                         "framed length " + std::to_string(len) +
+                             ", actual " + std::to_string(payload.size()));
+                } else if (crc32(payload) != crc) {
+                    fail(JournalIssue::Kind::CrcMismatch,
+                         "stored CRC does not match payload");
+                } else if (!terminated) {
+                    fail(JournalIssue::Kind::TornTail,
+                         "record missing its trailing newline");
+                } else if (!parsePointPayload(payload, key, rec)) {
+                    fail(JournalIssue::Kind::Malformed,
+                         "CRC-clean frame with unparseable payload");
+                } else {
+                    scan.v3Records += 1;
+                    scan.records[key] = std::move(rec);
+                }
+            }
+        } else if (line.rfind("P ", 0) == 0) {
+            // Bare v2 record: accepted, but with no integrity check
+            // beyond parseability.
+            std::uint64_t key = 0;
+            JournalRecord rec;
+            if (!terminated) {
+                fail(JournalIssue::Kind::TornTail,
+                     "record missing its trailing newline");
+            } else if (!parsePointPayload(line, key, rec)) {
+                fail(JournalIssue::Kind::Malformed,
+                     "unparseable legacy record");
+            } else {
+                scan.legacyRecords += 1;
+                scan.records[key] = std::move(rec);
+            }
+        } else {
+            fail(JournalIssue::Kind::Malformed, "unrecognized line");
+        }
+
+        if (cleanPrefix)
+            scan.validPrefixBytes = lineEnd;
+        pos = lineEnd;
+    }
+    return scan;
+}
+
 std::unordered_map<std::uint64_t, JournalRecord>
 loadSweepJournal(const std::string &path)
 {
-    std::unordered_map<std::uint64_t, JournalRecord> out;
-    std::ifstream is(path);
-    if (!is)
-        return out; // no journal yet: nothing to resume
-    std::string line;
-    std::uint64_t lineno = 0;
-    while (std::getline(is, line)) {
-        lineno += 1;
-        if (line.empty() || line[0] == '#')
-            continue;
-        std::uint64_t key = 0;
-        unsigned attempts = 0;
-        unsigned long long exec = 0;
-        double rdlat = 0, wrlat = 0, rowhit = 0, bw = 0;
-        // %la parses C99 hexfloats (and any other strtod-able form).
-        const int n = std::sscanf(
-            line.c_str(),
-            "P %" SCNx64 " attempts=%u exec=%llu rdlat=%la wrlat=%la "
-            "rowhit=%la bw=%la",
-            &key, &attempts, &exec, &rdlat, &wrlat, &rowhit, &bw);
-        if (n != 7) {
-            // Most likely a record torn by a crash mid-append; the
-            // point simply reruns.
-            warn("sweep journal %s:%llu: skipping malformed record",
-                 path.c_str(), (unsigned long long)lineno);
-            continue;
-        }
-        JournalRecord rec;
-        rec.attempts = attempts;
-        rec.summary.execCpuCycles = exec;
-        rec.summary.readLatMean = rdlat;
-        rec.summary.writeLatMean = wrlat;
-        rec.summary.rowHitRate = rowhit;
-        rec.summary.bandwidthGBs = bw;
-        // Optional config echo: cfg="..." through the line's last quote.
-        const std::size_t open = line.find(" cfg=\"");
-        const std::size_t close = line.rfind('"');
-        if (open != std::string::npos && close > open + 6)
-            rec.configEcho = line.substr(open + 6, close - (open + 6));
-        out[key] = rec;
+    JournalScan scan = scanSweepJournal(path);
+    for (const JournalIssue &issue : scan.issues)
+        warn("sweep journal %s:%llu: skipping %s record (%s)",
+             path.c_str(), (unsigned long long)issue.line,
+             journalIssueKindName(issue.kind), issue.detail.c_str());
+    return std::move(scan.records);
+}
+
+bool
+repairSweepJournal(const std::string &path)
+{
+    const JournalScan scan = scanSweepJournal(path);
+    if (scan.missing)
+        return false;
+    std::uintmax_t size = 0;
+    {
+        std::ifstream is(path, std::ios::binary | std::ios::ate);
+        if (!is)
+            throwSimError(ErrorCategory::Resource,
+                          "cannot reopen journal '%s'", path.c_str());
+        size = std::uintmax_t(is.tellg());
     }
+    if (scan.validPrefixBytes >= size)
+        return false; // nothing to drop
+    if (::truncate(path.c_str(), off_t(scan.validPrefixBytes)) != 0)
+        throwSimError(ErrorCategory::Resource,
+                      "cannot truncate journal '%s' to %llu bytes (%s)",
+                      path.c_str(),
+                      (unsigned long long)scan.validPrefixBytes,
+                      std::strerror(errno));
+    return true;
+}
+
+std::vector<std::size_t>
+shardSlots(std::size_t count, unsigned shards, unsigned shard)
+{
+    if (shards == 0)
+        throwSimError(ErrorCategory::Config,
+                      "shard count must be positive");
+    if (shard >= shards)
+        throwSimError(ErrorCategory::Config,
+                      "shard id %u out of range (%u shards)", shard,
+                      shards);
+    const std::size_t base = count / shards;
+    const std::size_t rem = count % shards;
+    const std::size_t begin =
+        std::size_t(shard) * base + std::min<std::size_t>(shard, rem);
+    const std::size_t len = base + (shard < rem ? 1 : 0);
+    std::vector<std::size_t> out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+        out.push_back(begin + i);
     return out;
 }
 
@@ -501,15 +832,10 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
     // Open the journal for appending before any work starts, so an
     // unwritable path fails the sweep up front rather than after the
     // first completed point.
-    std::ofstream journal_os;
+    JournalWriter journal_os;
     std::mutex journal_mu;
-    if (!opt.journal.empty()) {
-        journal_os.open(opt.journal, std::ios::app);
-        if (!journal_os)
-            throwSimError(ErrorCategory::Resource,
-                          "cannot open sweep journal '%s' for writing",
-                          opt.journal.c_str());
-    }
+    if (!opt.journal.empty())
+        journal_os.open(opt.journal, opt.journalSync);
 
     SweepRunner runner(opt.jobs);
 
@@ -544,8 +870,17 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
     // so plain (non-atomic) counters are safe.
     std::vector<unsigned> attempts(points.size(), 0);
 
+    const CrashSpec crash = crashFromEnv();
+
     const auto runPoint = [&](std::size_t slot) {
         const unsigned attempt = ++attempts[slot];
+        if (crash.armed()) {
+            const bool match = crash.byKey
+                                   ? keys[slot] == crash.key
+                                   : crash.point == std::ptrdiff_t(slot);
+            if (match && crashGateOpen(crash))
+                executeCrash(crash.mode); // the process dies right here
+        }
         if (fault.point == std::ptrdiff_t(slot) && attempt <= fault.times)
             throwSimError(fault.category,
                           "injected fault: point %zu attempt %u", slot,
@@ -554,7 +889,7 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
         rep.slots[slot].summary = summarize(r);
         if (progress && r.selfprof)
             progress->attachRollup(slot, r.selfprof);
-        if (journal_os.is_open()) {
+        if (journal_os.isOpen()) {
             char line[256];
             std::snprintf(line, sizeof(line),
                           "P %016" PRIx64
@@ -567,9 +902,10 @@ runExperimentSweep(const std::vector<ExperimentConfig> &points,
                           rep.slots[slot].summary.writeLatMean,
                           rep.slots[slot].summary.rowHitRate,
                           rep.slots[slot].summary.bandwidthGBs);
+            const std::string payload =
+                std::string(line) + '"' + canon[slot] + '"';
             std::lock_guard<std::mutex> g(journal_mu);
-            journal_os << line << '"' << canon[slot] << "\"\n";
-            journal_os.flush(); // crash loses only in-flight points
+            journal_os.append(payload); // one atomic framed write
         }
     };
 

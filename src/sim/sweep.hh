@@ -11,21 +11,38 @@
  * skip journaled points and reproduce byte-identical reports from the
  * stored summaries.
  *
- * Journal format: a text file, one record per completed point,
- *   P <key> attempts=<n> exec=<u64> rdlat=<a> wrlat=<a> rowhit=<a> bw=<a>
- *       cfg="<canonical>"
- * (one line) where <key> is the point's configKey() in hex, the four
+ * Journal format v3: a text file, one framed record per completed
+ * point,
+ *   J3 <len> <crc> P <key> attempts=<n> exec=<u64> rdlat=<a> wrlat=<a>
+ *       rowhit=<a> bw=<a> cfg="<canonical>"
+ * (one line). The payload — everything after the third space — is the
+ * v2 record body: <key> is the point's configKey() in hex, the four
  * <a> fields are C99 hexfloats (%a), which round-trip doubles exactly —
  * the property the byte-identical-resume guarantee rests on — and
  * <canonical> echoes the canonicalConfig() encoding the key was hashed
  * from. On resume the echo is compared against the point's own
  * canonical string: a 64-bit hash collision between two different
  * configs is then detected and the point reruns instead of silently
- * reusing the colliding record. Records written before the echo existed
- * (no cfg= field) are still accepted, without collision protection.
- * Records are appended and flushed after each point, so a crash loses
- * at most the in-flight points; a torn final line is skipped (with a
- * warning) on load. Lines starting with '#' are comments.
+ * reusing the colliding record.
+ *
+ * The v3 frame hardens each record individually: <len> is the payload
+ * byte length in decimal and <crc> its CRC-32 in 8 hex digits, so a
+ * record torn by a crash mid-append, or corrupted at rest, is detected
+ * at the *record* level rather than inferred from parse failure.
+ * Append discipline: each record is written with a single O_APPEND
+ * write(2) call, so concurrent appenders never interleave bytes and a
+ * crash can only tear the file's tail; with SweepOptions::journalSync
+ * (the default) every record is followed by fdatasync(), so an
+ * acknowledged point survives an immediate power cut or SIGKILL. A
+ * torn or corrupt *tail* is expected crash debris and is skipped (the
+ * point reruns); corruption *before* the last record indicates real
+ * damage and is reported per record by scanSweepJournal() — see the
+ * `burstsim_campaign verify` subcommand, whose --repair mode truncates
+ * the file back to its longest valid prefix.
+ *
+ * Bare v2 records ("P ..." with no frame) and pre-echo records (no
+ * cfg= field) are still accepted, without integrity / collision
+ * protection. Lines starting with '#' are comments.
  */
 
 #ifndef BURSTSIM_SIM_SWEEP_HH
@@ -91,6 +108,14 @@ struct SweepSlot
  * same injection is reachable from the command line through the
  * BURSTSIM_FAIL_POINT / BURSTSIM_FAIL_TIMES / BURSTSIM_FAIL_CAT
  * environment variables (read only when `point` is negative here).
+ *
+ * A second, *hard* injector exists purely in the environment:
+ * BURSTSIM_CRASH_POINT=<slot> (or BURSTSIM_CRASH_KEY=<hex configKey>)
+ * kills the whole process when that point begins —
+ * BURSTSIM_CRASH_MODE=abort|segv|exit:<n>|stop, optionally one-shot
+ * via a BURSTSIM_CRASH_ONCE=<marker-path> file. It exists to test the
+ * campaign supervisor's process isolation (src/campaign/); an
+ * in-process sweep has, by design, no defence against it.
  */
 struct SweepFault
 {
@@ -109,6 +134,10 @@ struct SweepOptions
     std::size_t maxFailures = std::numeric_limits<std::size_t>::max();
     /** Journal path; empty disables checkpoint/resume. */
     std::string journal;
+    /** fsync the journal after every record (see the fsync policy in
+     *  the file comment). Default on: a journaled point must survive
+     *  SIGKILL. Turn off only for throwaway sweeps on slow media. */
+    bool journalSync = true;
     /** Cancel token (SIGINT handler sets it; in-flight points drain). */
     const std::atomic<bool> *cancel = nullptr;
     /** Programmatic fault injection (tests). */
@@ -179,6 +208,64 @@ struct JournalRecord
 /** Load @p path (missing file = empty map; torn lines are skipped). */
 std::unordered_map<std::uint64_t, JournalRecord>
 loadSweepJournal(const std::string &path);
+
+/** One integrity defect found while scanning a journal. */
+struct JournalIssue
+{
+    enum class Kind : std::uint8_t
+    {
+        Malformed,      //!< unparseable line / bad frame syntax
+        LengthMismatch, //!< v3 frame length != actual payload length
+        CrcMismatch,    //!< v3 payload failed its CRC-32
+        TornTail,       //!< damaged final record (expected crash debris)
+    };
+    Kind kind = Kind::Malformed;
+    std::uint64_t line = 0; //!< 1-based line number
+    std::string detail;     //!< human-readable description
+};
+
+/** Printable issue-kind name ("malformed", "crc_mismatch", ...). */
+const char *journalIssueKindName(JournalIssue::Kind kind);
+
+/** Full integrity scan of one journal (the `verify` subcommand). */
+struct JournalScan
+{
+    /** Valid records by key (last record wins, as on resume). */
+    std::unordered_map<std::uint64_t, JournalRecord> records;
+    /** Every defect, in file order. A torn tail is the last entry. */
+    std::vector<JournalIssue> issues;
+    /** Byte length of the longest valid prefix: every line before this
+     *  offset is a clean record or comment. repairSweepJournal()
+     *  truncates to exactly here. */
+    std::uint64_t validPrefixBytes = 0;
+    std::size_t v3Records = 0;     //!< framed records accepted
+    std::size_t legacyRecords = 0; //!< bare v2 records accepted
+    bool missing = false;          //!< file does not exist
+    /** No defects at all (a missing file is trivially clean). */
+    bool clean() const { return issues.empty(); }
+};
+
+/** Scan @p path without modifying it. Never throws on bad content —
+ *  every defect lands in issues. */
+JournalScan scanSweepJournal(const std::string &path);
+
+/**
+ * Truncate @p path to its longest valid prefix (scan.validPrefixBytes),
+ * dropping the torn/corrupt suffix so subsequent loads are clean.
+ * Returns true when the file was actually shortened. Throws
+ * SimError(Resource) if the file cannot be rewritten.
+ */
+bool repairSweepJournal(const std::string &path);
+
+/**
+ * Contiguous, balanced partition of @p count slots over @p shards
+ * shards: shard s gets slots [s*count/shards, (s+1)*count/shards) after
+ * remainder spreading — sizes differ by at most one and concatenating
+ * all shards in id order yields 0..count-1 exactly once. Throws
+ * SimError(Config) when shards == 0 or @p shard is out of range.
+ */
+std::vector<std::size_t> shardSlots(std::size_t count, unsigned shards,
+                                    unsigned shard);
 
 } // namespace bsim::sim
 

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Poison-ledger tests: strike accumulation and quarantine thresholds,
+ * atomic save / merge-on-load persistence, and tolerance of malformed
+ * ledger lines (the same crash-debris posture as the sweep journal).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "campaign/poison.hh"
+
+using namespace bsim;
+using namespace bsim::campaign;
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(PoisonList, StrikesAccumulateAndQuarantineAtThreshold)
+{
+    PoisonList list; // default threshold: 2
+    EXPECT_EQ(list.strikes(0x11), 0u);
+    EXPECT_FALSE(list.quarantined(0x11));
+
+    list.strike(0x11, "cfg-a", "swim/Burst_TH", SIGSEGV, -1);
+    EXPECT_EQ(list.strikes(0x11), 1u);
+    EXPECT_FALSE(list.quarantined(0x11)) << "one crash may be bad luck";
+
+    const PoisonEntry &e =
+        list.strike(0x11, "cfg-a", "swim/Burst_TH", SIGABRT, -1);
+    EXPECT_EQ(e.strikes, 2u);
+    EXPECT_TRUE(list.quarantined(0x11));
+    // The last death wins the record.
+    EXPECT_EQ(e.signal, SIGABRT);
+    EXPECT_NE(e.describeDeath().find("signal 6"), std::string::npos);
+
+    // Other keys are unaffected.
+    EXPECT_FALSE(list.quarantined(0x22));
+}
+
+TEST(PoisonList, CustomThresholdAndExitDeaths)
+{
+    PoisonList list(3);
+    list.strike(0x5, "c", "l", 0, 139);
+    list.strike(0x5, "c", "l", 0, 139);
+    EXPECT_FALSE(list.quarantined(0x5));
+    const PoisonEntry &e = list.strike(0x5, "c", "l", 0, 139);
+    EXPECT_TRUE(list.quarantined(0x5));
+    EXPECT_EQ(e.describeDeath(), "exit 139");
+}
+
+TEST(PoisonList, SaveLoadRoundTripsEverything)
+{
+    const std::string path = tempPath("poison_rt.list");
+    std::remove(path.c_str());
+
+    PoisonList list;
+    list.strike(0xdeadbeef, "workload=swim mech=BurstTH",
+                "swim/Burst_TH", SIGKILL, -1);
+    list.strike(0x2, "cfg-b", "art/RowHit", 0, 134);
+    list.strike(0x2, "cfg-b", "art/RowHit", 0, 134);
+    list.save(path);
+
+    // Atomic rewrite: no .tmp debris survives a successful save.
+    EXPECT_TRUE(slurp(path + ".tmp").empty());
+
+    PoisonList loaded;
+    loaded.load(path);
+    EXPECT_EQ(loaded.entries().size(), 2u);
+    EXPECT_EQ(loaded.strikes(0xdeadbeef), 1u);
+    EXPECT_TRUE(loaded.quarantined(0x2));
+    const PoisonEntry &e = loaded.entries().at(0xdeadbeef);
+    EXPECT_EQ(e.signal, SIGKILL);
+    EXPECT_EQ(e.exitCode, -1);
+    EXPECT_EQ(e.label, "swim/Burst_TH");
+    EXPECT_EQ(e.canonical, "workload=swim mech=BurstTH");
+    std::remove(path.c_str());
+}
+
+TEST(PoisonList, LoadMergesKeepingWorseStrikeCount)
+{
+    const std::string path = tempPath("poison_merge.list");
+    {
+        PoisonList disk;
+        disk.strike(0x7, "c", "l", SIGSEGV, -1);
+        disk.strike(0x7, "c", "l", SIGSEGV, -1);
+        disk.save(path);
+    }
+    // In-memory knows one strike; disk knows two: disk wins.
+    PoisonList list;
+    list.strike(0x7, "c", "l", SIGABRT, -1);
+    list.load(path);
+    EXPECT_EQ(list.strikes(0x7), 2u);
+    EXPECT_TRUE(list.quarantined(0x7));
+    std::remove(path.c_str());
+}
+
+TEST(PoisonList, MalformedLinesAreSkippedNotFatal)
+{
+    const std::string path = tempPath("poison_torn.list");
+    {
+        std::ofstream os(path);
+        os << "# header comment\n"
+           << "X 0000000000000001 strikes=2 signal=6 exit=-1 "
+              "label=\"a/b\" cfg=\"c\"\n"
+           << "garbage line\n"
+           << "X 0000000000000002 stri"; // torn mid-append
+    }
+    PoisonList list;
+    list.load(path);
+    EXPECT_EQ(list.entries().size(), 1u);
+    EXPECT_TRUE(list.quarantined(0x1));
+    std::remove(path.c_str());
+}
+
+TEST(PoisonList, MissingFileLoadsEmptyAndEntriesSort)
+{
+    PoisonList list;
+    list.load(tempPath("poison_nope.list"));
+    EXPECT_TRUE(list.entries().empty());
+
+    list.strike(0x30, "c", "l", 9, -1);
+    list.strike(0x30, "c", "l", 9, -1);
+    list.strike(0x10, "c", "l", 9, -1);
+    list.strike(0x10, "c", "l", 9, -1);
+    list.strike(0x20, "c", "l", 9, -1); // only one strike: not listed
+    const auto q = list.quarantinedEntries();
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0].key, 0x10u);
+    EXPECT_EQ(q[1].key, 0x30u);
+}

@@ -15,7 +15,7 @@ TEST(ErrorCategory, NamesRoundTrip)
     const ErrorCategory all[] = {
         ErrorCategory::Config, ErrorCategory::Trace,
         ErrorCategory::Protocol, ErrorCategory::Resource,
-        ErrorCategory::Internal};
+        ErrorCategory::Internal, ErrorCategory::WorkerLost};
     for (const ErrorCategory c : all)
         EXPECT_EQ(parseErrorCategory(errorCategoryName(c)), c);
 }
@@ -30,13 +30,22 @@ TEST(ErrorCategory, ParseRejectsUnknownName)
     }
 }
 
-TEST(ErrorCategory, OnlyResourceIsTransient)
+TEST(ErrorCategory, OnlyResourceAndWorkerLostAreTransient)
 {
     EXPECT_TRUE(errorCategoryTransient(ErrorCategory::Resource));
+    EXPECT_TRUE(errorCategoryTransient(ErrorCategory::WorkerLost));
     EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Config));
     EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Trace));
     EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Protocol));
     EXPECT_FALSE(errorCategoryTransient(ErrorCategory::Internal));
+}
+
+TEST(ErrorCategory, WorkerLostNameRoundTrips)
+{
+    EXPECT_STREQ(errorCategoryName(ErrorCategory::WorkerLost),
+                 "worker_lost");
+    EXPECT_EQ(parseErrorCategory("worker_lost"),
+              ErrorCategory::WorkerLost);
 }
 
 TEST(SimError, CarriesCategoryMessageAndContext)
