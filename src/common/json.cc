@@ -172,6 +172,14 @@ JsonWriter::value(int v)
 }
 
 JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    os_ << "null";
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(bool v)
 {
     separator();

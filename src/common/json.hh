@@ -64,6 +64,10 @@ class JsonWriter
     /** Emit a boolean value. */
     JsonWriter &value(bool v);
 
+    /** Emit a JSON null (e.g. for not-a-value numeric sentinels —
+     *  value(double) would print an invalid bare `nan`). */
+    JsonWriter &null();
+
     /** True once every container has been closed. */
     bool complete() const;
 

@@ -19,6 +19,10 @@ mechanismName(Mechanism m)
       case Mechanism::BurstWP: return "Burst_WP";
       case Mechanism::BurstTH: return "Burst_TH";
       case Mechanism::AdaptiveHistory: return "AdaptiveHistory";
+      case Mechanism::FrFcfs: return "FR-FCFS";
+      case Mechanism::Parbs: return "PARBS";
+      case Mechanism::Atlas: return "ATLAS";
+      case Mechanism::Bliss: return "BLISS";
     }
     return "?";
 }

@@ -33,6 +33,15 @@ enum class Mechanism : std::uint8_t
 
     // Extended comparison points beyond the paper's Table 4:
     AdaptiveHistory, //!< Hur & Lin MICRO'04 (paper Section 2.2)
+
+    // Contention-aware CMP scheduler zoo (ROADMAP item 1). These are
+    // the multi-core scheduling classics, ported onto the Scheduler
+    // interface so the CMP fairness layer can judge them against the
+    // paper's burst mechanisms.
+    FrFcfs, //!< FR-FCFS: row hit first, then oldest, across banks
+    Parbs,  //!< PAR-BS: request batching + per-thread ranking
+    Atlas,  //!< ATLAS: long-term attained-service ranking
+    Bliss,  //!< BLISS: streak-based blacklisting
 };
 
 /** The paper's Table 4 mechanisms, in presentation order. */
@@ -42,13 +51,29 @@ inline constexpr Mechanism kAllMechanisms[] = {
     Mechanism::BurstWP,   Mechanism::BurstTH,
 };
 
+/** The contention-aware CMP scheduler zoo (ROADMAP item 1). */
+inline constexpr Mechanism kContentionMechanisms[] = {
+    Mechanism::FrFcfs, Mechanism::Parbs, Mechanism::Atlas,
+    Mechanism::Bliss,
+};
+
 /** Table 4 plus the extended related-work comparison points. */
 inline constexpr Mechanism kExtendedMechanisms[] = {
     Mechanism::BkInOrder, Mechanism::RowHit,  Mechanism::Intel,
     Mechanism::IntelRP,   Mechanism::Burst,   Mechanism::BurstRP,
     Mechanism::BurstWP,   Mechanism::BurstTH,
     Mechanism::AdaptiveHistory,
+    Mechanism::FrFcfs,    Mechanism::Parbs,
+    Mechanism::Atlas,     Mechanism::Bliss,
 };
+
+/** Is @p m one of the contention-aware (thread-aware) families? */
+constexpr bool
+isContentionMechanism(Mechanism m)
+{
+    return m == Mechanism::FrFcfs || m == Mechanism::Parbs ||
+           m == Mechanism::Atlas || m == Mechanism::Bliss;
+}
 
 /** Printable mechanism name matching the paper's figures. */
 const char *mechanismName(Mechanism m);

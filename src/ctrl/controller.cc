@@ -24,6 +24,7 @@ reasonOf(HorizonPin pin)
       case HorizonPin::WriteDrain:
         return obs::WakeReason::SchedWriteDrain;
       case HorizonPin::Timing: return obs::WakeReason::SchedBound;
+      case HorizonPin::Epoch: return obs::WakeReason::SchedEpoch;
       case HorizonPin::Conservative:
         return obs::WakeReason::SchedConservative;
       case HorizonPin::None: break;
@@ -73,6 +74,15 @@ ControllerConfig::schedulerParams() const
         p.readPreemption = true;
         p.writePiggyback = true;
         p.threshold = threshold;
+        break;
+      case Mechanism::FrFcfs:
+      case Mechanism::Parbs:
+      case Mechanism::Atlas:
+      case Mechanism::Bliss:
+        p.readPreemption = false;
+        p.writePiggyback = false;
+        p.threshold = writeCap; // unused
+        p.watermarkDrain = watermarkDrain;
         break;
     }
     return p;

@@ -69,6 +69,10 @@ struct ControllerConfig
     bool sortBurstsBySize = false;
     bool criticalFirst = false;
     bool rankAware = true;
+    /** Watermark write-drain policy axis for the contention-aware
+     *  families (HI_WM/LO_WM + bus-turnaround; see SchedulerParams).
+     *  The paper's Table 4 mechanisms ignore it. */
+    bool watermarkDrain = false;
 
     /**
      * Optional scheduler factory override. When set, the controller

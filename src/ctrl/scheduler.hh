@@ -49,6 +49,8 @@ enum class HorizonPin : std::uint8_t
     Piggyback,    //!< an end-of-burst piggyback window is open
     WriteDrain,   //!< a postponed write is about to be serviced
     Timing,       //!< bounded by a device-timing release
+    Epoch,        //!< a policy epoch boundary (quantum / blacklist
+                  //!< clearing / batch formation) binds the horizon
     Conservative, //!< the policy cannot bound itself (default impl)
 };
 
@@ -88,6 +90,33 @@ struct SchedulerParams
     /** Ablation: when false, the Table 2 priorities ignore rank locality
      *  (column accesses to other ranks are no longer demoted). */
     bool rankAware = true;
+
+    // --- contention-aware scheduler zoo (ROADMAP item 1) ---
+
+    /** Watermark write-drain mode (HI_WM/LO_WM + bus-turnaround
+     *  hysteresis; SNIPPETS.md snippets 1-2). A policy axis of the
+     *  contention families; the paper's Table 4 mechanisms keep their
+     *  original drain rules and ignore it. */
+    bool watermarkDrain = false;
+    /** Drain-entry watermark; 0 derives 3/4 of writeCap. */
+    std::size_t hiWatermark = 0;
+    /** Drain-exit watermark; 0 derives 1/4 of writeCap. */
+    std::size_t loWatermark = 0;
+    /** Policy-level bus-turnaround hold after a drain-mode flip: the
+     *  channel quiesces this many memory cycles so read/write bursts
+     *  cluster instead of thrashing the data-bus direction. */
+    Tick drainTurnaround = 8;
+
+    /** PAR-BS: requests marked per (thread, bank) when a batch forms. */
+    std::size_t parbsMarkingCap = 5;
+    /** ATLAS: quantum length in memory cycles (attained-service ranks
+     *  are recomputed on these boundaries; scaled down from the
+     *  paper's 10M cycles to match this testbench's short runs). */
+    Tick atlasQuantum = 4096;
+    /** BLISS: consecutive same-thread services before blacklisting. */
+    std::size_t blissThreshold = 4;
+    /** BLISS: blacklist clearing interval in memory cycles. */
+    Tick blissClearInterval = 8192;
 };
 
 /** Everything a scheduler needs from its environment. */
@@ -214,9 +243,11 @@ class Scheduler
      * timing state (deadlines only move later, except through this
      * channel's own issues and the refresh engine — see
      * onExternalCommand()). Off by default so the step engine stays a
-     * cache-free per-cycle reference.
+     * cache-free per-cycle reference. Virtual (like the other engine
+     * flags) so decorating schedulers can forward the flag to the
+     * wrapped policy — the inner scheduler computes the bounds.
      */
-    void setEventDriven(bool on) { eventDriven_ = on; }
+    virtual void setEventDriven(bool on) { eventDriven_ = on; }
 
     /**
      * The controller's refresh engine issued a command (Precharge or
@@ -232,7 +263,7 @@ class Scheduler
      * memo). On by default; `--no-horizon-memo` turns it off so the
      * fuzzer can difference introspection totals cached vs uncached.
      */
-    void setHorizonMemo(bool on) { horizonMemo_ = on; }
+    virtual void setHorizonMemo(bool on) { horizonMemo_ = on; }
 
     /**
      * Use exact max-composed issue bounds (MemorySystem::readyAt)
@@ -242,7 +273,7 @@ class Scheduler
      * bounds deliberately do not. The bound cache requires exact bounds
      * (a first-binding bound that has expired proves nothing).
      */
-    void setExactBounds(bool on) { exactBounds_ = on; }
+    virtual void setExactBounds(bool on) { exactBounds_ = on; }
 
     /**
      * A band signature over the global counters this policy's
@@ -278,7 +309,10 @@ class Scheduler
     }
 
     /** Burst-invariant audit hook sink; nullptr when auditing is off. */
-    void setAuditor(obs::ProtocolAuditor *auditor) { auditor_ = auditor; }
+    virtual void setAuditor(obs::ProtocolAuditor *auditor)
+    {
+        auditor_ = auditor;
+    }
 
     /** Engine-introspection sink (horizon-cache hit/miss counters);
      *  nullptr when the pillar is off. */

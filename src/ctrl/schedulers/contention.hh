@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Contention-aware CMP scheduler zoo (ROADMAP item 1).
+ *
+ * Four multi-core scheduling classics ported onto the Scheduler
+ * interface so the CMP fairness layer can judge them against the
+ * paper's burst mechanisms:
+ *
+ *  - FR-FCFS (Rixner et al., ISCA'00): ready row hits first across all
+ *    banks, then oldest arrival.
+ *  - PAR-BS (Mutlu & Moscibroda, ISCA'08): request batching with
+ *    shortest-job-first per-thread ranking inside each batch.
+ *  - ATLAS (Kim et al., HPCA'10): least-attained-service thread
+ *    ranking over exponentially decayed quanta.
+ *  - BLISS (Subramanian et al., ICCD'14): streak-based blacklisting of
+ *    interference-heavy threads.
+ *
+ * All four share one queue shape (per-bank unified queues plus a
+ * per-bank ongoing slot, as RowHitScheduler) and one optional
+ * watermark write-drain mode (HI_WM/LO_WM hysteresis with a policy
+ * bus-turnaround hold on each drain flip). Thread identity is
+ * MemAccess::tag (the CMP core id).
+ *
+ * Engine contract: every policy-state change is anchored either to a
+ * real issue/enqueue event (PAR-BS batch formation) or to the absolute
+ * tick lattice and caught up lazily in syncEpochs() (ATLAS quantum
+ * folds, BLISS blacklist clearing) — a pure function of `now` and
+ * issue-accumulated counters, so the step and skip engines observe
+ * byte-identical decisions.
+ */
+
+#ifndef BURSTSIM_CTRL_SCHEDULERS_CONTENTION_HH
+#define BURSTSIM_CTRL_SCHEDULERS_CONTENTION_HH
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ctrl/flat_queue.hh"
+#include "ctrl/scheduler.hh"
+
+namespace bsim::ctrl
+{
+
+/**
+ * Shared chassis of the contention-aware families: per-bank unified
+ * queues, a family-defined priority order applied both when filling a
+ * bank's ongoing slot and when choosing which ready candidate issues,
+ * and the optional watermark write-drain mode.
+ */
+class ContentionScheduler : public Scheduler
+{
+  public:
+    explicit ContentionScheduler(const SchedulerContext &ctx);
+
+    void enqueue(MemAccess *a) override;
+    Issued tick(Tick now) override;
+    std::size_t readCount() const override { return reads_; }
+    std::size_t writeCount() const override { return writes_; }
+    bool hasWork() const override { return reads_ + writes_ > 0; }
+    void queueOccupancy(std::vector<std::uint32_t> &reads,
+                        std::vector<std::uint32_t> &writes) const override;
+    dram::StallCause stallScan(Tick now,
+                               obs::StallAttribution &sink) const override;
+    Tick nextEventTick(Tick now) const override;
+    std::map<std::string, double> extraStats() const override;
+    std::uint64_t globalSignature() const override;
+    bool globallySensitive() const override { return watermark_; }
+
+  protected:
+    /**
+     * Does @p a take priority over @p b? Must induce a strict total
+     * order (families end their chains with arrival then id), so that
+     * both engines resolve every tie identically.
+     */
+    virtual bool beats(const MemAccess *a, const MemAccess *b) const = 0;
+
+    /**
+     * Lazily catch tick-lattice policy state up to @p now (quantum
+     * folds, blacklist clearing). Called at the top of tick(),
+     * nextEventTick() and stallScan(); must be a pure function of
+     * @p now and state accumulated on issue events.
+     */
+    virtual void syncEpochs(Tick now) const { (void)now; }
+
+    /** Next tick-lattice policy boundary strictly after @p now (after
+     *  syncEpochs); kTickMax when the family has none. */
+    virtual Tick nextEpochTick(Tick now) const
+    {
+        (void)now;
+        return kTickMax;
+    }
+
+    /** Called after the base queued @p a (batch formation trigger). */
+    virtual void onEnqueued(MemAccess *a) { (void)a; }
+
+    /** Called when @p a's column access issued and it left the
+     *  scheduler (service accounting, streak tracking). */
+    virtual void onColumnIssued(MemAccess *a) { (void)a; }
+
+    /** Family-specific extra statistics merged by extraStats(). */
+    virtual void familyStats(std::map<std::string, double> &out) const
+    {
+        (void)out;
+    }
+
+    /** Would @p a's next transaction be the column access already
+     *  (open-row hit)? The uniform row-hit test of every comparator. */
+    bool rowHit(const MemAccess *a) const
+    {
+        return dram::isColumnAccess(nextCmd(a));
+    }
+
+    /** May @p a be pulled into an ongoing slot under the current
+     *  drain mode? Always true without watermark drain. */
+    bool eligible(const MemAccess *a) const
+    {
+        if (!watermark_)
+            return true;
+        return drainMode_ ? a->isWrite() : a->isRead();
+    }
+
+    /** Read-only view of bank @p b's queue (oldest first). */
+    const FlatQueue<MemAccess *> &bankQueue(std::uint32_t b) const
+    {
+        return queues_[b];
+    }
+
+  private:
+    /** Fill bank @p b's ongoing slot with its best eligible access. */
+    void arbitrate(std::uint32_t b);
+
+    /** Is a drain-mode flip due given the current counts? */
+    bool flipPending() const;
+
+    std::vector<FlatQueue<MemAccess *>> queues_; //!< unified, per bank
+    std::vector<MemAccess *> ongoing_;           //!< per bank
+    std::size_t reads_ = 0;
+    std::size_t writes_ = 0;
+
+    // Watermark write-drain mode (SNIPPETS.md snippets 1-2).
+    bool watermark_ = false;
+    std::size_t hi_ = 0;
+    std::size_t lo_ = 0;
+    bool drainMode_ = false;
+    Tick turnUntil_ = 0; //!< policy bus-turnaround hold after a flip
+    std::uint64_t drainFlips_ = 0;
+};
+
+/** FR-FCFS: ready row hits first across banks, then oldest arrival. */
+class FrFcfsScheduler : public ContentionScheduler
+{
+  public:
+    using ContentionScheduler::ContentionScheduler;
+
+  protected:
+    bool beats(const MemAccess *a, const MemAccess *b) const override;
+};
+
+/**
+ * PAR-BS: when the previous batch completes, mark up to
+ * parbsMarkingCap oldest queued requests per (thread, bank) and rank
+ * the marked threads shortest-job-first (max-bank-load, then total
+ * load). Priority: marked first, then row hit, then rank, then age.
+ */
+class ParbsScheduler : public ContentionScheduler
+{
+  public:
+    explicit ParbsScheduler(const SchedulerContext &ctx)
+        : ContentionScheduler(ctx)
+    {
+    }
+
+  protected:
+    bool beats(const MemAccess *a, const MemAccess *b) const override;
+    void onEnqueued(MemAccess *a) override;
+    void onColumnIssued(MemAccess *a) override;
+    void familyStats(std::map<std::string, double> &out) const override;
+
+  private:
+    /** Mark the current queue contents as a new batch and rank the
+     *  marked threads. Triggered by the issue that completes the
+     *  previous batch or the enqueue that ends an empty spell — real
+     *  events in both engines, so formation timing is cadence-free. */
+    void formBatch();
+
+    std::uint32_t rankOf(std::uint64_t tag) const;
+
+    std::unordered_set<const MemAccess *> marked_;
+    std::unordered_map<std::uint64_t, std::uint32_t> rank_;
+    std::uint64_t batches_ = 0;
+    std::uint64_t markedServed_ = 0;
+};
+
+/**
+ * ATLAS: threads are ranked by long-term attained service, folded at
+ * quantum boundaries with exponential decay (alpha = 0.875); the
+ * least-serviced thread wins. Folds are caught up lazily (pure
+ * function of `now`), so skipped quanta cost repeated multiplies, not
+ * correctness.
+ */
+class AtlasScheduler : public ContentionScheduler
+{
+  public:
+    explicit AtlasScheduler(const SchedulerContext &ctx)
+        : ContentionScheduler(ctx)
+    {
+    }
+
+  protected:
+    bool beats(const MemAccess *a, const MemAccess *b) const override;
+    void syncEpochs(Tick now) const override;
+    Tick nextEpochTick(Tick now) const override;
+    void onColumnIssued(MemAccess *a) override;
+    void familyStats(std::map<std::string, double> &out) const override;
+
+  private:
+    struct Service
+    {
+        double total = 0;   //!< decayed attained service (rank key)
+        double quantum = 0; //!< service attained in the open quantum
+    };
+
+    double totalOf(std::uint64_t tag) const;
+
+    mutable std::unordered_map<std::uint64_t, Service> service_;
+    mutable Tick anchor_ = 0; //!< start of the open quantum
+};
+
+/**
+ * BLISS: a thread served blissThreshold times in a row is blacklisted
+ * (deprioritized, never blocked); the blacklist clears every
+ * blissClearInterval cycles. Clearing is caught up lazily on the
+ * absolute tick lattice.
+ */
+class BlissScheduler : public ContentionScheduler
+{
+  public:
+    explicit BlissScheduler(const SchedulerContext &ctx)
+        : ContentionScheduler(ctx)
+    {
+    }
+
+  protected:
+    bool beats(const MemAccess *a, const MemAccess *b) const override;
+    void syncEpochs(Tick now) const override;
+    Tick nextEpochTick(Tick now) const override;
+    void onColumnIssued(MemAccess *a) override;
+    void familyStats(std::map<std::string, double> &out) const override;
+
+  private:
+    static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+
+    mutable std::unordered_set<std::uint64_t> blacklist_;
+    mutable std::uint64_t lastTag_ = kNoTag;
+    mutable std::size_t streak_ = 0;
+    mutable Tick nextClear_ = 0;
+    std::uint64_t insertions_ = 0;
+};
+
+} // namespace bsim::ctrl
+
+#endif // BURSTSIM_CTRL_SCHEDULERS_CONTENTION_HH

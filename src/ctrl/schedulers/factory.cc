@@ -1,6 +1,8 @@
 #include "ctrl/schedulers/factory.hh"
 
+#include "common/error.hh"
 #include "ctrl/schedulers/bk_in_order.hh"
+#include "ctrl/schedulers/contention.hh"
 #include "ctrl/schedulers/history.hh"
 #include "ctrl/schedulers/burst.hh"
 #include "ctrl/schedulers/intel.hh"
@@ -27,8 +29,21 @@ makeScheduler(Mechanism m, const SchedulerContext &ctx)
         return std::make_unique<BurstScheduler>(ctx);
       case Mechanism::AdaptiveHistory:
         return std::make_unique<AdaptiveHistoryScheduler>(ctx);
+      case Mechanism::FrFcfs:
+        return std::make_unique<FrFcfsScheduler>(ctx);
+      case Mechanism::Parbs:
+        return std::make_unique<ParbsScheduler>(ctx);
+      case Mechanism::Atlas:
+        return std::make_unique<AtlasScheduler>(ctx);
+      case Mechanism::Bliss:
+        return std::make_unique<BlissScheduler>(ctx);
     }
-    return nullptr;
+    // Fail fast with the offending name: a silent nullptr here used to
+    // surface only as a generic "factory returned null" in the
+    // controller, long after the config mistake.
+    throwSimError(ErrorCategory::Config,
+                  "makeScheduler: unrecognized mechanism '%s' (id %d)",
+                  mechanismName(m), int(m));
 }
 
 } // namespace bsim::ctrl

@@ -63,9 +63,39 @@ class FaultyScheduler : public Scheduler
         Scheduler::setIntrospect(intro);
         inner_->setIntrospect(intro);
     }
+    // Engine flags must reach the wrapped policy: the inner scheduler
+    // computes the bounds and (pre-freeze) the horizons, so configuring
+    // only the wrapper would leave it running cache-free conservative.
+    void setEventDriven(bool on) override
+    {
+        Scheduler::setEventDriven(on);
+        inner_->setEventDriven(on);
+    }
+    void setHorizonMemo(bool on) override
+    {
+        Scheduler::setHorizonMemo(on);
+        inner_->setHorizonMemo(on);
+    }
+    void setExactBounds(bool on) override
+    {
+        Scheduler::setExactBounds(on);
+        inner_->setExactBounds(on);
+    }
+    void setAuditor(obs::ProtocolAuditor *auditor) override
+    {
+        Scheduler::setAuditor(auditor);
+        inner_->setAuditor(auditor);
+    }
     bool globallySensitive() const override
     {
         return inner_->globallySensitive();
+    }
+    // Without this forward a wrapped globally-sensitive policy would
+    // present the base signature (0): the controller's horizon memo
+    // would survive watermark/threshold band crossings it must not.
+    std::uint64_t globalSignature() const override
+    {
+        return inner_->globalSignature();
     }
     void onIdleSpan(Tick from, Tick span) override
     {

@@ -360,6 +360,28 @@ checkPoint(const FuzzPoint &p, const OracleOptions &opt)
             v.detail = os.str();
             return v;
         }
+
+        // Contention-aware families trade single-stream latency for
+        // multi-core fairness, so they get a looser bound — but even
+        // they must stay within shouting distance of in-order issue
+        // on a row-hit-heavy stream.
+        if (ctrl::isContentionMechanism(p.mechanism)) {
+            sim::RunResult rc;
+            if (!runOne(p, opt, sim::EngineKind::Skip, rc, v))
+                return v;
+            if (double(rc.execCpuCycles) >
+                double(r0.execCpuCycles) * opt.contentionTolerance) {
+                v.ok = false;
+                v.oracle = "cross_scheduler";
+                std::ostringstream os;
+                os << ctrl::mechanismName(p.mechanism) << " "
+                   << rc.execCpuCycles << " cycles vs BkInOrder "
+                   << r0.execCpuCycles << " (tolerance "
+                   << opt.contentionTolerance << "x)";
+                v.detail = os.str();
+                return v;
+            }
+        }
     }
     return v;
 }

@@ -37,7 +37,10 @@
  *                    and tracing must not perturb simulated stats;
  *  - cross_scheduler on row-hit-heavy synthetic streams, Burst must
  *                    not be slower than BkInOrder beyond a tolerance
- *                    (the paper's headline ordering, Figure 10).
+ *                    (the paper's headline ordering, Figure 10); for
+ *                    points using a contention-aware family the
+ *                    point's own mechanism is additionally bounded
+ *                    against BkInOrder with a looser tolerance.
  *
  * checkPoint() runs them all and returns the first failure. The
  * configTweak hook exists for the test suite: it lets a test inject a
@@ -63,6 +66,13 @@ struct OracleOptions
     std::string scratchDir;
     /** Burst may be at most this factor slower than BkInOrder. */
     double crossSchedTolerance = 1.15;
+    /**
+     * Contention-family (FR-FCFS/PARBS/ATLAS/BLISS) bound against
+     * BkInOrder. Looser than the Burst bound: these policies optimise
+     * fairness/throughput under multi-core contention, not single-
+     * stream latency, so a modest single-core regression is by design.
+     */
+    double contentionTolerance = 1.30;
     /** Skip the (expensive) two-run cross-scheduler bound. */
     bool crossScheduler = true;
     /** Skip the extra introspected run of the selfprof_identity oracle. */

@@ -182,8 +182,15 @@ samplePoint(Rng &rng)
         ctrl::Mechanism::Burst,     ctrl::Mechanism::BurstRP,
         ctrl::Mechanism::BurstWP,   ctrl::Mechanism::BurstTH,
         ctrl::Mechanism::AdaptiveHistory,
+        ctrl::Mechanism::FrFcfs,    ctrl::Mechanism::Parbs,
+        ctrl::Mechanism::Atlas,     ctrl::Mechanism::Bliss,
     };
     p.mechanism = kMechs[rng.below(std::size(kMechs))];
+    // The drain-mode axis only exists for the contention families;
+    // keeping it default elsewhere keeps shrunk repros honest (the
+    // axis never appears in a repro it cannot influence).
+    if (ctrl::isContentionMechanism(p.mechanism))
+        p.watermarkDrain = rng.chance(0.35);
 
     constexpr std::uint64_t kInstr[] = {2000, 4000, 6000, 8000, 12000};
     p.instructions = kInstr[rng.below(std::size(kInstr))];
@@ -268,6 +275,7 @@ toConfig(const FuzzPoint &p, const std::string &scratch_dir)
     cfg.criticalFirst = p.criticalFirst;
     cfg.rankAware = p.rankAware;
     cfg.coalesceWrites = p.coalesceWrites;
+    cfg.watermarkDrain = p.watermarkDrain;
     cfg.robSize = p.robSize;
     cfg.issueWidth = p.issueWidth;
     return cfg;
@@ -294,6 +302,7 @@ axesChangedFromDefault(const FuzzPoint &p)
     n += p.criticalFirst != d.criticalFirst;
     n += p.rankAware != d.rankAware;
     n += p.coalesceWrites != d.coalesceWrites;
+    n += p.watermarkDrain != d.watermarkDrain;
     n += p.robSize != d.robSize;
     n += p.issueWidth != d.issueWidth;
     return n;
@@ -318,6 +327,8 @@ pointLabel(const FuzzPoint &p)
            << p.banksPerRank;
     if (p.threshold != d.threshold)
         os << " th=" << p.threshold;
+    if (p.watermarkDrain != d.watermarkDrain)
+        os << " wd";
     return os.str();
 }
 
@@ -352,6 +363,7 @@ serializePoint(const FuzzPoint &p, const std::string &note)
        << "critical_first=" << p.criticalFirst << '\n'
        << "rank_aware=" << p.rankAware << '\n'
        << "coalesce_writes=" << p.coalesceWrites << '\n'
+       << "watermark_drain=" << p.watermarkDrain << '\n'
        << "rob=" << p.robSize << '\n'
        << "issue_width=" << p.issueWidth << '\n';
     if (p.workload == kInlineTraceWorkload) {
@@ -426,6 +438,8 @@ parsePoint(const std::string &text)
             p.rankAware = parseBool(key, val);
         else if (key == "coalesce_writes")
             p.coalesceWrites = parseBool(key, val);
+        else if (key == "watermark_drain")
+            p.watermarkDrain = parseBool(key, val);
         else if (key == "rob")
             p.robSize = std::uint32_t(parseU64(key, val));
         else if (key == "issue_width")

@@ -56,6 +56,8 @@ struct FuzzPoint
     bool criticalFirst = false;
     bool rankAware = true;
     bool coalesceWrites = false;
+    /** Watermark write-drain mode (contention-aware families only). */
+    bool watermarkDrain = false;
     std::uint32_t robSize = 0;
     std::uint32_t issueWidth = 0;
 };

@@ -37,6 +37,9 @@ axisResets()
             p.coalesceWrites = d.coalesceWrites;
         },
         [](FuzzPoint &p, const FuzzPoint &d) {
+            p.watermarkDrain = d.watermarkDrain;
+        },
+        [](FuzzPoint &p, const FuzzPoint &d) {
             p.channels = d.channels;
         },
         [](FuzzPoint &p, const FuzzPoint &d) {

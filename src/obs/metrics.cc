@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "common/json.hh"
@@ -105,9 +107,15 @@ MetricsSampler::sample(const MetricsSnapshot &s)
             i < prev_.coreRowHits.size() ? prev_.coreRowHits[i] : 0;
         const std::uint64_t prev_acc =
             i < prev_.coreRowAccesses.size() ? prev_.coreRowAccesses[i] : 0;
+        const std::uint64_t acc = s.coreRowAccesses[i] - prev_acc;
+        // An idle core (no classified access this epoch) has no hit
+        // rate; keep a NaN sentinel internally and let the writers map
+        // it to 0 (CSV) / null (JSON) instead of a misleading 0.0 —
+        // or, worse, a literal `nan` cell.
         row.coreRowHitRate.push_back(
-            ratio(double(s.coreRowHits[i] - prev_hits),
-                  double(s.coreRowAccesses[i] - prev_acc)));
+            acc == 0 ? std::numeric_limits<double>::quiet_NaN()
+                     : ratio(double(s.coreRowHits[i] - prev_hits),
+                             double(acc)));
     }
 
     if (s.haveEngine) {
@@ -194,9 +202,11 @@ MetricsSampler::writeCsv(std::ostream &os) const
             os << ',' << (c < r.coreReadQ.size() ? r.coreReadQ[c] : 0);
         for (std::size_t c = 0; c < n_cores; ++c)
             os << ',' << (c < r.coreWriteQ.size() ? r.coreWriteQ[c] : 0);
-        for (std::size_t c = 0; c < n_cores; ++c)
-            os << ','
-               << (c < r.coreRowHitRate.size() ? r.coreRowHitRate[c] : 0.0);
+        for (std::size_t c = 0; c < n_cores; ++c) {
+            const double v =
+                c < r.coreRowHitRate.size() ? r.coreRowHitRate[c] : 0.0;
+            os << ',' << (std::isfinite(v) ? v : 0.0);
+        }
         if (have_engine)
             os << ',' << r.steppedCycles << ',' << r.skippedCycles;
         if (have_host)
@@ -266,8 +276,12 @@ MetricsSampler::writeJson(std::ostream &os) const
         }
         if (!r.coreRowHitRate.empty()) {
             w.key("core_row_hit_rate").beginArray();
-            for (double v : r.coreRowHitRate)
-                w.value(v);
+            for (double v : r.coreRowHitRate) {
+                if (std::isfinite(v))
+                    w.value(v);
+                else
+                    w.null(); // idle core: no rate this epoch
+            }
             w.endArray();
         }
         if (r.haveEngine) {

@@ -152,6 +152,7 @@ runExperiment(const ExperimentConfig &cfg)
     sys_cfg.ctrl.criticalFirst = cfg.criticalFirst;
     sys_cfg.ctrl.rankAware = cfg.rankAware;
     sys_cfg.ctrl.coalesceWrites = cfg.coalesceWrites;
+    sys_cfg.ctrl.watermarkDrain = cfg.watermarkDrain;
     sys_cfg.ctrl.horizonMemo = cfg.horizonMemo;
     sys_cfg.engine = cfg.engine;
     if (cfg.robSize)
@@ -280,46 +281,61 @@ runExperiment(const ExperimentConfig &cfg)
 }
 
 CmpResult
-runCmpExperiment(const std::vector<std::string> &workloads,
-                 ctrl::Mechanism mechanism, std::uint64_t instructions,
-                 std::size_t threshold, EngineKind engine)
+runCmpShifted(const CmpConfig &cfg, const std::vector<std::size_t> &shifts)
 {
+    if (shifts.size() != cfg.workloads.size())
+        throwSimError(ErrorCategory::Config,
+                      "CMP experiment: %zu workloads but %zu region shifts",
+                      cfg.workloads.size(), shifts.size());
+
     SystemConfig sys_cfg = SystemConfig::baseline();
-    sys_cfg.ctrl.mechanism = mechanism;
-    sys_cfg.ctrl.threshold = threshold;
-    sys_cfg.engine = engine;
+    sys_cfg.ctrl.mechanism = cfg.mechanism;
+    sys_cfg.ctrl.threshold = cfg.threshold;
+    sys_cfg.ctrl.watermarkDrain = cfg.watermarkDrain;
+    sys_cfg.engine = cfg.engine;
 
     const std::uint64_t instr =
-        instructions ? instructions : defaultInstructions();
+        cfg.instructions ? cfg.instructions : defaultInstructions();
 
-    // Build one generator per core on a disjoint address region.
+    // Build one generator per core on a disjoint address region. The
+    // shift index — not the core index — selects region and seed, so a
+    // core's alone baseline replays exactly the address stream it had
+    // in the shared mix.
     std::vector<std::unique_ptr<trace::SyntheticGenerator>> gens;
     std::vector<trace::TraceSource *> sources;
-    for (std::size_t i = 0; i < workloads.size(); ++i) {
-        trace::WorkloadProfile prof = trace::profileByName(workloads[i]);
-        prof.regionBase += Addr(i) * (prof.footprintBytes + (64ULL << 20));
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        trace::WorkloadProfile prof =
+            trace::profileByName(cfg.workloads[i]);
+        prof.regionBase +=
+            Addr(shifts[i]) * (prof.footprintBytes + (64ULL << 20));
         gens.push_back(std::make_unique<trace::SyntheticGenerator>(
-            prof, instr, 20070212 + i));
+            prof, instr, 20070212 + shifts[i]));
         sources.push_back(gens.back().get());
     }
 
     System sys(sys_cfg, sources);
     for (std::uint32_t i = 0; i < sys.numCores(); ++i)
-        prewarmCaches(sys.caches(i), *gens[i], 20070212 + i);
+        prewarmCaches(sys.caches(i), *gens[i], 20070212 + shifts[i]);
 
-    const Tick cap = instr * 200 * workloads.size() + 10'000'000;
+    const Tick cap = instr * 200 * cfg.workloads.size() + 10'000'000;
     sys.run(cap);
     if (!sys.done())
         throwSimError(ErrorCategory::Internal,
                       "CMP experiment (%zu cores, %s) did not drain",
-                      workloads.size(), ctrl::mechanismName(mechanism));
+                      cfg.workloads.size(),
+                      ctrl::mechanismName(cfg.mechanism));
 
     CmpResult r;
-    r.workloads = workloads;
-    r.mechanism = mechanism;
+    r.workloads = cfg.workloads;
+    r.mechanism = cfg.mechanism;
+    r.instructions = instr;
     r.execCpuCycles = sys.execCpuCycles();
-    for (std::uint32_t i = 0; i < sys.numCores(); ++i)
-        r.perCoreCpuCycles.push_back(sys.coreExecCpuCycles(i));
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        const std::uint64_t cycles = sys.coreExecCpuCycles(i);
+        r.perCoreCpuCycles.push_back(cycles);
+        r.perCoreIpc.push_back(
+            cycles ? double(instr) / double(cycles) : 0.0);
+    }
     r.ctrl = sys.controller().stats();
     r.dataBusUtil = sys.mem().dataBusUtilization(sys.memCycles());
     const double seconds =
@@ -328,6 +344,76 @@ runCmpExperiment(const std::vector<std::string> &workloads,
                          ? double(r.ctrl.bytesTransferred) / seconds / 1e9
                          : 0.0;
     return r;
+}
+
+CmpResult
+runCmpExperiment(const CmpConfig &cfg)
+{
+    std::vector<std::size_t> shifts(cfg.workloads.size());
+    for (std::size_t i = 0; i < shifts.size(); ++i)
+        shifts[i] = i;
+    return runCmpShifted(cfg, shifts);
+}
+
+CmpResult
+runCmpExperiment(const std::vector<std::string> &workloads,
+                 ctrl::Mechanism mechanism, std::uint64_t instructions,
+                 std::size_t threshold, EngineKind engine)
+{
+    CmpConfig cfg;
+    cfg.workloads = workloads;
+    cfg.mechanism = mechanism;
+    cfg.instructions = instructions;
+    cfg.threshold = threshold;
+    cfg.engine = engine;
+    return runCmpExperiment(cfg);
+}
+
+FairnessMetrics
+computeFairness(const std::vector<double> &ipcShared,
+                const std::vector<double> &ipcAlone)
+{
+    if (ipcShared.size() != ipcAlone.size())
+        throwSimError(ErrorCategory::Internal,
+                      "fairness: %zu shared IPCs vs %zu alone IPCs",
+                      ipcShared.size(), ipcAlone.size());
+    FairnessMetrics m;
+    m.perCoreIpcAlone = ipcAlone;
+    double slowdown_sum = 0.0;
+    for (std::size_t i = 0; i < ipcShared.size(); ++i) {
+        const double sd = ipcShared[i] > 0 ? ipcAlone[i] / ipcShared[i]
+                                           : 0.0;
+        m.perCoreSlowdown.push_back(sd);
+        m.maxSlowdown = std::max(m.maxSlowdown, sd);
+        slowdown_sum += sd;
+        m.weightedSpeedup +=
+            ipcAlone[i] > 0 ? ipcShared[i] / ipcAlone[i] : 0.0;
+    }
+    m.harmonicSpeedup = slowdown_sum > 0
+                            ? double(ipcShared.size()) / slowdown_sum
+                            : 0.0;
+    return m;
+}
+
+CmpResult
+runCmpFairness(const CmpConfig &cfg)
+{
+    CmpResult shared = runCmpExperiment(cfg);
+
+    // Alone baselines: the same core alone on the machine, with the
+    // address-region shift and seed it had in the mix, under the same
+    // mechanism and policy axes.
+    std::vector<double> alone_ipc;
+    for (std::size_t i = 0; i < cfg.workloads.size(); ++i) {
+        CmpConfig alone = cfg;
+        alone.workloads = {cfg.workloads[i]};
+        const CmpResult r = runCmpShifted(alone, {i});
+        alone_ipc.push_back(r.perCoreIpc.at(0));
+    }
+
+    shared.fairness = computeFairness(shared.perCoreIpc, alone_ipc);
+    shared.haveFairness = true;
+    return shared;
 }
 
 std::vector<RunResult>

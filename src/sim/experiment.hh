@@ -97,6 +97,10 @@ struct ExperimentConfig
     bool criticalFirst = false;
     bool rankAware = true;
     bool coalesceWrites = false;
+    /** Watermark write-drain mode of the contention-aware scheduler
+     *  families (ControllerConfig::watermarkDrain). Ignored by the
+     *  paper's Table 4 mechanisms. */
+    bool watermarkDrain = false;
     /** Core overrides (0 = Table 3 baseline). A robSize of 1 with
      *  issueWidth 1 approximates a blocking in-order core. */
     std::uint32_t robSize = 0;
@@ -171,16 +175,56 @@ std::uint64_t defaultInstructions();
 /** Run one experiment. */
 RunResult runExperiment(const ExperimentConfig &cfg);
 
+/**
+ * CMP fairness metrics (Section 6 extension): per-core slowdown against
+ * the core's alone-run baseline (same mechanism, same address-region
+ * shift and seed, the core running by itself), and the three standard
+ * CMP aggregates derived from it.
+ */
+struct FairnessMetrics
+{
+    std::vector<double> perCoreIpcAlone; //!< alone-run IPC per core
+    std::vector<double> perCoreSlowdown; //!< IPC_alone / IPC_shared
+    double maxSlowdown = 0.0;            //!< unfairness (max slowdown)
+    /** Weighted speedup: sum of IPC_shared / IPC_alone (== N when every
+     *  slowdown is exactly 1). */
+    double weightedSpeedup = 0.0;
+    /** Harmonic mean of speedups: N / sum of slowdowns (balances
+     *  fairness and throughput). */
+    double harmonicSpeedup = 0.0;
+};
+
+/** Compute the aggregates from shared and alone per-core IPCs. */
+FairnessMetrics computeFairness(const std::vector<double> &ipcShared,
+                                const std::vector<double> &ipcAlone);
+
+/** One CMP run specification (the keyword form of runCmpExperiment). */
+struct CmpConfig
+{
+    std::vector<std::string> workloads; //!< one per core
+    ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+    std::uint64_t instructions = 0; //!< per core; 0 = default
+    std::size_t threshold = 52;
+    EngineKind engine = EngineKind::Skip;
+    /** Watermark write-drain policy axis (contention families). */
+    bool watermarkDrain = false;
+};
+
 /** Result of a chip-multiprocessor run (paper Section 6). */
 struct CmpResult
 {
     std::vector<std::string> workloads; //!< one per core
     ctrl::Mechanism mechanism = ctrl::Mechanism::BkInOrder;
+    std::uint64_t instructions = 0;  //!< per core
     std::uint64_t execCpuCycles = 0; //!< last core's completion
     std::vector<std::uint64_t> perCoreCpuCycles;
+    std::vector<double> perCoreIpc; //!< shared-run IPC per core
     ctrl::ControllerStats ctrl;
     double dataBusUtil = 0.0;
     double bandwidthGBs = 0.0;
+    /** Filled by runCmpFairness() only. */
+    bool haveFairness = false;
+    FairnessMetrics fairness;
 };
 
 /**
@@ -188,11 +232,32 @@ struct CmpResult
  * sharing the memory controller. Each core's copy of a workload is
  * shifted to a disjoint address region and seeded differently.
  */
+CmpResult runCmpExperiment(const CmpConfig &cfg);
+
+/** Positional-argument compatibility shim for the config form above. */
 CmpResult runCmpExperiment(const std::vector<std::string> &workloads,
                            ctrl::Mechanism mechanism,
                            std::uint64_t instructions = 0,
                            std::size_t threshold = 52,
                            EngineKind engine = EngineKind::Skip);
+
+/**
+ * Run @p cfg with explicit per-core address-region shift indices (core
+ * i's workload is displaced by shifts[i] regions and seeded
+ * 20070212 + shifts[i]). The fairness layer uses this to run a core's
+ * alone baseline on exactly the address region and seed it had in the
+ * shared mix — a 1-core "mix" is then its own baseline and every
+ * slowdown is exactly 1.
+ */
+CmpResult runCmpShifted(const CmpConfig &cfg,
+                        const std::vector<std::size_t> &shifts);
+
+/**
+ * Run the shared mix, then each core's alone baseline (same mechanism,
+ * shift and seed), and fill CmpResult::fairness from the per-core IPC
+ * ratios.
+ */
+CmpResult runCmpFairness(const CmpConfig &cfg);
 
 /**
  * Run @p workload under every mechanism in @p mechanisms, @p jobs runs

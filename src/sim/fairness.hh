@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CMP fairness sweeps: run runCmpFairness over a list of mixes with a
+ * crash-safe resume journal and CSV output, mirroring the single-core
+ * sweep machinery in sim/sweep.hh.
+ *
+ * The journal shares the sweep journal's v3 framing
+ * (`J3 <len> <crc32> <payload>`) but uses its own record kind
+ * (payload prefix "F ") and its own canonical-config key space, so a
+ * fairness journal and a point journal can never claim each other's
+ * records even if the files are mixed up.
+ */
+
+#ifndef BURSTSIM_SIM_FAIRNESS_HH
+#define BURSTSIM_SIM_FAIRNESS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace bsim::sim
+{
+
+/**
+ * Canonical text encoding of every fate-determining CmpConfig field
+ * ("cmp1|w0,w1,...|mech|instr|threshold|engine|wd"). Instruction count
+ * 0 is resolved to defaultInstructions() first, exactly like the
+ * single-run canonicalConfig, so "default" and "explicitly the
+ * default" journal identically.
+ */
+std::string canonicalCmpConfig(const CmpConfig &cfg);
+
+/** FNV-1a key of canonicalCmpConfig (the journal record key). */
+std::uint64_t cmpConfigKey(const CmpConfig &cfg);
+
+/** One journaled fairness result. */
+struct FairnessRecord
+{
+    std::uint64_t cores = 0;
+    std::uint64_t execCpuCycles = 0;
+    double weightedSpeedup = 0.0;
+    double harmonicSpeedup = 0.0;
+    double maxSlowdown = 0.0;
+    std::vector<double> perCoreSlowdown;
+    std::string configEcho; //!< canonical config echoed in the record
+};
+
+/**
+ * Load a fairness journal: CRC-clean, well-framed "F" records keyed by
+ * cmpConfigKey. Malformed or torn lines are warned about and skipped —
+ * a torn tail is the expected footprint of a crash mid-append.
+ */
+std::unordered_map<std::uint64_t, FairnessRecord>
+loadFairnessJournal(const std::string &path);
+
+/** Options of one fairness sweep. */
+struct FairnessSweepOptions
+{
+    /** Resume journal path; empty = no journaling. */
+    std::string journal;
+    /** fdatasync() after every record (crash durability). */
+    bool journalSync = true;
+};
+
+/** Outcome of one mix within a fairness sweep. */
+struct FairnessSlot
+{
+    bool ok = false;
+    bool fromJournal = false;
+    FairnessRecord record;
+};
+
+/** Result of runFairnessSweep, one slot per input mix. */
+struct FairnessReport
+{
+    std::vector<FairnessSlot> slots;
+
+    std::size_t journaled() const;
+};
+
+/**
+ * Run runCmpFairness for every mix in @p points, resuming journaled
+ * results (same key AND same canonical-config echo) instead of
+ * re-running them. Each completed mix is appended to the journal
+ * before the next one starts, so a killed sweep resumes at the first
+ * unfinished mix.
+ */
+FairnessReport runFairnessSweep(const std::vector<CmpConfig> &points,
+                                const FairnessSweepOptions &opt);
+
+/**
+ * CSV rendering: one row per mix with the three aggregates plus
+ * sd_core<i> columns sized to the widest mix in the sweep (narrower
+ * mixes leave the extra cells empty).
+ */
+void writeFairnessCsv(std::ostream &os,
+                      const std::vector<CmpConfig> &points,
+                      const FairnessReport &rep);
+
+} // namespace bsim::sim
+
+#endif // BURSTSIM_SIM_FAIRNESS_HH

@@ -163,18 +163,87 @@ writeCmpResultJson(std::ostream &os, const CmpResult &r)
     for (const auto &wl : r.workloads)
         w.value(wl);
     w.endArray();
+    w.key("instructions").value(r.instructions);
     w.key("exec_cpu_cycles").value(r.execCpuCycles);
     w.key("per_core_cpu_cycles").beginArray();
     for (auto c : r.perCoreCpuCycles)
         w.value(c);
+    w.endArray();
+    w.key("per_core_ipc").beginArray();
+    for (double v : r.perCoreIpc)
+        w.value(v);
     w.endArray();
     w.key("data_bus_utilization").value(r.dataBusUtil);
     w.key("bandwidth_gbs").value(r.bandwidthGBs);
     w.key("controller").beginObject();
     writeControllerStats(w, r.ctrl);
     w.endObject();
+    if (r.haveFairness) {
+        const FairnessMetrics &f = r.fairness;
+        w.key("fairness").beginObject();
+        w.key("per_core_ipc_alone").beginArray();
+        for (double v : f.perCoreIpcAlone)
+            w.value(v);
+        w.endArray();
+        w.key("per_core_slowdown").beginArray();
+        for (double v : f.perCoreSlowdown)
+            w.value(v);
+        w.endArray();
+        w.key("max_slowdown").value(f.maxSlowdown);
+        w.key("weighted_speedup").value(f.weightedSpeedup);
+        w.key("harmonic_speedup").value(f.harmonicSpeedup);
+        w.endObject();
+    }
     w.endObject();
     os << '\n';
+}
+
+void
+writeCmpResultText(std::ostream &os, const CmpResult &r)
+{
+    os << r.workloads.size() << "-core CMP, mechanism "
+       << ctrl::mechanismName(r.mechanism) << ", " << r.instructions
+       << " instructions per core\n";
+    Table t;
+    if (r.haveFairness)
+        t.header({"core", "workload", "cpu cycles", "IPC", "IPC alone",
+                  "slowdown"});
+    else
+        t.header({"core", "workload", "cpu cycles", "IPC"});
+    for (std::size_t i = 0; i < r.workloads.size(); ++i) {
+        std::vector<std::string> row = {
+            std::to_string(i), r.workloads[i],
+            i < r.perCoreCpuCycles.size()
+                ? std::to_string(r.perCoreCpuCycles[i])
+                : "-",
+            i < r.perCoreIpc.size() ? Table::num(r.perCoreIpc[i], 3)
+                                    : "-"};
+        if (r.haveFairness) {
+            row.push_back(
+                i < r.fairness.perCoreIpcAlone.size()
+                    ? Table::num(r.fairness.perCoreIpcAlone[i], 3)
+                    : "-");
+            row.push_back(
+                i < r.fairness.perCoreSlowdown.size()
+                    ? Table::num(r.fairness.perCoreSlowdown[i], 3)
+                    : "-");
+        }
+        t.row(row);
+    }
+    t.print(os);
+
+    os << "execution time (CPU cycles): " << r.execCpuCycles << '\n'
+       << "effective bandwidth: " << Table::num(r.bandwidthGBs, 2)
+       << " GB/s, data bus utilization " << Table::pct(r.dataBusUtil)
+       << '\n';
+    if (r.haveFairness) {
+        os << "fairness: max slowdown "
+           << Table::num(r.fairness.maxSlowdown, 3)
+           << ", weighted speedup "
+           << Table::num(r.fairness.weightedSpeedup, 3)
+           << ", harmonic speedup "
+           << Table::num(r.fairness.harmonicSpeedup, 3) << '\n';
+    }
 }
 
 void

@@ -24,6 +24,10 @@ void writeCmpResultJson(std::ostream &os, const CmpResult &r);
 /** Emit a human-readable one-run summary. */
 void writeResultText(std::ostream &os, const RunResult &r);
 
+/** Emit a human-readable CMP-run summary (per-core table; fairness
+ *  metrics when CmpResult::haveFairness is set). */
+void writeCmpResultText(std::ostream &os, const CmpResult &r);
+
 } // namespace bsim::sim
 
 #endif // BURSTSIM_SIM_REPORT_HH

@@ -518,6 +518,11 @@ canonicalConfig(const ExperimentConfig &cfg)
                       ? std::string("factory:?")
                       : "factory:" + cfg.schedulerFactoryId)
                : std::string());
+    // Appended conditionally so every pre-existing journal key is
+    // byte-stable: only points that actually enable the axis gain the
+    // token (and thereby a distinct key).
+    if (cfg.watermarkDrain)
+        os << "|wd";
     std::string s = os.str();
     for (char &c : s)
         if (c == '"' || c == '\n' || c == '\r')

@@ -62,13 +62,26 @@ class Harness
         ctx.params.sortBurstsBySize = params.sortBurstsBySize;
         ctx.params.criticalFirst = params.criticalFirst;
         ctx.params.rankAware = params.rankAware;
+        // Contention-zoo knobs (defaults match SchedulerParams, so
+        // tests that do not set them are unaffected).
+        ctx.params.watermarkDrain = params.watermarkDrain;
+        ctx.params.hiWatermark = params.hiWatermark;
+        ctx.params.loWatermark = params.loWatermark;
+        ctx.params.drainTurnaround = params.drainTurnaround;
+        ctx.params.parbsMarkingCap = params.parbsMarkingCap;
+        ctx.params.atlasQuantum = params.atlasQuantum;
+        ctx.params.blissThreshold = params.blissThreshold;
+        ctx.params.blissClearInterval = params.blissClearInterval;
         sched_ = ctrl::makeScheduler(mech, ctx);
     }
 
-    /** Create and enqueue an access at explicit coordinates. */
+    /** Create and enqueue an access at explicit coordinates. The tag
+     *  is the requester (CMP core) identity the contention-aware
+     *  families rank on. */
     ctrl::MemAccess *
     add(AccessType type, std::uint32_t rank, std::uint32_t bank,
-        std::uint32_t row, std::uint32_t col, Tick arrival = 0)
+        std::uint32_t row, std::uint32_t col, Tick arrival = 0,
+        std::uint64_t tag = 0)
     {
         auto a = std::make_unique<ctrl::MemAccess>();
         a->id = nextId_++;
@@ -76,6 +89,7 @@ class Harness
         a->coords = dram::Coords{0, rank, bank, row, col};
         a->addr = mem_.addressMap().encode(a->coords);
         a->arrival = arrival;
+        a->tag = tag;
         ctrl::MemAccess *p = a.get();
         own_.push_back(std::move(a));
         if (type == AccessType::Write)

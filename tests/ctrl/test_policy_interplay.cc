@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <memory>
 #include <vector>
 
@@ -140,5 +141,11 @@ INSTANTIATE_TEST_SUITE_P(
         std::begin(ctrl::kExtendedMechanisms),
         std::end(ctrl::kExtendedMechanisms))),
     [](const auto &info) {
-        return std::string(ctrl::mechanismName(info.param));
+        // gtest parameter names must be alphanumeric/underscore only
+        // ("FR-FCFS" would abort test registration).
+        std::string name = ctrl::mechanismName(info.param);
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+                c = '_';
+        return name;
     });

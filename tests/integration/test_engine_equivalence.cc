@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <sstream>
 #include <string>
 #include <tuple>
@@ -32,12 +33,25 @@ namespace
 
 constexpr std::uint64_t kInstr = 20'000;
 
-/** The five scheduler classes (one per scheduler implementation). */
+/** One mechanism per scheduler implementation: the five single-core
+ *  classes plus the four contention-aware CMP families. */
 const ctrl::Mechanism kSchedulerClasses[] = {
     ctrl::Mechanism::BkInOrder,       ctrl::Mechanism::RowHit,
     ctrl::Mechanism::Intel,           ctrl::Mechanism::Burst,
-    ctrl::Mechanism::AdaptiveHistory,
+    ctrl::Mechanism::AdaptiveHistory, ctrl::Mechanism::FrFcfs,
+    ctrl::Mechanism::Parbs,           ctrl::Mechanism::Atlas,
+    ctrl::Mechanism::Bliss,
 };
+
+/** gtest parameter names must be alphanumeric: "FR-FCFS" -> "FR_FCFS". */
+std::string
+paramSafe(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
 
 std::string
 resultJson(const RunResult &r)
@@ -83,8 +97,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      std::string("swim"),
                                      std::string("gzip"))),
     [](const auto &info) {
-        return std::string(ctrl::mechanismName(std::get<0>(info.param))) +
-               "_" + std::get<1>(info.param);
+        return paramSafe(
+            std::string(ctrl::mechanismName(std::get<0>(info.param))) +
+            "_" + std::get<1>(info.param));
     });
 
 TEST(EngineEquivalence, LowMlpMicrobenchmark)
@@ -149,6 +164,32 @@ TEST(EngineEquivalence, ObservabilityPillarsByteIdentical)
     // And the skip engine must not bend the DDR2 protocol to get there.
     EXPECT_EQ(step.obs->auditor()->violationCount(), 0u);
     EXPECT_EQ(skip.obs->auditor()->violationCount(), 0u);
+}
+
+TEST(EngineEquivalence, WatermarkDrainByteIdentical)
+{
+    // The watermark write-drain mode reads the GLOBAL write count, so
+    // its flip lattice is the hardest cross-channel case the horizon
+    // memo faces (an idle channel must not flip on remote traffic the
+    // skip engine never wakes for). Every family, two workloads, with
+    // the full cache stack and with the memo off.
+    for (auto m : ctrl::kContentionMechanisms) {
+        for (const char *wl : {"mcf", "swim"}) {
+            ExperimentConfig cfg;
+            cfg.workload = wl;
+            cfg.mechanism = m;
+            cfg.instructions = kInstr;
+            cfg.watermarkDrain = true;
+            const RunResult step = runWith(cfg, EngineKind::Step);
+            const RunResult skip = runWith(cfg, EngineKind::Skip);
+            EXPECT_EQ(resultJson(step), resultJson(skip))
+                << ctrl::mechanismName(m) << " " << wl;
+            cfg.horizonMemo = false;
+            const RunResult bare = runWith(cfg, EngineKind::Skip);
+            EXPECT_EQ(resultJson(step), resultJson(bare))
+                << ctrl::mechanismName(m) << " " << wl << " (no memo)";
+        }
+    }
 }
 
 TEST(EngineEquivalence, CmpByteIdentical)

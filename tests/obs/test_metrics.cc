@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/json.hh"
@@ -218,4 +219,37 @@ TEST(MetricsRun, BurstThresholdGatesRpWpFlags)
         if (row.writesOutstanding > 52)
             EXPECT_TRUE(row.wpActive);
     }
+}
+
+TEST(MetricsSampler, IdleCoreRowHitRateIsCsvZeroAndJsonNull)
+{
+    // Satellite regression: a core with no classified access in an
+    // epoch has no row hit rate. The sampler keeps a NaN sentinel and
+    // the writers must map it to 0 (CSV) / null (JSON) — a literal
+    // `nan` cell broke downstream CSV consumers once.
+    MetricsSampler ms(100, {});
+    MetricsSnapshot s = snapshotAt(99);
+    s.readsCompleted = 5;
+    s.rowHits = 3;
+    s.rowConflicts = 2;
+    s.coreReadQ = {1, 0};
+    s.coreWriteQ = {0, 0};
+    s.coreRowHits = {3, 0};
+    s.coreRowAccesses = {5, 0}; // core 1 idle this epoch
+    ms.sample(s);
+
+    ASSERT_EQ(ms.rows().size(), 1u);
+    ASSERT_EQ(ms.rows()[0].coreRowHitRate.size(), 2u);
+    EXPECT_TRUE(std::isnan(ms.rows()[0].coreRowHitRate[1]));
+    EXPECT_DOUBLE_EQ(ms.rows()[0].coreRowHitRate[0], 0.6);
+
+    std::ostringstream csv;
+    ms.writeCsv(csv);
+    EXPECT_NE(csv.str().find("rhr_core1"), std::string::npos);
+    EXPECT_EQ(csv.str().find("nan"), std::string::npos) << csv.str();
+
+    std::ostringstream json;
+    ms.writeJson(json);
+    EXPECT_NE(json.str().find("null"), std::string::npos) << json.str();
+    EXPECT_EQ(json.str().find("nan"), std::string::npos) << json.str();
 }

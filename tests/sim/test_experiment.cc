@@ -152,7 +152,9 @@ TEST(Experiment, ExtendedMechanismSweepIncludesHistory)
     for (auto m : ctrl::kExtendedMechanisms)
         found = found || m == ctrl::Mechanism::AdaptiveHistory;
     EXPECT_TRUE(found);
-    // The paper's Table 4 list stays at eight entries.
+    // The paper's Table 4 list stays at eight entries; the extended
+    // list adds AdaptiveHistory plus the contention-aware zoo.
     EXPECT_EQ(std::size(ctrl::kAllMechanisms), 8u);
-    EXPECT_EQ(std::size(ctrl::kExtendedMechanisms), 9u);
+    EXPECT_EQ(std::size(ctrl::kExtendedMechanisms),
+              9u + std::size(ctrl::kContentionMechanisms));
 }

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * CMP fairness layer: the slowdown / weighted-speedup / harmonic-
+ * speedup arithmetic, the single-core identity (a core running alone
+ * has slowdown exactly 1), the fairness sweep journal's crash-safe
+ * resume (hexfloat round-trip, byte-identical CSV), and the config-key
+ * canonicalisation — including the watermark-drain axis, which must
+ * hash distinctly in both the fairness and the sweep journals while
+ * leaving every pre-existing sweep key byte-stable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/fairness.hh"
+#include "sim/report.hh"
+#include "sim/sweep.hh"
+
+using namespace bsim;
+using namespace bsim::sim;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::string
+renderCsv(const std::vector<CmpConfig> &points, const FairnessReport &rep)
+{
+    std::ostringstream os;
+    writeFairnessCsv(os, points, rep);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Pure arithmetic.
+
+TEST(FairnessMath, AllEqualIpcIsTheIdentity)
+{
+    const std::vector<double> ipc = {0.5, 0.25, 1.0};
+    const FairnessMetrics f = computeFairness(ipc, ipc);
+    ASSERT_EQ(f.perCoreSlowdown.size(), 3u);
+    for (double sd : f.perCoreSlowdown)
+        EXPECT_DOUBLE_EQ(sd, 1.0);
+    EXPECT_DOUBLE_EQ(f.maxSlowdown, 1.0);
+    // Weighted speedup collapses to N exactly when every slowdown is 1.
+    EXPECT_DOUBLE_EQ(f.weightedSpeedup, 3.0);
+    EXPECT_DOUBLE_EQ(f.harmonicSpeedup, 1.0);
+}
+
+TEST(FairnessMath, SlowdownAndAggregatesFollowTheDefinitions)
+{
+    const std::vector<double> shared = {0.5, 0.5};
+    const std::vector<double> alone = {1.0, 0.5};
+    const FairnessMetrics f = computeFairness(shared, alone);
+    ASSERT_EQ(f.perCoreSlowdown.size(), 2u);
+    EXPECT_DOUBLE_EQ(f.perCoreSlowdown[0], 2.0);
+    EXPECT_DOUBLE_EQ(f.perCoreSlowdown[1], 1.0);
+    EXPECT_DOUBLE_EQ(f.maxSlowdown, 2.0);
+    EXPECT_DOUBLE_EQ(f.weightedSpeedup, 0.5 + 1.0);
+    EXPECT_DOUBLE_EQ(f.harmonicSpeedup, 2.0 / 3.0);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end identity: a single core shares the memory system with
+// nobody, so its alone baseline is the shared run itself.
+
+TEST(FairnessRun, SingleCoreSlowdownIsExactlyOne)
+{
+    CmpConfig cfg;
+    cfg.workloads = {"swim"};
+    cfg.mechanism = ctrl::Mechanism::Bliss;
+    cfg.instructions = 4000;
+    const CmpResult r = runCmpFairness(cfg);
+    ASSERT_TRUE(r.haveFairness);
+    ASSERT_EQ(r.fairness.perCoreSlowdown.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.fairness.perCoreSlowdown[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.fairness.weightedSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(r.fairness.harmonicSpeedup, 1.0);
+    EXPECT_DOUBLE_EQ(r.fairness.maxSlowdown, 1.0);
+}
+
+TEST(FairnessRun, SharedMixReportsPlausibleSlowdowns)
+{
+    CmpConfig cfg;
+    cfg.workloads = {"swim", "mcf"};
+    cfg.mechanism = ctrl::Mechanism::FrFcfs;
+    cfg.instructions = 4000;
+    const CmpResult r = runCmpFairness(cfg);
+    ASSERT_TRUE(r.haveFairness);
+    ASSERT_EQ(r.fairness.perCoreSlowdown.size(), 2u);
+    for (double sd : r.fairness.perCoreSlowdown)
+        EXPECT_GE(sd, 1.0); // sharing never speeds a core up here
+    EXPECT_GE(r.fairness.maxSlowdown, 1.0);
+    EXPECT_GT(r.fairness.weightedSpeedup, 0.0);
+    EXPECT_LE(r.fairness.weightedSpeedup, 2.0);
+
+    // The text report must carry the fairness block.
+    std::ostringstream os;
+    writeCmpResultText(os, r);
+    EXPECT_NE(os.str().find("slowdown"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Config canonicalisation and key distinctness.
+
+TEST(FairnessJournal, KeysSeparateEveryAxis)
+{
+    CmpConfig a;
+    a.workloads = {"swim", "mcf"};
+    a.mechanism = ctrl::Mechanism::Parbs;
+    a.instructions = 4000;
+
+    CmpConfig b = a;
+    b.mechanism = ctrl::Mechanism::Atlas;
+    CmpConfig c = a;
+    c.watermarkDrain = true;
+    CmpConfig d = a;
+    d.workloads = {"mcf", "swim"};
+
+    EXPECT_EQ(cmpConfigKey(a), cmpConfigKey(a));
+    EXPECT_NE(cmpConfigKey(a), cmpConfigKey(b));
+    EXPECT_NE(cmpConfigKey(a), cmpConfigKey(c));
+    EXPECT_NE(cmpConfigKey(a), cmpConfigKey(d));
+    EXPECT_NE(canonicalCmpConfig(a), canonicalCmpConfig(c));
+}
+
+TEST(SweepJournal, WatermarkAxisHashesDistinctlyButOldKeysAreStable)
+{
+    ExperimentConfig cfg;
+    cfg.workload = "swim";
+    cfg.mechanism = ctrl::Mechanism::FrFcfs;
+    cfg.instructions = 4000;
+
+    const std::string plain = canonicalConfig(cfg);
+    // Pre-existing journals must keep their keys: the token only
+    // appears when the axis is actually enabled.
+    EXPECT_EQ(plain.find("|wd"), std::string::npos);
+
+    ExperimentConfig wd = cfg;
+    wd.watermarkDrain = true;
+    EXPECT_NE(canonicalConfig(wd).find("|wd"), std::string::npos);
+    EXPECT_NE(configKey(cfg), configKey(wd));
+}
+
+// ---------------------------------------------------------------------
+// Journal resume: the second sweep must restore every slot from the
+// journal and render a byte-identical CSV (hexfloat round-trip).
+
+TEST(FairnessJournal, ResumeRestoresSlotsAndCsvIsByteIdentical)
+{
+    const std::string path = tmpPath("fairness_resume.j3");
+    std::remove(path.c_str());
+
+    std::vector<CmpConfig> points(2);
+    points[0].workloads = {"swim", "mcf"};
+    points[0].mechanism = ctrl::Mechanism::Bliss;
+    points[0].instructions = 3000;
+    points[1] = points[0];
+    points[1].mechanism = ctrl::Mechanism::FrFcfs;
+    points[1].watermarkDrain = true;
+
+    FairnessSweepOptions opt;
+    opt.journal = path;
+    opt.journalSync = false; // tmpfs test, durability irrelevant
+
+    const FairnessReport first = runFairnessSweep(points, opt);
+    ASSERT_EQ(first.slots.size(), 2u);
+    for (const FairnessSlot &s : first.slots) {
+        EXPECT_TRUE(s.ok);
+        EXPECT_FALSE(s.fromJournal);
+    }
+
+    const auto records = loadFairnessJournal(path);
+    EXPECT_EQ(records.size(), 2u);
+
+    const FairnessReport second = runFairnessSweep(points, opt);
+    ASSERT_EQ(second.slots.size(), 2u);
+    for (const FairnessSlot &s : second.slots) {
+        EXPECT_TRUE(s.ok);
+        EXPECT_TRUE(s.fromJournal);
+    }
+    EXPECT_EQ(second.journaled(), 2u);
+    EXPECT_EQ(renderCsv(points, first), renderCsv(points, second));
+
+    std::remove(path.c_str());
+}

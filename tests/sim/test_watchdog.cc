@@ -86,6 +86,26 @@ TEST(Watchdog, ErrorCarriesQueueSnapshot)
     }
 }
 
+TEST(Watchdog, FrozenContentionFamiliesTripItUnderSkip)
+{
+    // Fault injection per contention family: the FaultyScheduler
+    // forwards nextEventTick/globalSignature until its fault triggers,
+    // then pins the horizon to `now` — so the skip engine cannot leap
+    // the hang for any family, with or without the watermark drain.
+    for (ctrl::Mechanism m : ctrl::kContentionMechanisms) {
+        for (bool wd : {false, true}) {
+            SCOPED_TRACE(std::string(ctrl::mechanismName(m)) +
+                         (wd ? " wd" : ""));
+            ExperimentConfig cfg = smallConfig(EngineKind::Skip);
+            cfg.mechanism = m;
+            cfg.watermarkDrain = wd;
+            cfg.schedulerFactory = freezeFactory(5);
+            EXPECT_SIM_ERROR(runExperiment(cfg), ErrorCategory::Internal,
+                             "forward-progress watchdog");
+        }
+    }
+}
+
 TEST(Watchdog, ZeroDisablesIt)
 {
     // With the watchdog off, the frozen run must instead hit the

@@ -25,6 +25,7 @@
 #include "common/table.hh"
 #include "obs/observability.hh"
 #include "sim/experiment.hh"
+#include "sim/fairness.hh"
 #include "sim/report.hh"
 #include "sim/sweep.hh"
 #include "trace/spec_profiles.hh"
@@ -101,6 +102,7 @@ configFrom(const ArgParser &args)
     cfg.criticalFirst = args.flag("critical-first");
     cfg.rankAware = !args.flag("no-rank-aware");
     cfg.horizonMemo = !args.flag("no-horizon-memo");
+    cfg.watermarkDrain = args.flag("watermark-drain");
 
     // Observability: each pillar turns on only when requested, so the
     // default run carries no instrumentation cost.
@@ -264,6 +266,18 @@ runCli(int argc, char **argv)
     args.addFlag("metrics-per-core",
                  "add per-requester queue occupancy and row-hit-rate "
                  "columns to the epoch metrics");
+    args.addFlag("watermark-drain",
+                 "contention families: drain writes in watermark batches "
+                 "(HI/LO hysteresis) instead of read-idle opportunism");
+    args.addFlag("fairness",
+                 "CMP mode: also run each core's alone baseline and "
+                 "report slowdown / weighted / harmonic speedup");
+    args.addOption("fairness-journal", "",
+                   "fairness checkpoint file: completed mixes are "
+                   "appended and skipped on rerun (implies --fairness)");
+    args.addOption("fairness-out", "",
+                   "write CMP fairness results as CSV to this path "
+                   "(implies --fairness)");
 
     if (!args.parse(argc, argv, std::cerr))
         return args.helpRequested() ? 0 : 2;
@@ -287,26 +301,61 @@ runCli(int argc, char **argv)
         std::cout << "\nmechanisms:";
         for (auto m : ctrl::kAllMechanisms)
             std::cout << ' ' << ctrl::mechanismName(m);
+        std::cout << "\ncontention schedulers:";
+        for (auto m : ctrl::kContentionMechanisms)
+            std::cout << ' ' << ctrl::mechanismName(m);
         std::cout << '\n';
         return 0;
     }
 
     // CMP mode: one core per listed workload.
     if (!args.str("cmp").empty()) {
-        const auto wls = splitCommas(args.str("cmp"));
-        const auto r = sim::runCmpExperiment(
-            wls, ctrl::parseMechanism(args.str("mechanism")),
-            args.u64("instructions"), args.u64("threshold"),
-            parseEngine(args));
-        if (args.flag("json")) {
-            sim::writeCmpResultJson(std::cout, r);
-        } else {
-            std::cout << wls.size() << "-core CMP, mechanism "
-                      << ctrl::mechanismName(r.mechanism) << ": "
-                      << r.execCpuCycles << " CPU cycles, "
-                      << Table::num(r.bandwidthGBs, 2) << " GB/s, "
-                      << Table::pct(r.dataBusUtil) << " data bus\n";
+        sim::CmpConfig cfg;
+        cfg.workloads = splitCommas(args.str("cmp"));
+        cfg.instructions = args.u64("instructions");
+        cfg.threshold = args.u64("threshold");
+        cfg.engine = parseEngine(args);
+        cfg.watermarkDrain = args.flag("watermark-drain");
+
+        const bool fairness = args.flag("fairness") ||
+                              !args.str("fairness-journal").empty() ||
+                              !args.str("fairness-out").empty();
+
+        // A comma list of mechanisms fans out into a fairness sweep
+        // (resumable via --fairness-journal, CSV via --fairness-out).
+        const auto mechs = splitCommas(args.str("mechanism"));
+        if (fairness &&
+            (mechs.size() > 1 || !args.str("fairness-journal").empty() ||
+             !args.str("fairness-out").empty())) {
+            std::vector<sim::CmpConfig> points;
+            for (const auto &m : mechs) {
+                cfg.mechanism = ctrl::parseMechanism(m);
+                points.push_back(cfg);
+            }
+            sim::FairnessSweepOptions opt;
+            opt.journal = args.str("fairness-journal");
+            const sim::FairnessReport rep =
+                sim::runFairnessSweep(points, opt);
+            sim::writeFairnessCsv(std::cout, points, rep);
+            if (const std::string &path = args.str("fairness-out");
+                !path.empty()) {
+                writeFileOrDie(path, [&](std::ostream &os) {
+                    sim::writeFairnessCsv(os, points, rep);
+                });
+            }
+            if (rep.journaled())
+                std::cerr << "burstsim: " << rep.journaled()
+                          << " mixes restored from journal\n";
+            return 0;
         }
+
+        cfg.mechanism = ctrl::parseMechanism(args.str("mechanism"));
+        const auto r = fairness ? sim::runCmpFairness(cfg)
+                                : sim::runCmpExperiment(cfg);
+        if (args.flag("json"))
+            sim::writeCmpResultJson(std::cout, r);
+        else
+            sim::writeCmpResultText(std::cout, r);
         return 0;
     }
 
